@@ -1,0 +1,139 @@
+// Benchmarks: one per paper table and figure. Each benchmark regenerates
+// its artifact at reduced (smoke) fidelity so `go test -bench=.` touches
+// every experiment path; use cmd/hirise-bench for publication fidelity.
+package hirise_test
+
+import (
+	"testing"
+
+	"github.com/reprolab/hirise"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	opts := hirise.QuickExperimentOpts()
+	opts.Warmup, opts.Measure = 500, 2000
+	for i := 0; i < b.N; i++ {
+		tb, err := hirise.RunExperiment(id, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tb.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+// Paper Table I: 2D vs 3D folded implementation cost.
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+
+// Paper Table IV: channel-multiplicity implementation cost.
+func BenchmarkTable4(b *testing.B) { benchExperiment(b, "table4") }
+
+// Paper Table V: arbitration variants.
+func BenchmarkTable5(b *testing.B) { benchExperiment(b, "table5") }
+
+// Paper Table VI: 64-core application workloads.
+func BenchmarkTable6(b *testing.B) { benchExperiment(b, "table6") }
+
+// Paper Fig 9(a): frequency vs radix.
+func BenchmarkFig9a(b *testing.B) { benchExperiment(b, "fig9a") }
+
+// Paper Fig 9(b): frequency vs stacked layers.
+func BenchmarkFig9b(b *testing.B) { benchExperiment(b, "fig9b") }
+
+// Paper Fig 9(c): energy per transaction vs radix.
+func BenchmarkFig9c(b *testing.B) { benchExperiment(b, "fig9c") }
+
+// Paper Fig 10: latency vs load under uniform random traffic.
+func BenchmarkFig10(b *testing.B) { benchExperiment(b, "fig10") }
+
+// Paper Fig 11(a): per-input hotspot latency.
+func BenchmarkFig11a(b *testing.B) { benchExperiment(b, "fig11a") }
+
+// Paper Fig 11(b): throughput vs load for arbitration schemes.
+func BenchmarkFig11b(b *testing.B) { benchExperiment(b, "fig11b") }
+
+// Paper Fig 11(c): adversarial per-input throughput.
+func BenchmarkFig11c(b *testing.B) { benchExperiment(b, "fig11c") }
+
+// Paper Fig 12: TSV pitch sensitivity.
+func BenchmarkFig12(b *testing.B) { benchExperiment(b, "fig12") }
+
+// Paper §VI-B pathological corner case.
+func BenchmarkCornerCase(b *testing.B) { benchExperiment(b, "corner") }
+
+// Paper §VI-E topology discussion.
+func BenchmarkDiscussion(b *testing.B) { benchExperiment(b, "discussion") }
+
+// Validation experiments beyond the paper's figures.
+func BenchmarkTable4CI(b *testing.B)     { benchExperiment(b, "table4-ci") }
+func BenchmarkTable6Detail(b *testing.B) { benchExperiment(b, "table6-detail") }
+func BenchmarkTable6Addr(b *testing.B)   { benchExperiment(b, "table6-addr") }
+func BenchmarkCacheMPKI(b *testing.B)    { benchExperiment(b, "cache-mpki") }
+func BenchmarkLocality(b *testing.B)     { benchExperiment(b, "locality") }
+func BenchmarkBreakdown(b *testing.B)    { benchExperiment(b, "breakdown") }
+func BenchmarkKilocore(b *testing.B)     { benchExperiment(b, "kilocore") }
+
+// Ablations beyond the paper.
+func BenchmarkAblateClasses(b *testing.B) { benchExperiment(b, "ablate-classes") }
+func BenchmarkAblateAlloc(b *testing.B)   { benchExperiment(b, "ablate-alloc") }
+func BenchmarkAblateVCs(b *testing.B)     { benchExperiment(b, "ablate-vcs") }
+func BenchmarkAblateBursty(b *testing.B)  { benchExperiment(b, "ablate-bursty") }
+func BenchmarkAblateISLIP(b *testing.B)   { benchExperiment(b, "ablate-islip") }
+func BenchmarkAblateQoS(b *testing.B)     { benchExperiment(b, "ablate-qos") }
+func BenchmarkAblatePktLen(b *testing.B)  { benchExperiment(b, "ablate-pktlen") }
+
+// Component microbenchmarks: the hot paths of the reproduction.
+
+func BenchmarkHiRiseArbitrationCycle(b *testing.B) {
+	sw, err := hirise.New(hirise.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := make([]int, 64)
+	for i := range req {
+		req[i] = (i * 13) % 64
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, g := range sw.Arbitrate(req) {
+			sw.Release(g.In)
+		}
+	}
+}
+
+func Benchmark2DArbitrationCycle(b *testing.B) {
+	sw := hirise.New2D(64)
+	req := make([]int, 64)
+	for i := range req {
+		req[i] = (i * 13) % 64
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, g := range sw.Arbitrate(req) {
+			sw.Release(g.In)
+		}
+	}
+}
+
+func BenchmarkSimulatedCycleUniform(b *testing.B) {
+	sw, err := hirise.New(hirise.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cycles := int64(b.N)
+	if cycles < 100 {
+		cycles = 100
+	}
+	b.ResetTimer()
+	_, err = hirise.Simulate(hirise.SimConfig{
+		Switch:  sw,
+		Traffic: hirise.UniformTraffic{Radix: 64},
+		Load:    0.2,
+		Warmup:  1, Measure: cycles,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,99 @@
+// Command hirise-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	hirise-bench -list
+//	hirise-bench -run table4
+//	hirise-bench -run fig10,fig11a
+//	hirise-bench -run all [-quick] [-seed N] [-warmup N] [-measure N]
+//
+// Each experiment prints as an aligned text table; figure experiments
+// print their series as columns (one row per x-axis point), ready for
+// plotting. Fidelity defaults to the EXPERIMENTS.md settings; -quick
+// trades accuracy for speed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/reprolab/hirise"
+)
+
+func main() {
+	var (
+		run     = flag.String("run", "", "comma-separated experiment IDs, or \"all\"")
+		list    = flag.Bool("list", false, "list available experiments and exit")
+		quick   = flag.Bool("quick", false, "reduced fidelity for a fast smoke run")
+		seed    = flag.Uint64("seed", 0, "override random seed")
+		warmup  = flag.Int64("warmup", 0, "override warmup cycles")
+		measure = flag.Int64("measure", 0, "override measurement cycles")
+		format  = flag.String("format", "text", "output format: text | csv | json")
+		plotIt  = flag.Bool("plot", false, "draw figure experiments as ASCII charts (text format only)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range hirise.Experiments() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *run == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := hirise.DefaultExperimentOpts()
+	if *quick {
+		opts = hirise.QuickExperimentOpts()
+	}
+	if *seed != 0 {
+		opts.Seed = *seed
+	}
+	if *warmup != 0 {
+		opts.Warmup = *warmup
+	}
+	if *measure != 0 {
+		opts.Measure = *measure
+	}
+
+	ids := strings.Split(*run, ",")
+	if *run == "all" {
+		ids = hirise.Experiments()
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		tb, err := hirise.RunExperiment(id, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		switch *format {
+		case "text":
+			tb.Fprint(os.Stdout)
+			if *plotIt {
+				if ok, perr := tb.RenderPlot(os.Stdout, 72, 20); ok && perr != nil {
+					err = perr
+				} else if ok {
+					fmt.Println()
+				}
+			}
+			fmt.Printf("(%s took %.1fs)\n\n", id, time.Since(start).Seconds())
+		case "csv":
+			err = tb.WriteCSV(os.Stdout)
+		case "json":
+			err = tb.WriteJSON(os.Stdout)
+		default:
+			err = fmt.Errorf("unknown format %q", *format)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

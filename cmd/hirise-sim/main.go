@@ -1,0 +1,202 @@
+// Command hirise-sim runs a single network simulation of one switch
+// configuration under one traffic pattern and prints its measurements —
+// the exploratory companion to cmd/hirise-bench's fixed experiments.
+//
+// Examples:
+//
+//	hirise-sim -design hirise -channels 4 -scheme clrg -traffic uniform -load 0.15
+//	hirise-sim -design 2d -traffic hotspot -load 0.002 -perinput
+//	hirise-sim -design hirise -channels 1 -scheme l2l -traffic adversarial -load 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/reprolab/hirise"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		design   = flag.String("design", "hirise", "switch design: 2d | folded | hirise")
+		radix    = flag.Int("radix", 64, "switch radix")
+		layers   = flag.Int("layers", 4, "stacked layers (folded, hirise)")
+		channels = flag.Int("channels", 4, "L2LC multiplicity (hirise)")
+		scheme   = flag.String("scheme", "clrg", "arbitration: l2l | wlrg | clrg (hirise)")
+		alloc    = flag.String("alloc", "input", "channel allocation: input | output | priority")
+		classes  = flag.Int("classes", 3, "CLRG class count")
+		pattern  = flag.String("traffic", "uniform", "uniform | hotspot | adversarial | bursty | permutation | bitrev | interlayer | layerlocal | binadv")
+		target   = flag.Int("target", 63, "hotspot target output")
+		burst    = flag.Float64("burst", 8, "mean burst length for bursty traffic")
+		load     = flag.Float64("load", 0.1, "offered load, packets/cycle/input")
+		warmup   = flag.Int64("warmup", 10000, "warmup cycles")
+		measure  = flag.Int64("measure", 50000, "measurement cycles")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		vcs      = flag.Int("vcs", 4, "virtual channels per input")
+		flits    = flag.Int("flits", 4, "flits per packet")
+		perInput = flag.Bool("perinput", false, "print per-input latency and throughput")
+		sweep    = flag.String("sweep", "", "sweep loads lo:hi:step (packets/cycle/input) instead of a single run")
+	)
+	flag.Parse()
+
+	cfg := hirise.Config{
+		Radix: *radix, Layers: *layers, Channels: *channels, Classes: *classes,
+	}
+	switch strings.ToLower(*scheme) {
+	case "l2l", "lrg":
+		cfg.Scheme = hirise.L2LLRG
+	case "wlrg":
+		cfg.Scheme = hirise.WLRG
+	case "clrg":
+		cfg.Scheme = hirise.CLRG
+	default:
+		fail("unknown scheme %q", *scheme)
+	}
+	switch strings.ToLower(*alloc) {
+	case "input":
+		cfg.Alloc = hirise.InputBinned
+	case "output":
+		cfg.Alloc = hirise.OutputBinned
+	case "priority":
+		cfg.Alloc = hirise.PriorityBased
+	default:
+		fail("unknown allocation %q", *alloc)
+	}
+
+	tech := hirise.Tech32nm()
+	var cost hirise.Cost
+	makeSwitch := func() hirise.SimSwitch {
+		switch strings.ToLower(*design) {
+		case "2d":
+			cfg.Layers = 1
+			cost = hirise.CostOf(cfg, tech)
+			return hirise.New2D(*radix)
+		case "folded":
+			cost = hirise.FoldedCost(*radix, *layers, tech)
+			return hirise.NewFolded(*radix, *layers)
+		case "hirise":
+			s, err := hirise.New(cfg)
+			if err != nil {
+				fail("%v", err)
+			}
+			cost = hirise.CostOf(cfg, tech)
+			return s
+		default:
+			fail("unknown design %q", *design)
+			return nil
+		}
+	}
+	makeTraffic := func() hirise.TrafficPattern {
+		switch strings.ToLower(*pattern) {
+		case "uniform":
+			return hirise.UniformTraffic{Radix: *radix}
+		case "hotspot":
+			return hirise.HotspotTraffic{Target: *target}
+		case "adversarial":
+			return hirise.AdversarialTraffic()
+		case "bursty":
+			return hirise.NewBurstyTraffic(*radix, *burst)
+		case "permutation":
+			return hirise.NewPermutationTraffic(*radix, *seed)
+		case "bitrev":
+			return hirise.BitReverseTraffic(*radix)
+		case "interlayer":
+			return hirise.InterLayerTraffic(cfg)
+		case "layerlocal":
+			return hirise.LayerLocalTraffic(cfg)
+		case "binadv":
+			return hirise.BinAdversarialTraffic(cfg)
+		default:
+			fail("unknown traffic %q", *pattern)
+			return nil
+		}
+	}
+
+	if *sweep != "" {
+		lo, hi, step, err := parseSweep(*sweep)
+		if err != nil {
+			fail("%v", err)
+		}
+		makeSwitch() // set cost for unit conversion
+		fmt.Printf("%-14s %-12s %-12s %-10s %-8s %s\n",
+			"load(pkt/cyc)", "load(pkt/ns)", "tput(pkt/ns)", "lat(ns)", "p99(cyc)", "state")
+		for load := lo; load <= hi+1e-12; load += step {
+			res, err := hirise.Simulate(hirise.SimConfig{
+				Switch: makeSwitch(), Traffic: makeTraffic(), Load: load,
+				PacketFlits: *flits, VCs: *vcs,
+				Warmup: *warmup, Measure: *measure, Seed: *seed,
+			})
+			if err != nil {
+				fail("%v", err)
+			}
+			state := "ok"
+			if res.Saturated() {
+				state = "saturated"
+			}
+			fmt.Printf("%-14.4f %-12.4f %-12.2f %-10.2f %-8.0f %s\n",
+				load, load*cost.FreqGHz, res.AcceptedPackets*cost.FreqGHz,
+				res.AvgLatency*cost.CycleNS(), res.P99Latency, state)
+		}
+		return
+	}
+
+	sw := makeSwitch()
+	traf := makeTraffic()
+
+	res, err := hirise.Simulate(hirise.SimConfig{
+		Switch: sw, Traffic: traf, Load: *load,
+		PacketFlits: *flits, VCs: *vcs,
+		Warmup: *warmup, Measure: *measure, Seed: *seed,
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+
+	fmt.Printf("design      %s (%s)\n", *design, cfg)
+	fmt.Printf("physical    %.3f mm2, %.2f GHz, %.0f pJ/transaction, %d TSVs\n",
+		cost.AreaMM2, cost.FreqGHz, cost.EnergyPJ, cost.TSVs)
+	fmt.Printf("traffic     %s @ %.4f packets/cycle/input (%.4f packets/ns/input)\n",
+		*pattern, *load, *load*cost.FreqGHz)
+	fmt.Printf("accepted    %.3f packets/cycle = %.2f packets/ns = %.2f Tbps\n",
+		res.AcceptedPackets, res.AcceptedPackets*cost.FreqGHz,
+		hirise.Tbps(res.AcceptedFlits, cost, tech))
+	fmt.Printf("latency     avg %.1f cycles (%.2f ns), p50 %.0f, p99 %.0f\n",
+		res.AvgLatency, res.AvgLatency*cost.CycleNS(), res.P50Latency, res.P99Latency)
+	fmt.Printf("packets     injected %d, delivered %d, dropped-at-source %d%s\n",
+		res.Injected, res.Delivered, res.DroppedInjections,
+		map[bool]string{true: "  (saturated)", false: ""}[res.Saturated()])
+	if *perInput {
+		fmt.Println("\ninput  latency(cycles)  packets/cycle")
+		for i := range res.PerInputLatency {
+			fmt.Printf("%5d  %15.1f  %13.5f\n", i, res.PerInputLatency[i], res.PerInputPackets[i])
+		}
+	}
+}
+
+// parseSweep parses "lo:hi:step".
+func parseSweep(s string) (lo, hi, step float64, err error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return 0, 0, 0, fmt.Errorf("sweep %q: want lo:hi:step", s)
+	}
+	vals := make([]float64, 3)
+	for i, p := range parts {
+		v, perr := strconv.ParseFloat(p, 64)
+		if perr != nil {
+			return 0, 0, 0, fmt.Errorf("sweep %q: %v", s, perr)
+		}
+		vals[i] = v
+	}
+	if vals[2] <= 0 || vals[1] < vals[0] {
+		return 0, 0, 0, fmt.Errorf("sweep %q: need step > 0 and hi >= lo", s)
+	}
+	return vals[0], vals[1], vals[2], nil
+}

@@ -1,0 +1,71 @@
+// Quickstart: build the paper's headline Hi-Rise switch (64-radix,
+// 4-layer, 4-channel, CLRG), look up its physical cost, and simulate
+// uniform random traffic against the 2D Swizzle-Switch baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/reprolab/hirise"
+)
+
+func main() {
+	tech := hirise.Tech32nm()
+
+	// The paper's headline configuration.
+	cfg := hirise.DefaultConfig()
+	sw, err := hirise.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cost := hirise.CostOf(cfg, tech)
+	fmt.Printf("Hi-Rise %s\n", cfg)
+	fmt.Printf("  %.3f mm2, %.2f GHz, %.0f pJ/transaction, %d TSVs\n\n",
+		cost.AreaMM2, cost.FreqGHz, cost.EnergyPJ, cost.TSVs)
+
+	// Simulate uniform random traffic at a moderate load.
+	res, err := hirise.Simulate(hirise.SimConfig{
+		Switch:  sw,
+		Traffic: hirise.UniformTraffic{Radix: cfg.Radix},
+		Load:    0.10, // packets per cycle per input
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("uniform random @ 0.10 pkt/cycle/input:\n")
+	fmt.Printf("  accepted %.1f packets/ns, avg latency %.2f ns\n\n",
+		res.AcceptedPackets*cost.FreqGHz, res.AvgLatency*cost.CycleNS())
+
+	// Compare saturation throughput with the 2D baseline.
+	hrFlits, err := hirise.SaturationThroughput(hirise.SimConfig{
+		Switch: mustNew(cfg), Traffic: hirise.UniformTraffic{Radix: 64},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	flatCfg := hirise.Config{Radix: 64, Layers: 1}
+	d2Cost := hirise.CostOf(flatCfg, tech)
+	d2Flits, err := hirise.SaturationThroughput(hirise.SimConfig{
+		Switch: hirise.New2D(64), Traffic: hirise.UniformTraffic{Radix: 64},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hrT := hirise.Tbps(hrFlits, cost, tech)
+	d2T := hirise.Tbps(d2Flits, d2Cost, tech)
+	fmt.Printf("saturation throughput:\n")
+	fmt.Printf("  Hi-Rise %.2f Tbps vs 2D %.2f Tbps  (+%.0f%%)\n", hrT, d2T, (hrT/d2T-1)*100)
+	fmt.Printf("  area    %.3f mm2 vs %.3f mm2       (%.0f%% smaller)\n",
+		cost.AreaMM2, d2Cost.AreaMM2, (1-cost.AreaMM2/d2Cost.AreaMM2)*100)
+	fmt.Printf("  energy  %.0f pJ vs %.0f pJ             (%.0f%% lower)\n",
+		cost.EnergyPJ, d2Cost.EnergyPJ, (1-cost.EnergyPJ/d2Cost.EnergyPJ)*100)
+}
+
+func mustNew(cfg hirise.Config) *hirise.Switch {
+	sw, err := hirise.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return sw
+}

@@ -1,0 +1,88 @@
+// TSV planner: a design-space exploration an SoC architect would run
+// before committing to a 3D stack — sweep layer count, channel
+// multiplicity, and TSV technology for a target radix, and pick the
+// design that meets a frequency floor at minimum area, respecting a TSV
+// budget.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+
+	"github.com/reprolab/hirise"
+)
+
+type candidate struct {
+	cfg  hirise.Config
+	cost hirise.Cost
+}
+
+func main() {
+	var (
+		radix   = flag.Int("radix", 64, "target switch radix")
+		minGHz  = flag.Float64("min-ghz", 2.0, "frequency floor")
+		maxTSV  = flag.Int("max-tsv", 8192, "TSV budget")
+		pitchUM = flag.Float64("pitch", 0.8, "TSV pitch in um")
+	)
+	flag.Parse()
+
+	tech := hirise.Tech32nm()
+	tech.TSVPitchUM = *pitchUM
+
+	var feasible, rejected []candidate
+	for layers := 2; layers <= 7; layers++ {
+		if *radix%layers != 0 {
+			continue
+		}
+		for _, channels := range []int{1, 2, 4} {
+			cfg := hirise.Config{
+				Radix: *radix, Layers: layers, Channels: channels,
+				Alloc: hirise.InputBinned, Scheme: hirise.CLRG, Classes: 3,
+			}
+			if cfg.PortsPerLayer()%channels != 0 {
+				continue
+			}
+			c := hirise.CostOf(cfg, tech)
+			cand := candidate{cfg, c}
+			if c.FreqGHz >= *minGHz && c.TSVs <= *maxTSV {
+				feasible = append(feasible, cand)
+			} else {
+				rejected = append(rejected, cand)
+			}
+		}
+	}
+	sort.Slice(feasible, func(i, j int) bool { return feasible[i].cost.AreaMM2 < feasible[j].cost.AreaMM2 })
+
+	d2 := hirise.CostOf(hirise.Config{Radix: *radix, Layers: 1}, tech)
+	fmt.Printf("Design space for radix %d at %.1f um TSV pitch (floor %.1f GHz, budget %d TSVs)\n",
+		*radix, *pitchUM, *minGHz, *maxTSV)
+	fmt.Printf("2D reference: %.3f mm2, %.2f GHz, %.0f pJ\n\n", d2.AreaMM2, d2.FreqGHz, d2.EnergyPJ)
+
+	fmt.Println("feasible (area-sorted):")
+	fmt.Println("  layers  channels  area(mm2)  freq(GHz)  energy(pJ)  TSVs")
+	for _, c := range feasible {
+		fmt.Printf("  %6d  %8d  %9.3f  %9.2f  %10.0f  %4d\n",
+			c.cfg.Layers, c.cfg.Channels, c.cost.AreaMM2, c.cost.FreqGHz, c.cost.EnergyPJ, c.cost.TSVs)
+	}
+	if len(feasible) == 0 {
+		fmt.Println("  (none — relax the frequency floor or TSV budget)")
+	} else {
+		best := feasible[0]
+		fmt.Printf("\nrecommendation: %d layers x %d channels — %.3f mm2 (%.0f%% of 2D), %.2f GHz\n",
+			best.cfg.Layers, best.cfg.Channels,
+			best.cost.AreaMM2, 100*best.cost.AreaMM2/d2.AreaMM2, best.cost.FreqGHz)
+
+		// Show how the recommendation degrades with TSV technology.
+		fmt.Println("\nTSV pitch sensitivity of the recommendation (paper Fig 12):")
+		for _, p := range []float64{0.8, 1.0, 2.0, 3.0, 4.0, 5.0} {
+			t := hirise.Tech32nm()
+			t.TSVPitchUM = p
+			c := hirise.CostOf(best.cfg, t)
+			fmt.Printf("  %.1f um: %.3f mm2, %.2f GHz\n", p, c.AreaMM2, c.FreqGHz)
+		}
+	}
+	if len(rejected) > 0 {
+		fmt.Printf("\nrejected %d configurations (frequency floor or TSV budget)\n", len(rejected))
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/reprolab/hirise
+
+go 1.22

@@ -1,0 +1,270 @@
+// Package hirise is a from-scratch reproduction of "Hi-Rise: A High-Radix
+// Switch for 3D Integration with Single-cycle Arbitration" (Jeloka, Das,
+// Dreslinski, Mudge, Blaauw — MICRO 2014).
+//
+// It provides cycle-accurate behavioural models of the Hi-Rise 3D
+// hierarchical switch and its baselines (the flat 2D Swizzle-Switch and
+// the 3D folded switch), the paper's arbitration schemes (LRG, baseline
+// layer-to-layer LRG, Weighted LRG, and the contributed Class-based LRG),
+// a calibrated 32 nm physical cost model (area, frequency, energy, TSVs),
+// a flit-level network simulator with the paper's traffic patterns, and a
+// trace-driven 64-core system model — everything needed to regenerate the
+// paper's tables and figures (see cmd/hirise-bench).
+//
+// This root package is the public facade: it re-exports the stable
+// surface of the internal packages so applications import a single path.
+//
+//	cfg := hirise.DefaultConfig()        // 64-radix, 4-layer, 4-channel, CLRG
+//	sw, err := hirise.New(cfg)           // behavioural switch model
+//	cost := hirise.CostOf(cfg, hirise.Tech32nm()) // area/frequency/energy
+//	res, err := hirise.Simulate(hirise.SimConfig{
+//	    Switch:  sw,
+//	    Traffic: hirise.UniformTraffic{Radix: cfg.Radix},
+//	    Load:    0.1,
+//	})
+package hirise
+
+import (
+	"github.com/reprolab/hirise/internal/cache"
+	"github.com/reprolab/hirise/internal/core"
+	"github.com/reprolab/hirise/internal/crossbar"
+	"github.com/reprolab/hirise/internal/experiments"
+	"github.com/reprolab/hirise/internal/manycore"
+	"github.com/reprolab/hirise/internal/noc"
+	"github.com/reprolab/hirise/internal/phys"
+	"github.com/reprolab/hirise/internal/sim"
+	"github.com/reprolab/hirise/internal/topo"
+	"github.com/reprolab/hirise/internal/trace"
+	"github.com/reprolab/hirise/internal/traffic"
+)
+
+// Configuration types.
+type (
+	// Config describes a Hi-Rise switch: radix, layers, channel
+	// multiplicity, allocation policy, and arbitration scheme.
+	Config = topo.Config
+	// AllocPolicy selects the L2LC channel allocation policy.
+	AllocPolicy = topo.AllocPolicy
+	// Scheme selects the arbitration scheme.
+	Scheme = topo.Scheme
+	// Grant is one connection formed by an arbitration cycle.
+	Grant = topo.Grant
+)
+
+// Arbitration schemes (paper §III-B).
+const (
+	// LRG is flat least-recently-granted (2D and folded switches).
+	LRG = topo.LRG
+	// L2LLRG is the baseline hierarchical layer-to-layer LRG.
+	L2LLRG = topo.L2LLRG
+	// WLRG is weighted LRG (fair but hardware-infeasible).
+	WLRG = topo.WLRG
+	// CLRG is the paper's class-based LRG.
+	CLRG = topo.CLRG
+	// ISLIP1 is the single-iteration iSLIP analog used by the
+	// related-work ablation.
+	ISLIP1 = topo.ISLIP1
+)
+
+// Channel allocation policies (paper §III-A).
+const (
+	// InputBinned fixes each input's channel by its local index.
+	InputBinned = topo.InputBinned
+	// OutputBinned fixes the channel by the destination's local index.
+	OutputBinned = topo.OutputBinned
+	// PriorityBased lets every input contend for every channel.
+	PriorityBased = topo.PriorityBased
+)
+
+// DefaultConfig returns the paper's headline configuration: 64-radix,
+// 4-layer, 4-channel, input-binned, CLRG with 3 classes.
+func DefaultConfig() Config { return topo.Default64() }
+
+// Switch models.
+type (
+	// Switch is the Hi-Rise hierarchical switch model.
+	Switch = core.Switch
+	// Crossbar is the flat 2D Swizzle-Switch model (also used, folded,
+	// as the naive 3D baseline).
+	Crossbar = crossbar.Switch
+)
+
+// New returns a Hi-Rise switch for the configuration.
+func New(cfg Config) (*Switch, error) { return core.New(cfg) }
+
+// New2D returns the 2D Swizzle-Switch baseline.
+func New2D(radix int) *Crossbar { return crossbar.New(radix) }
+
+// NewFolded returns the 3D folded baseline (cycle-identical to 2D;
+// physical cost differs).
+func NewFolded(radix, layers int) *Crossbar { return crossbar.NewFolded(radix, layers) }
+
+// Physical cost modeling.
+type (
+	// Tech holds process and TSV technology parameters.
+	Tech = phys.Tech
+	// Cost is a switch's area, frequency, energy, and TSV count.
+	Cost = phys.Cost
+)
+
+// Tech32nm returns the paper's 32 nm SOI evaluation technology.
+func Tech32nm() Tech { return phys.Default32nm() }
+
+// CostOf returns the physical cost of a configuration (Layers <= 1 is the
+// flat 2D switch).
+func CostOf(cfg Config, t Tech) Cost { return phys.Of(cfg, t) }
+
+// FoldedCost returns the folded baseline's physical cost.
+func FoldedCost(radix, layers int, t Tech) Cost { return phys.Folded(radix, layers, t) }
+
+// Tbps converts an accepted flit rate (flits/cycle across the switch)
+// into terabits per second at the given cost's clock.
+func Tbps(flitsPerCycle float64, c Cost, t Tech) float64 { return phys.Tbps(flitsPerCycle, c, t) }
+
+// Simulation.
+type (
+	// SimConfig parameterizes a network simulation run.
+	SimConfig = sim.Config
+	// SimResult is a run's measurements.
+	SimResult = sim.Result
+	// SimSwitch is the interface the simulator drives (implemented by
+	// Switch and Crossbar).
+	SimSwitch = sim.Switch
+	// TrafficPattern produces offered traffic for the simulator.
+	TrafficPattern = sim.Traffic
+)
+
+// Simulate runs one network simulation.
+func Simulate(cfg SimConfig) (SimResult, error) { return sim.Run(cfg) }
+
+// SaturationThroughput measures the fully-backlogged accepted flit rate.
+func SaturationThroughput(cfg SimConfig) (float64, error) { return sim.SaturationThroughput(cfg) }
+
+// Traffic patterns (paper §V, §VI).
+type (
+	// UniformTraffic is uniform random traffic.
+	UniformTraffic = traffic.Uniform
+	// HotspotTraffic directs every input at one output.
+	HotspotTraffic = traffic.Hotspot
+	// FixedTraffic injects fixed input->output flows.
+	FixedTraffic = traffic.Fixed
+	// BurstyTraffic modulates uniform traffic with on/off bursts.
+	BurstyTraffic = traffic.Bursty
+	// PermutationTraffic sends each input to a fixed distinct output.
+	PermutationTraffic = traffic.Permutation
+)
+
+// AdversarialTraffic returns the paper's §III-B worked adversarial
+// pattern.
+func AdversarialTraffic() FixedTraffic { return traffic.Adversarial() }
+
+// NewBurstyTraffic returns bursty traffic with the given mean burst
+// length.
+func NewBurstyTraffic(radix int, meanBurst float64) *BurstyTraffic {
+	return traffic.NewBursty(radix, meanBurst)
+}
+
+// NewPermutationTraffic returns a random fixed permutation pattern.
+func NewPermutationTraffic(radix int, seed uint64) PermutationTraffic {
+	return traffic.NewRandomPermutation(radix, seed)
+}
+
+// BitReverseTraffic returns the bit-reversal permutation pattern (radix
+// must be a power of two).
+func BitReverseTraffic(radix int) TrafficPattern { return traffic.BitReverse{Radix: radix} }
+
+// InterLayerTraffic returns the paper's §VI-B pathological corner: purely
+// inter-layer traffic that serializes on the L2LCs.
+func InterLayerTraffic(cfg Config) TrafficPattern { return traffic.InterLayerWorstCase{Cfg: cfg} }
+
+// LayerLocalTraffic keeps all traffic within each source's layer.
+func LayerLocalTraffic(cfg Config) TrafficPattern { return traffic.LayerLocal{Cfg: cfg} }
+
+// BinAdversarialTraffic activates only inputs sharing L2LC channel 0
+// under input binning (the §III-A motivation for priority allocation).
+func BinAdversarialTraffic(cfg Config) TrafficPattern { return traffic.BinAdversarial{Cfg: cfg} }
+
+// Many-core system model (paper §VI-D).
+type (
+	// SystemConfig holds the Table III system parameters.
+	SystemConfig = manycore.Config
+	// System is a 64-core system instance.
+	System = manycore.System
+	// SystemResult reports IPC and network statistics.
+	SystemResult = manycore.Result
+	// Benchmark characterizes one application's memory behaviour.
+	Benchmark = trace.Benchmark
+	// Mix is one of Table VI's multi-programmed workloads.
+	Mix = trace.Mix
+	// CacheConfig describes a cache geometry for the address-driven
+	// system mode (SystemConfig.AddressMode).
+	CacheConfig = cache.Config
+)
+
+// L1DCache and L2BankCache return the paper's Table III cache
+// geometries.
+func L1DCache() CacheConfig { return cache.L1D() }
+
+// L2BankCache returns one shared-L2 bank's geometry.
+func L2BankCache() CacheConfig { return cache.L2Bank() }
+
+// NewSystem builds a many-core system over the given switch with the
+// given per-core benchmark assignment.
+func NewSystem(cfg SystemConfig, sw SimSwitch, benches []Benchmark) (*System, error) {
+	return manycore.New(cfg, sw, benches)
+}
+
+// Benchmarks returns the application catalog behind Table VI.
+func Benchmarks() []Benchmark { return trace.Catalog() }
+
+// Mixes returns the paper's eight Table VI workload mixes.
+func Mixes() []Mix { return trace.TableVIMixes() }
+
+// NoC composition (paper §VI-E, Fig 13).
+type (
+	// MeshConfig describes a 2D mesh of switches (Hi-Rise or crossbar
+	// nodes) with concentration and credit-based flow control.
+	MeshConfig = noc.Config
+	// Mesh is one mesh network instance.
+	Mesh = noc.Network
+	// MeshResult reports a mesh simulation.
+	MeshResult = noc.Result
+	// Topology wires a network of switches; MeshTopology and
+	// FlattenedButterflyTopology are the built-in instances.
+	Topology = noc.Topology
+	// MeshTopology is the Fig 13 2D mesh.
+	MeshTopology = noc.Mesh
+	// FlattenedButterflyTopology is the §VI-E comparison topology.
+	FlattenedButterflyTopology = noc.FlattenedButterfly
+)
+
+// NewMesh builds a mesh network-on-chip from the configuration.
+func NewMesh(cfg MeshConfig) (*Mesh, error) { return noc.New(cfg) }
+
+// Experiments.
+type (
+	// ExperimentTable is a rendered experiment result.
+	ExperimentTable = experiments.Table
+	// ExperimentOpts tunes experiment fidelity.
+	ExperimentOpts = experiments.Opts
+)
+
+// Experiments lists the available experiment IDs (one per paper table and
+// figure, plus ablations).
+func Experiments() []string { return experiments.IDs() }
+
+// RunExperiment regenerates one paper artifact.
+func RunExperiment(id string, opts ExperimentOpts) (*ExperimentTable, error) {
+	r, err := experiments.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	return r(opts), nil
+}
+
+// DefaultExperimentOpts returns publication fidelity; QuickExperimentOpts
+// a fast smoke-run fidelity.
+func DefaultExperimentOpts() ExperimentOpts { return experiments.DefaultOpts() }
+
+// QuickExperimentOpts returns reduced-fidelity options for smoke runs.
+func QuickExperimentOpts() ExperimentOpts { return experiments.QuickOpts() }

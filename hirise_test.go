@@ -1,0 +1,148 @@
+package hirise_test
+
+import (
+	"math"
+	"testing"
+
+	"github.com/reprolab/hirise"
+)
+
+// TestFacadeEndToEnd exercises the public API the way the README's
+// quickstart does: build a switch, cost it, simulate it.
+func TestFacadeEndToEnd(t *testing.T) {
+	cfg := hirise.DefaultConfig()
+	if cfg.Radix != 64 || cfg.Scheme != hirise.CLRG {
+		t.Fatalf("unexpected default config %+v", cfg)
+	}
+	sw, err := hirise.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := hirise.CostOf(cfg, hirise.Tech32nm())
+	if math.Abs(cost.FreqGHz-2.2) > 0.05 {
+		t.Errorf("CLRG frequency %.2f, want ~2.2", cost.FreqGHz)
+	}
+	res, err := hirise.Simulate(hirise.SimConfig{
+		Switch:  sw,
+		Traffic: hirise.UniformTraffic{Radix: cfg.Radix},
+		Load:    0.05,
+		Warmup:  1000, Measure: 5000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered == 0 {
+		t.Fatal("nothing delivered through facade-built switch")
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	d2 := hirise.New2D(64)
+	fold := hirise.NewFolded(64, 4)
+	if d2.Radix() != 64 || fold.Radix() != 64 {
+		t.Fatal("baseline radix wrong")
+	}
+	fc := hirise.FoldedCost(64, 4, hirise.Tech32nm())
+	if fc.TSVs != 8192 {
+		t.Errorf("folded TSVs %d", fc.TSVs)
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	ids := hirise.Experiments()
+	if len(ids) < 15 {
+		t.Fatalf("only %d experiments exposed", len(ids))
+	}
+	tb, err := hirise.RunExperiment("fig9a", hirise.QuickExperimentOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.ID != "fig9a" || len(tb.Rows) == 0 {
+		t.Fatalf("bad table %+v", tb)
+	}
+	if _, err := hirise.RunExperiment("nope", hirise.QuickExperimentOpts()); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestFacadeManycore(t *testing.T) {
+	mixes := hirise.Mixes()
+	if len(mixes) != 8 {
+		t.Fatalf("%d mixes", len(mixes))
+	}
+	benches, err := mixes[0].Assign(64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := hirise.NewSystem(hirise.SystemConfig{
+		Warmup: 1000, Measure: 4000, Seed: 1,
+	}, hirise.New2D(64), benches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := sys.Run(); r.SystemIPC <= 0 {
+		t.Fatalf("system made no progress: %+v", r)
+	}
+	if len(hirise.Benchmarks()) < 25 {
+		t.Error("benchmark catalog too small")
+	}
+}
+
+func TestFacadeMesh(t *testing.T) {
+	m, err := hirise.NewMesh(hirise.MeshConfig{
+		MeshW: 2, MeshH: 2, Concentration: 4, LinkPorts: 1,
+		NewSwitch: func() hirise.SimSwitch { return hirise.New2D(8) },
+		Warmup:    500, Measure: 2000, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := m.Run(0.02); r.Delivered == 0 {
+		t.Fatal("mesh made no progress")
+	}
+}
+
+func TestFacadeAddressMode(t *testing.T) {
+	benches, err := hirise.Mixes()[0].Assign(64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := hirise.NewSystem(hirise.SystemConfig{
+		AddressMode: true,
+		L1:          hirise.L1DCache(),
+		L2Bank:      hirise.L2BankCache(),
+		Warmup:      1000, Measure: 4000, Seed: 1,
+	}, hirise.New2D(64), benches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sys.Run()
+	if r.AvgL1MPKI <= 0 {
+		t.Fatalf("address mode reported no MPKI: %+v", r)
+	}
+}
+
+func TestFacadeFaultInjection(t *testing.T) {
+	cfg := hirise.DefaultConfig()
+	sw, err := hirise.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cid := cfg.L2LCID(0, 1, 0)
+	if err := sw.FailChannel(cid); err != nil {
+		t.Fatal(err)
+	}
+	if !sw.ChannelFailed(cid) {
+		t.Fatal("channel not failed through facade")
+	}
+}
+
+func TestFacadeTraffic(t *testing.T) {
+	if len(hirise.AdversarialTraffic().Flows) != 5 {
+		t.Error("adversarial pattern should have 5 flows")
+	}
+	b := hirise.NewBurstyTraffic(64, 8)
+	if b.Radix != 64 {
+		t.Error("bursty radix")
+	}
+}

@@ -1,0 +1,141 @@
+// Package arb implements the arbitration primitives of the Swizzle-Switch
+// family and of the Hi-Rise hierarchical switch (paper §III-B):
+//
+//   - LRG: least-recently-granted priority, the scheme embedded in the 2D
+//     Swizzle-Switch cross-points;
+//   - CLRG: the paper's class-based LRG, which bins contenders into
+//     priority classes by a per-primary-input usage counter and
+//     tie-breaks within a class using LRG;
+//   - WLRG: weighted LRG, which freezes priorities in proportion to the
+//     number of requestors behind a channel (hardware-infeasible, modeled
+//     for comparison);
+//   - RoundRobin and Fixed, used by ablations.
+//
+// Grant and Update are deliberately separate operations: in Hi-Rise the
+// local switch's priority vector is updated only when its winner also wins
+// the final output at the inter-layer switch (the update is
+// back-propagated), which is the property that prevents starvation.
+package arb
+
+// Arbiter selects one winner among n requestors for a single resource.
+// Grant must not mutate arbiter state; Update commits the priority change
+// for a winner.
+type Arbiter interface {
+	// N returns the number of requestor slots.
+	N() int
+	// Grant returns the winning requestor index, or -1 if req has no true
+	// entry. len(req) must equal N().
+	Grant(req []bool) int
+	// Update records that winner was granted, adjusting priorities.
+	Update(winner int)
+}
+
+// LRG is least-recently-granted arbitration: the winner of each grant
+// becomes the lowest-priority requestor. It is the behavioural model of
+// the Swizzle-Switch priority-vector hardware (one bit per requestor pair
+// stored in the cross-points).
+type LRG struct {
+	order []int // order[0] is the highest-priority requestor
+	pos   []int // pos[r] is r's index within order
+}
+
+// NewLRG returns an LRG arbiter over n requestors with initial priority
+// order 0 > 1 > ... > n-1.
+func NewLRG(n int) *LRG {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	return NewLRGFromOrder(order)
+}
+
+// NewLRGFromOrder returns an LRG arbiter with the given initial priority
+// order, order[0] highest. The order must be a permutation of [0,len).
+func NewLRGFromOrder(order []int) *LRG {
+	n := len(order)
+	l := &LRG{order: append([]int(nil), order...), pos: make([]int, n)}
+	seen := make([]bool, n)
+	for i, r := range l.order {
+		if r < 0 || r >= n || seen[r] {
+			panic("arb: initial order is not a permutation")
+		}
+		seen[r] = true
+		l.pos[r] = i
+	}
+	return l
+}
+
+// N returns the number of requestor slots.
+func (l *LRG) N() int { return len(l.order) }
+
+// Grant returns the highest-priority requestor, or -1.
+func (l *LRG) Grant(req []bool) int {
+	for _, r := range l.order {
+		if req[r] {
+			return r
+		}
+	}
+	return -1
+}
+
+// Update moves winner to the lowest priority position.
+func (l *LRG) Update(winner int) {
+	i := l.pos[winner]
+	copy(l.order[i:], l.order[i+1:])
+	l.order[len(l.order)-1] = winner
+	for j := i; j < len(l.order); j++ {
+		l.pos[l.order[j]] = j
+	}
+}
+
+// Order returns a copy of the current priority order, highest first.
+func (l *LRG) Order() []int { return append([]int(nil), l.order...) }
+
+// RoundRobin grants the first requestor at or after the slot following the
+// previous winner.
+type RoundRobin struct {
+	n, next int
+}
+
+// NewRoundRobin returns a round-robin arbiter over n requestors.
+func NewRoundRobin(n int) *RoundRobin { return &RoundRobin{n: n} }
+
+// N returns the number of requestor slots.
+func (r *RoundRobin) N() int { return r.n }
+
+// Grant returns the next requestor in cyclic order, or -1.
+func (r *RoundRobin) Grant(req []bool) int {
+	for i := 0; i < r.n; i++ {
+		c := (r.next + i) % r.n
+		if req[c] {
+			return c
+		}
+	}
+	return -1
+}
+
+// Update advances the scan position past the winner.
+func (r *RoundRobin) Update(winner int) { r.next = (winner + 1) % r.n }
+
+// Fixed grants the lowest-index requestor and never changes priority. It
+// exists as an intentionally unfair baseline for fairness experiments.
+type Fixed struct{ n int }
+
+// NewFixed returns a fixed-priority arbiter over n requestors.
+func NewFixed(n int) *Fixed { return &Fixed{n: n} }
+
+// N returns the number of requestor slots.
+func (f *Fixed) N() int { return f.n }
+
+// Grant returns the lowest-index requestor, or -1.
+func (f *Fixed) Grant(req []bool) int {
+	for i := 0; i < f.n; i++ {
+		if req[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// Update is a no-op for fixed priority.
+func (f *Fixed) Update(int) {}

@@ -1,0 +1,135 @@
+package arb
+
+// CLRG implements the paper's Class-based Least Recently Granted
+// arbitration for one inter-layer sub-block (one final output).
+//
+// The sub-block chooses among "lines" — the c*(L-1) incoming L2LCs plus
+// the local intermediate output — but fairness is tracked per *primary
+// input*: a small thermometer counter per input records how often that
+// input has won this output. The counter value is the input's priority
+// class (class 0, a count of zero, is the highest). The line presenting
+// the lowest-class input wins; ties within a class break by LRG over the
+// lines. Whenever a winner's counter saturates, every counter in the
+// sub-block halves, preserving relative class order (paper §III-B4,
+// §IV-B1).
+type CLRG struct {
+	lrg      *LRG
+	counters []uint8 // one per primary input
+	maxClass uint8   // counters saturate at this value (classes-1)
+}
+
+// NewCLRG returns a CLRG arbiter over the given number of lines, tracking
+// the given number of primary inputs, with the given class count (the
+// paper uses 3 for radix 64). Initial line LRG order is 0 > 1 > ...
+func NewCLRG(lines, inputs, classes int) *CLRG {
+	return newCLRG(NewLRG(lines), inputs, classes)
+}
+
+// NewCLRGFromOrder is NewCLRG with an explicit initial line priority
+// order, order[0] highest.
+func NewCLRGFromOrder(order []int, inputs, classes int) *CLRG {
+	return newCLRG(NewLRGFromOrder(order), inputs, classes)
+}
+
+func newCLRG(lrg *LRG, inputs, classes int) *CLRG {
+	if classes < 2 {
+		panic("arb: CLRG needs at least 2 classes")
+	}
+	if classes > 256 {
+		panic("arb: CLRG class count exceeds counter width")
+	}
+	return &CLRG{lrg: lrg, counters: make([]uint8, inputs), maxClass: uint8(classes - 1)}
+}
+
+// Lines returns the number of contending lines.
+func (c *CLRG) Lines() int { return c.lrg.N() }
+
+// Class returns the current priority class of a primary input (0 is the
+// highest priority).
+func (c *CLRG) Class(input int) int { return int(c.counters[input]) }
+
+// Grant returns the winning line among those with req set, where
+// inputOf[line] is the primary input the line is presenting this cycle.
+// It returns -1 if nothing requests. State is not modified.
+func (c *CLRG) Grant(req []bool, inputOf []int) int {
+	best := int(c.maxClass) + 1
+	for line, r := range req {
+		if r {
+			if cl := int(c.counters[inputOf[line]]); cl < best {
+				best = cl
+			}
+		}
+	}
+	if best > int(c.maxClass) {
+		return -1
+	}
+	// Inhibit every line outside the best class, then LRG tie-break.
+	masked := make([]bool, len(req))
+	for line, r := range req {
+		masked[line] = r && int(c.counters[inputOf[line]]) == best
+	}
+	return c.lrg.Grant(masked)
+}
+
+// Update commits a win by the given line for the given primary input: the
+// line's LRG priority drops (LRG is updated even on cycles decided purely
+// by class), the input's counter increments, and a saturating counter
+// triggers the divide-by-two of every counter in the sub-block.
+func (c *CLRG) Update(line, input int) {
+	c.lrg.Update(line)
+	if c.counters[input] >= c.maxClass {
+		for i := range c.counters {
+			c.counters[i] /= 2
+		}
+	}
+	c.counters[input]++
+}
+
+// LineOrder returns the current LRG order over lines, highest first.
+func (c *CLRG) LineOrder() []int { return c.lrg.Order() }
+
+// WLRG implements Weighted LRG for one inter-layer sub-block: the LRG
+// priority of a winning line is frozen until the line has won as many
+// consecutive arbitrations as it has requestors behind it, so channels
+// carrying more contenders receive proportionally more bandwidth (paper
+// §III-B3). The weight is recomputed by the local switch every cycle and
+// travels with the request — the very traffic that makes the scheme
+// infeasible in hardware, which is why Table V omits it.
+type WLRG struct {
+	lrg  *LRG
+	wins []int // consecutive wins since the line last dropped priority
+}
+
+// NewWLRG returns a WLRG arbiter over the given number of lines with
+// initial order 0 > 1 > ...
+func NewWLRG(lines int) *WLRG {
+	return &WLRG{lrg: NewLRG(lines), wins: make([]int, lines)}
+}
+
+// NewWLRGFromOrder is NewWLRG with an explicit initial priority order.
+func NewWLRGFromOrder(order []int) *WLRG {
+	return &WLRG{lrg: NewLRGFromOrder(order), wins: make([]int, len(order))}
+}
+
+// Lines returns the number of contending lines.
+func (w *WLRG) Lines() int { return w.lrg.N() }
+
+// Grant returns the highest-priority requesting line, or -1.
+func (w *WLRG) Grant(req []bool) int { return w.lrg.Grant(req) }
+
+// Update commits a win by line whose current weight (requestor count at
+// its local switch, >= 1) is weight. The LRG priority drops only after
+// weight consecutive wins.
+func (w *WLRG) Update(line, weight int) {
+	if weight < 1 {
+		weight = 1
+	}
+	w.wins[line]++
+	if w.wins[line] >= weight {
+		w.wins[line] = 0
+		w.lrg.Update(line)
+	}
+}
+
+// LineOrder returns the current LRG order over lines, highest first.
+func (w *WLRG) LineOrder() []int { return w.lrg.Order() }

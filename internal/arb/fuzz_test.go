@@ -1,0 +1,75 @@
+package arb
+
+import (
+	"testing"
+
+	"github.com/reprolab/hirise/internal/prng"
+)
+
+// FuzzListMatrixEquivalence fuzzes the two LRG implementations with
+// arbitrary request streams; any divergence is a bug in one of them.
+func FuzzListMatrixEquivalence(f *testing.F) {
+	f.Add(uint64(1), uint8(4), []byte{0xAA, 0x0F, 0x33})
+	f.Add(uint64(7), uint8(13), []byte{0x01, 0xFF, 0x80, 0x42})
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw uint8, stream []byte) {
+		n := 2 + int(nRaw%15)
+		list, matrix := NewLRG(n), NewMatrix(n)
+		req := make([]bool, n)
+		src := prng.New(seed)
+		for _, b := range stream {
+			for i := range req {
+				req[i] = (b>>(uint(i)%8))&1 == 1 && src.Bernoulli(0.9)
+			}
+			a, bb := list.Grant(req), matrix.Grant(req)
+			if a != bb {
+				t.Fatalf("list %d vs matrix %d on %v", a, bb, req)
+			}
+			if a >= 0 {
+				list.Update(a)
+				matrix.Update(a)
+			}
+			if !matrix.WellFormed() {
+				t.Fatal("matrix lost total order")
+			}
+		}
+	})
+}
+
+// FuzzCLRGNeverGrantsIdle fuzzes CLRG with arbitrary line/input streams:
+// the winner must always be a requesting line, counters stay bounded,
+// and no-requestor rounds return -1.
+func FuzzCLRGNeverGrantsIdle(f *testing.F) {
+	f.Add(uint64(3), uint8(5), uint8(20), []byte{1, 2, 3, 4})
+	f.Fuzz(func(t *testing.T, seed uint64, linesRaw, inputsRaw uint8, stream []byte) {
+		lines := 2 + int(linesRaw%12)
+		inputs := lines + int(inputsRaw%50)
+		c := NewCLRG(lines, inputs, 3)
+		req := make([]bool, lines)
+		inputOf := make([]int, lines)
+		src := prng.New(seed)
+		for _, b := range stream {
+			any := false
+			for i := range req {
+				req[i] = (int(b)+i)%3 == 0 && src.Bernoulli(0.8)
+				any = any || req[i]
+				inputOf[i] = src.Intn(inputs)
+			}
+			w := c.Grant(req, inputOf)
+			if w == -1 {
+				if any {
+					t.Fatalf("no grant despite requests %v", req)
+				}
+				continue
+			}
+			if !req[w] {
+				t.Fatalf("granted idle line %d", w)
+			}
+			c.Update(w, inputOf[w])
+			for in := 0; in < inputs; in++ {
+				if cl := c.Class(in); cl < 0 || cl > 2 {
+					t.Fatalf("class %d out of range", cl)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,101 @@
+package arb
+
+// Matrix is the literal hardware formulation of LRG: an antisymmetric
+// matrix of priority bits, one per requestor pair, exactly as stored in
+// the Swizzle-Switch cross-points (paper §II-A). beats[i][j] means i has
+// priority over j for this output.
+//
+// Matrix exists as a second, independent implementation of the same
+// policy; property tests check it agrees with the list-based LRG on every
+// request pattern, which is how we gain confidence that LRG models the
+// silicon behaviour.
+type Matrix struct {
+	n     int
+	beats [][]bool
+}
+
+// NewMatrix returns a matrix LRG arbiter with initial priority order
+// 0 > 1 > ... > n-1.
+func NewMatrix(n int) *Matrix {
+	m := &Matrix{n: n, beats: make([][]bool, n)}
+	for i := range m.beats {
+		m.beats[i] = make([]bool, n)
+		for j := i + 1; j < n; j++ {
+			m.beats[i][j] = true
+		}
+	}
+	return m
+}
+
+// NewMatrixFromOrder returns a matrix arbiter encoding the given priority
+// order, order[0] highest.
+func NewMatrixFromOrder(order []int) *Matrix {
+	m := NewMatrix(len(order))
+	for i := range order {
+		for j := i + 1; j < len(order); j++ {
+			m.beats[order[i]][order[j]] = true
+			m.beats[order[j]][order[i]] = false
+		}
+	}
+	return m
+}
+
+// N returns the number of requestor slots.
+func (m *Matrix) N() int { return m.n }
+
+// Grant returns the requestor that no other requestor beats: in hardware,
+// the one whose priority line is not pulled down by anyone.
+func (m *Matrix) Grant(req []bool) int {
+	for i := 0; i < m.n; i++ {
+		if !req[i] {
+			continue
+		}
+		inhibited := false
+		for j := 0; j < m.n && !inhibited; j++ {
+			if j != i && req[j] && m.beats[j][i] {
+				inhibited = true
+			}
+		}
+		if !inhibited {
+			return i
+		}
+	}
+	return -1
+}
+
+// Update clears the winner's row and sets its column: the winner now loses
+// to everyone (least recently granted).
+func (m *Matrix) Update(winner int) {
+	for j := 0; j < m.n; j++ {
+		if j == winner {
+			continue
+		}
+		m.beats[winner][j] = false
+		m.beats[j][winner] = true
+	}
+}
+
+// WellFormed reports whether the matrix encodes a strict total order:
+// antisymmetric and transitive. Used by property tests.
+func (m *Matrix) WellFormed() bool {
+	for i := 0; i < m.n; i++ {
+		if m.beats[i][i] {
+			return false
+		}
+		for j := 0; j < m.n; j++ {
+			if i != j && m.beats[i][j] == m.beats[j][i] {
+				return false
+			}
+		}
+	}
+	for i := 0; i < m.n; i++ {
+		for j := 0; j < m.n; j++ {
+			for k := 0; k < m.n; k++ {
+				if m.beats[i][j] && m.beats[j][k] && i != k && !m.beats[i][k] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

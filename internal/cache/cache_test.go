@@ -1,0 +1,308 @@
+package cache
+
+import (
+	"math"
+	"testing"
+
+	"github.com/reprolab/hirise/internal/prng"
+)
+
+func mustNew(t *testing.T, cfg Config) *Cache {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func tiny() Config { return Config{SizeBytes: 512, Ways: 2, BlockBytes: 64} } // 4 sets
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{SizeBytes: 0, Ways: 2, BlockBytes: 64},
+		{SizeBytes: 512, Ways: 0, BlockBytes: 64},
+		{SizeBytes: 512, Ways: 2, BlockBytes: 48}, // not power of two
+		{SizeBytes: 500, Ways: 2, BlockBytes: 64}, // not divisible
+		{SizeBytes: 384, Ways: 2, BlockBytes: 64}, // 3 sets
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+	if _, err := New(L1D()); err != nil {
+		t.Errorf("Table III L1 rejected: %v", err)
+	}
+	if _, err := New(L2Bank()); err != nil {
+		t.Errorf("Table III L2 bank rejected: %v", err)
+	}
+}
+
+func TestTableIIIGeometries(t *testing.T) {
+	l1 := mustNew(t, L1D())
+	if l1.Sets() != 128 { // 32KB / (4 * 64B)
+		t.Errorf("L1 sets %d, want 128", l1.Sets())
+	}
+	l2 := mustNew(t, L2Bank())
+	if l2.Sets() != 256 { // 256KB / (16 * 64B)
+		t.Errorf("L2 sets %d, want 256", l2.Sets())
+	}
+}
+
+func TestHitAfterFill(t *testing.T) {
+	c := mustNew(t, tiny())
+	if r := c.Access(0x1000, false); r.Hit {
+		t.Fatal("cold access hit")
+	}
+	if r := c.Access(0x1000, false); !r.Hit {
+		t.Fatal("second access missed")
+	}
+	if r := c.Access(0x1004, false); !r.Hit {
+		t.Fatal("same-block access missed")
+	}
+	st := c.Stats()
+	if st.Accesses != 3 || st.Misses != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	c := mustNew(t, tiny()) // 2 ways, 4 sets: set stride = 256 bytes
+	// Three blocks mapping to set 0: block addresses 0, 256, 512.
+	c.Access(0, false)
+	c.Access(256, false)
+	c.Access(0, false)        // 0 becomes MRU; LRU is 256
+	r := c.Access(512, false) // evicts 256
+	if r.Hit || r.Evicted != 256 {
+		t.Fatalf("expected eviction of 256, got %+v", r)
+	}
+	if !c.Contains(0) || c.Contains(256) || !c.Contains(512) {
+		t.Fatal("wrong resident set after eviction")
+	}
+}
+
+func TestDirtyWriteback(t *testing.T) {
+	c := mustNew(t, tiny())
+	c.Access(0, true) // dirty
+	c.Access(256, false)
+	r := c.Access(512, false) // evicts 0 (LRU), which is dirty
+	if !r.Writeback || r.Evicted != 0 {
+		t.Fatalf("expected dirty writeback of block 0, got %+v", r)
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Fatalf("writeback count %d", c.Stats().Writebacks)
+	}
+	// Clean eviction produces no writeback.
+	c2 := mustNew(t, tiny())
+	c2.Access(0, false)
+	c2.Access(256, false)
+	if r := c2.Access(512, false); r.Writeback {
+		t.Fatal("clean eviction flagged writeback")
+	}
+}
+
+func TestWriteHitMarksDirty(t *testing.T) {
+	c := mustNew(t, tiny())
+	c.Access(0, false)
+	c.Access(0, true) // write hit dirties the line
+	c.Access(256, false)
+	if r := c.Access(512, false); !r.Writeback {
+		t.Fatal("write-hit line evicted without writeback")
+	}
+}
+
+func TestConflictThrashing(t *testing.T) {
+	// ways+1 blocks cycling through one set under LRU miss every time.
+	c := mustNew(t, tiny())
+	blocks := []uint64{0, 256, 512}
+	for i := 0; i < 30; i++ {
+		if r := c.Access(blocks[i%3], false); i >= 3 && r.Hit {
+			t.Fatalf("access %d hit; LRU must thrash on ways+1 cycle", i)
+		}
+	}
+}
+
+func TestContainsDoesNotTouchLRU(t *testing.T) {
+	c := mustNew(t, tiny())
+	c.Access(0, false)
+	c.Access(256, false) // LRU order: 256 MRU, 0 LRU
+	if !c.Contains(0) {
+		t.Fatal("contains failed")
+	}
+	// If Contains had touched block 0, 256 would now be the victim.
+	if r := c.Access(512, false); r.Evicted != 0 {
+		t.Fatalf("evicted %d, want 0: Contains must not update LRU", r.Evicted)
+	}
+}
+
+func TestMSHRMergeAndFill(t *testing.T) {
+	m := NewMSHRFile(2)
+	if primary, ok := m.Allocate(0x40); !primary || !ok {
+		t.Fatal("first miss should allocate")
+	}
+	if primary, ok := m.Allocate(0x40); primary || !ok {
+		t.Fatal("secondary miss should merge")
+	}
+	if m.Outstanding() != 1 || m.Merges() != 1 {
+		t.Fatalf("outstanding %d merges %d", m.Outstanding(), m.Merges())
+	}
+	m.Allocate(0x80)
+	if !m.Full() {
+		t.Fatal("file should be full")
+	}
+	if _, ok := m.Allocate(0xC0); ok {
+		t.Fatal("allocation beyond capacity accepted")
+	}
+	if n := m.Fill(0x40); n != 2 {
+		t.Fatalf("fill returned %d waiters, want 2", n)
+	}
+	if m.Full() {
+		t.Fatal("still full after fill")
+	}
+	if n := m.Fill(0x999); n != 0 {
+		t.Fatalf("fill of unknown block returned %d", n)
+	}
+	if m.Peak() != 2 {
+		t.Fatalf("peak %d", m.Peak())
+	}
+}
+
+func TestMSHRPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMSHRFile(0)
+}
+
+// TestProfileCalibration is the substrate-validation property: for a
+// range of target miss rates, ForMissRate builds an address stream whose
+// measured miss rate on the real Table III L1 lands near the target.
+func TestProfileCalibration(t *testing.T) {
+	for _, target := range []float64{0.02, 0.1, 0.3, 0.57} {
+		p := ForMissRate(target, L1D())
+		got, err := MeasureMissRate(p, L1D(), 400000, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-target) > 0.25*target+0.01 {
+			t.Errorf("target %.2f: measured %.3f", target, got)
+		}
+	}
+}
+
+func TestProfileEdges(t *testing.T) {
+	stream := ForMissRate(1.0, L1D())
+	got, err := MeasureMissRate(stream, L1D(), 100000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A pure sequential walk misses once per block: 64B blocks, 4B
+	// strides -> 1/16 miss rate is the floor for streaming without
+	// re-reference... the generator walks 4B words, so expect ~1/16.
+	if got < 0.05 || got > 0.08 {
+		t.Errorf("stream profile miss rate %.3f, want ~1/16", got)
+	}
+	tiny := ForMissRate(0, L1D())
+	got, err = MeasureMissRate(tiny, L1D(), 100000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got > 0.005 {
+		t.Errorf("resident profile miss rate %.4f, want ~0", got)
+	}
+}
+
+// TestForMissRatesRealizesL2Ratio checks the two-region profile: driven
+// through a real L1+L2 pair, both the L1 miss rate and the fraction of
+// L1 misses continuing to memory should land near their targets.
+func TestForMissRatesRealizesL2Ratio(t *testing.T) {
+	const l1Target, l2Ratio = 0.15, 0.5
+	p, err := CalibrateProfile(l1Target, l2Ratio, L1D(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1 := mustNew(t, L1D())
+	// An L2 big enough to hold the near working set but not the far
+	// region, as the banked L2 does in aggregate.
+	l2 := mustNew(t, Config{SizeBytes: 1 << 20, Ways: 16, BlockBytes: 64})
+	rng := prng.New(21)
+	const refs = 400000
+	for i := 0; i < refs; i++ { // warm
+		addr := p.Next(rng)
+		if !l1.Access(addr, false).Hit {
+			l2.Access(addr, false)
+		}
+	}
+	var l1Miss, l2Miss int64
+	for i := 0; i < refs; i++ {
+		addr := p.Next(rng)
+		if !l1.Access(addr, false).Hit {
+			l1Miss++
+			if !l2.Access(addr, false).Hit {
+				l2Miss++
+			}
+		}
+	}
+	gotL1 := float64(l1Miss) / refs
+	gotL2 := float64(l2Miss) / float64(l1Miss)
+	if math.Abs(gotL1-l1Target) > 0.25*l1Target {
+		t.Errorf("L1 miss rate %.3f, target %.3f", gotL1, l1Target)
+	}
+	if math.Abs(gotL2-l2Ratio) > 0.25*l2Ratio {
+		t.Errorf("L2 miss ratio %.3f, target %.3f", gotL2, l2Ratio)
+	}
+}
+
+func TestForMissRatesZeroRatioDegrades(t *testing.T) {
+	a := ForMissRates(0.2, 0, L1D())
+	b := ForMissRate(0.2, L1D())
+	if a != b {
+		t.Error("zero L2 ratio should degrade to the single-region profile")
+	}
+}
+
+func TestL2FiltersL1Misses(t *testing.T) {
+	// A working set that thrashes the L1 but fits the L2 bank must show
+	// a high L1 miss rate and near-zero L2 miss rate — the hierarchy
+	// doing its job.
+	l1 := mustNew(t, L1D())
+	l2 := mustNew(t, L2Bank())
+	p := Profile{WorkingSetBytes: 128 << 10} // 128 KB: 4x L1, half an L2 bank
+	rng := prng.New(9)
+	var l1Miss, l2Miss, l2Acc int64
+	const refs = 300000
+	for i := 0; i < refs; i++ {
+		addr := p.Next(rng)
+		if !l1.Access(addr, false).Hit {
+			l1Miss++
+			l2Acc++
+			if !l2.Access(addr, false).Hit {
+				l2Miss++
+			}
+		}
+	}
+	l1Rate := float64(l1Miss) / refs
+	l2Rate := float64(l2Miss) / float64(l2Acc)
+	if l1Rate < 0.5 {
+		t.Errorf("L1 miss rate %.3f, expected thrashing (~0.75)", l1Rate)
+	}
+	if l2Rate > 0.05 {
+		t.Errorf("L2 miss rate %.3f, expected near-zero for a resident set", l2Rate)
+	}
+}
+
+func BenchmarkL1Access(b *testing.B) {
+	c, err := New(L1D())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := ForMissRate(0.1, L1D())
+	rng := prng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(p.Next(rng), false)
+	}
+}

@@ -1,0 +1,60 @@
+package cache
+
+// MSHRFile models miss-status holding registers: a bounded set of
+// outstanding miss entries, with secondary misses to the same block
+// merging into the existing entry rather than allocating a new one
+// (Table III gives each cache 32 MSHRs).
+type MSHRFile struct {
+	cap     int
+	entries map[uint64]int // block address -> merged requestor count
+	merges  int64
+	peak    int
+}
+
+// NewMSHRFile returns an MSHR file with the given entry budget.
+func NewMSHRFile(capacity int) *MSHRFile {
+	if capacity <= 0 {
+		panic("cache: MSHR capacity must be positive")
+	}
+	return &MSHRFile{cap: capacity, entries: make(map[uint64]int)}
+}
+
+// Allocate registers a miss on block. It returns (primary, ok): ok is
+// false when the file is full and no existing entry matches (the miss
+// must stall); primary is true when this miss allocated a new entry (and
+// so must issue a fill request), false when it merged.
+func (m *MSHRFile) Allocate(block uint64) (primary, ok bool) {
+	if n, exists := m.entries[block]; exists {
+		m.entries[block] = n + 1
+		m.merges++
+		return false, true
+	}
+	if len(m.entries) >= m.cap {
+		return false, false
+	}
+	m.entries[block] = 1
+	if len(m.entries) > m.peak {
+		m.peak = len(m.entries)
+	}
+	return true, true
+}
+
+// Fill completes the miss on block, returning how many requestors were
+// waiting (0 if the block had no entry).
+func (m *MSHRFile) Fill(block uint64) int {
+	n := m.entries[block]
+	delete(m.entries, block)
+	return n
+}
+
+// Outstanding returns the number of live entries.
+func (m *MSHRFile) Outstanding() int { return len(m.entries) }
+
+// Full reports whether a new (non-mergeable) miss would stall.
+func (m *MSHRFile) Full() bool { return len(m.entries) >= m.cap }
+
+// Merges returns how many secondary misses merged so far.
+func (m *MSHRFile) Merges() int64 { return m.merges }
+
+// Peak returns the high-water mark of live entries.
+func (m *MSHRFile) Peak() int { return m.peak }

@@ -1,0 +1,101 @@
+package cache
+
+import (
+	"testing"
+
+	"github.com/reprolab/hirise/internal/prng"
+)
+
+// refCache is an intentionally naive reference implementation of a
+// set-associative LRU cache: per-set slices ordered MRU-first, rebuilt
+// with O(ways) scans. The real Cache must agree with it access for
+// access.
+type refCache struct {
+	cfg  Config
+	sets [][]uint64 // block ids, MRU first
+}
+
+func newRef(cfg Config) *refCache {
+	return &refCache{cfg: cfg, sets: make([][]uint64, cfg.SizeBytes/(cfg.Ways*cfg.BlockBytes))}
+}
+
+func (r *refCache) access(addr uint64) (hit bool, evicted uint64, hadVictim bool) {
+	shift := uint(0)
+	for b := r.cfg.BlockBytes; b > 1; b >>= 1 {
+		shift++
+	}
+	block := addr >> shift
+	set := int(block % uint64(len(r.sets)))
+	s := r.sets[set]
+	for i, b := range s {
+		if b == block {
+			copy(s[1:i+1], s[:i])
+			s[0] = block
+			return true, 0, false
+		}
+	}
+	if len(s) < r.cfg.Ways {
+		r.sets[set] = append([]uint64{block}, s...)
+		return false, 0, false
+	}
+	victim := s[len(s)-1]
+	copy(s[1:], s[:len(s)-1])
+	s[0] = block
+	return false, victim << shift, true
+}
+
+// TestCacheMatchesReference drives the production cache and the naive
+// reference with identical random streams over several geometries.
+func TestCacheMatchesReference(t *testing.T) {
+	geometries := []Config{
+		{SizeBytes: 512, Ways: 2, BlockBytes: 64},
+		{SizeBytes: 4096, Ways: 4, BlockBytes: 64},
+		{SizeBytes: 8192, Ways: 1, BlockBytes: 32}, // direct-mapped
+		L1D(),
+	}
+	for _, cfg := range geometries {
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := newRef(cfg)
+		src := prng.New(99)
+		span := uint64(cfg.SizeBytes * 4)
+		for i := 0; i < 50000; i++ {
+			addr := uint64(src.Intn(int(span)))
+			got := c.Access(addr, false)
+			hit, evicted, hadVictim := ref.access(addr)
+			if got.Hit != hit {
+				t.Fatalf("%+v access %d addr %#x: hit %v vs ref %v", cfg, i, addr, got.Hit, hit)
+			}
+			if hadVictim && got.Evicted != evicted {
+				t.Fatalf("%+v access %d: evicted %#x vs ref %#x", cfg, i, got.Evicted, evicted)
+			}
+		}
+	}
+}
+
+// FuzzCacheAgainstReference fuzzes the same equivalence with arbitrary
+// address bytes.
+func FuzzCacheAgainstReference(f *testing.F) {
+	f.Add([]byte{0x00, 0x40, 0x80, 0x00, 0xC0})
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		cfg := Config{SizeBytes: 512, Ways: 2, BlockBytes: 64}
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := newRef(cfg)
+		for i := 0; i+1 < len(stream); i += 2 {
+			addr := uint64(stream[i])<<6 | uint64(stream[i+1])
+			got := c.Access(addr, false)
+			hit, evicted, hadVictim := ref.access(addr)
+			if got.Hit != hit {
+				t.Fatalf("addr %#x: hit %v vs ref %v", addr, got.Hit, hit)
+			}
+			if hadVictim && got.Evicted != evicted {
+				t.Fatalf("addr %#x: evicted %#x vs ref %#x", addr, got.Evicted, evicted)
+			}
+		}
+	})
+}

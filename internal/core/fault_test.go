@@ -1,0 +1,152 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/reprolab/hirise/internal/prng"
+	"github.com/reprolab/hirise/internal/topo"
+)
+
+// Fault-injection tests: FailChannel models a dead TSV bundle. The
+// switch must rebind affected inputs to healthy channels and keep every
+// flow live, degrading throughput gracefully.
+
+func TestFailChannelRebindsBinnedInput(t *testing.T) {
+	c := cfg(4, topo.L2LLRG)
+	s := mustNew(t, c)
+	// Input 0 is binned to channel 0 toward layer 3.
+	dead := c.L2LCID(0, 3, 0)
+	if err := s.FailChannel(dead); err != nil {
+		t.Fatal(err)
+	}
+	if !s.ChannelFailed(dead) {
+		t.Fatal("channel not marked failed")
+	}
+	g := s.Arbitrate(reqVec(64, map[int]int{0: 63}))
+	if len(g) != 1 {
+		t.Fatalf("input on failed channel got no grant: %v", g)
+	}
+	if got := s.HeldChannel(0); got != c.L2LCID(0, 3, 1) {
+		t.Fatalf("rebound to channel %d, want next healthy %d", got, c.L2LCID(0, 3, 1))
+	}
+}
+
+func TestFailChannelRefusesLastChannel(t *testing.T) {
+	c := cfg(1, topo.L2LLRG)
+	s := mustNew(t, c)
+	if err := s.FailChannel(c.L2LCID(0, 3, 0)); err == nil {
+		t.Fatal("failing the only channel of a layer pair must be refused")
+	}
+}
+
+func TestFailChannelBounds(t *testing.T) {
+	s := mustNew(t, cfg(4, topo.L2LLRG))
+	if err := s.FailChannel(-1); err == nil {
+		t.Error("negative id accepted")
+	}
+	if err := s.FailChannel(9999); err == nil {
+		t.Error("out-of-range id accepted")
+	}
+	c := cfg(4, topo.L2LLRG)
+	cid := c.L2LCID(0, 1, 0)
+	if err := s.FailChannel(cid); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FailChannel(cid); err != nil {
+		t.Errorf("re-failing a failed channel should be a no-op, got %v", err)
+	}
+}
+
+func TestNoStarvationWithFailedChannels(t *testing.T) {
+	for _, scheme := range []topo.Scheme{topo.L2LLRG, topo.CLRG} {
+		c := cfg(4, scheme)
+		s := mustNew(t, c)
+		// Kill one channel on every layer pair.
+		for src := 0; src < 4; src++ {
+			for dst := 0; dst < 4; dst++ {
+				if src == dst {
+					continue
+				}
+				if err := s.FailChannel(c.L2LCID(src, dst, 2)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		req := make([]int, 64)
+		for i := range req {
+			req[i] = 63
+		}
+		wins := make([]int, 64)
+		for _, w := range grantSeq(s, req, 64*40) {
+			wins[w]++
+		}
+		for in, w := range wins {
+			if w == 0 {
+				t.Errorf("%v: input %d starved with failed channels", scheme, in)
+			}
+		}
+	}
+}
+
+func TestThroughputDegradesGracefully(t *testing.T) {
+	// Purely inter-layer traffic saturating the L2LCs: killing one of
+	// the four channels per pair should cost roughly a quarter of the
+	// fabric's inter-layer capacity, not collapse it.
+	c := cfg(4, topo.CLRG)
+	measure := func(fail bool) int {
+		s := mustNew(t, c)
+		if fail {
+			for src := 0; src < 4; src++ {
+				for dst := 0; dst < 4; dst++ {
+					if src != dst {
+						if err := s.FailChannel(c.L2LCID(src, dst, 3)); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+			}
+		}
+		req := make([]int, 64)
+		for i := range req {
+			// Same local index on the next layer: all traffic crosses.
+			req[i] = c.Port((c.LayerOf(i)+1)%4, c.LocalIndex(i))
+		}
+		return len(grantSeq(s, req, 400))
+	}
+	full, degraded := measure(false), measure(true)
+	ratio := float64(degraded) / float64(full)
+	if ratio < 0.70 || ratio > 0.85 {
+		t.Errorf("degraded/full = %.2f, want ~0.75 (one of four channels dead)", ratio)
+	}
+}
+
+func TestFailedChannelNeverGranted(t *testing.T) {
+	c := cfg(4, topo.CLRG)
+	for _, alloc := range []topo.AllocPolicy{topo.InputBinned, topo.OutputBinned, topo.PriorityBased} {
+		cc := c
+		cc.Alloc = alloc
+		s := mustNew(t, cc)
+		dead := cc.L2LCID(0, 3, 1)
+		if err := s.FailChannel(dead); err != nil {
+			t.Fatal(err)
+		}
+		src := prng.New(31)
+		req := make([]int, 64)
+		for cycle := 0; cycle < 800; cycle++ {
+			for i := range req {
+				req[i] = -1
+				if src.Bernoulli(0.6) {
+					req[i] = src.Intn(64)
+				}
+			}
+			for _, g := range s.Arbitrate(req) {
+				if s.HeldChannel(g.In) == dead {
+					t.Fatalf("%v: failed channel granted to input %d", alloc, g.In)
+				}
+				if src.Bernoulli(0.4) {
+					s.Release(g.In)
+				}
+			}
+		}
+	}
+}

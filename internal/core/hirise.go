@@ -1,0 +1,445 @@
+// Package core implements the Hi-Rise 3D hierarchical switch (paper
+// §III): per layer, a local switch connecting the layer's inputs to its
+// intermediate outputs and to dedicated layer-to-layer channels (L2LCs),
+// and an inter-layer switch of per-output sub-blocks choosing between the
+// incoming L2LCs and the local intermediate output.
+//
+// Arbitration is two-phase but single-cycle (paper Fig 8): phase 1 runs
+// every local switch, phase 2 every inter-layer sub-block. The local
+// switch's LRG priority is updated only when its winner also wins the
+// final output — the update is back-propagated — which guarantees a
+// losing request keeps rising at the inter-layer switch and never
+// starves. The sub-blocks arbitrate with the configured scheme:
+// baseline L-2-L LRG, Weighted LRG, or the paper's Class-based LRG.
+//
+// Like the 2D Swizzle-Switch, the model is connection-oriented: a granted
+// connection occupies its input, its final output, and (for cross-layer
+// traffic) its L2LC until the caller releases it after the packet's last
+// flit; occupied resources do not arbitrate.
+package core
+
+import (
+	"fmt"
+
+	"github.com/reprolab/hirise/internal/arb"
+	"github.com/reprolab/hirise/internal/topo"
+)
+
+// Switch is one Hi-Rise switch instance.
+type Switch struct {
+	cfg   topo.Config
+	ports int // inputs (= outputs) per layer
+
+	interArb []arb.Arbiter // per final output: the intermediate-output port arbiter (over local inputs)
+	chArb    []arb.Arbiter // per L2LC: the local-switch channel port arbiter (over local inputs)
+	subs     []subBlock    // per final output: inter-layer sub-block arbiter
+
+	heldOut  []int  // per input: final output held, or -1
+	heldCh   []int  // per input: L2LC held, or -1
+	outIn    []int  // per output: holding input, or -1
+	chBusy   []bool // per L2LC
+	chFailed []bool // per L2LC: permanently out of service (TSV fault)
+
+	chGrants  []int64 // per L2LC: connections carried (diagnostics)
+	outGrants []int64 // per output: connections formed
+	localPath int64   // same-layer connections (no L2LC)
+
+	// Scratch buffers, reused every cycle.
+	intermReq  [][]bool // per output: local-input request mask
+	chReq      [][]bool // per L2LC: local-input request mask
+	destReq    [][]bool // per (layer, dest layer): mask for priority-based allocation
+	intermWin  []int    // per output: local winner (local index), -1 if none
+	chWin      []int    // per L2LC: local winner (local index), -1 if none
+	chWeight   []int    // per L2LC: requestor count this cycle (WLRG)
+	lineReq    []bool
+	lineInput  []int
+	lineWeight []int
+	lineCh     []int // global L2LC id per line, -1 for the intermediate line
+}
+
+type subBlock struct {
+	scheme topo.Scheme
+	plain  arb.Arbiter // L-2-L LRG baseline or the iSLIP-1 round-robin analog
+	wlrg   *arb.WLRG
+	clrg   *arb.CLRG
+}
+
+// New returns a Hi-Rise switch for the given configuration.
+func New(cfg topo.Config) (*Switch, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Layers < 2 {
+		return nil, fmt.Errorf("core: Hi-Rise needs at least 2 layers, have %d (use crossbar.New for 2D)", cfg.Layers)
+	}
+	n, ports := cfg.Radix, cfg.PortsPerLayer()
+	lines := cfg.SubBlockInputs()
+
+	s := &Switch{
+		cfg:        cfg,
+		ports:      ports,
+		interArb:   make([]arb.Arbiter, n),
+		chArb:      make([]arb.Arbiter, cfg.NumL2LC()),
+		subs:       make([]subBlock, n),
+		heldOut:    make([]int, n),
+		heldCh:     make([]int, n),
+		outIn:      make([]int, n),
+		chBusy:     make([]bool, cfg.NumL2LC()),
+		chFailed:   make([]bool, cfg.NumL2LC()),
+		chGrants:   make([]int64, cfg.NumL2LC()),
+		outGrants:  make([]int64, n),
+		intermReq:  make([][]bool, n),
+		chReq:      make([][]bool, cfg.NumL2LC()),
+		destReq:    make([][]bool, cfg.Layers*cfg.Layers),
+		intermWin:  make([]int, n),
+		chWin:      make([]int, cfg.NumL2LC()),
+		chWeight:   make([]int, cfg.NumL2LC()),
+		lineReq:    make([]bool, lines),
+		lineInput:  make([]int, lines),
+		lineWeight: make([]int, lines),
+		lineCh:     make([]int, lines),
+	}
+	newLocal := func() arb.Arbiter {
+		if cfg.Scheme == topo.ISLIP1 {
+			return arb.NewRoundRobin(ports)
+		}
+		return arb.NewLRG(ports)
+	}
+	for o := range s.interArb {
+		s.interArb[o] = newLocal()
+		s.intermReq[o] = make([]bool, ports)
+		s.subs[o] = newSubBlock(cfg, lines)
+		s.heldOut[o] = -1
+		s.heldCh[o] = -1
+		s.outIn[o] = -1
+	}
+	for c := range s.chArb {
+		s.chArb[c] = newLocal()
+		s.chReq[c] = make([]bool, ports)
+	}
+	for d := range s.destReq {
+		s.destReq[d] = make([]bool, ports)
+	}
+	return s, nil
+}
+
+func newSubBlock(cfg topo.Config, lines int) subBlock {
+	sb := subBlock{scheme: cfg.Scheme}
+	switch cfg.Scheme {
+	case topo.WLRG:
+		sb.wlrg = arb.NewWLRG(lines)
+	case topo.CLRG:
+		sb.clrg = arb.NewCLRG(lines, cfg.Radix, cfg.Classes)
+	case topo.ISLIP1:
+		sb.plain = arb.NewRoundRobin(lines)
+	default: // LRG on a hierarchical switch is the baseline L-2-L LRG
+		sb.plain = arb.NewLRG(lines)
+	}
+	return sb
+}
+
+// Radix returns the total port count.
+func (s *Switch) Radix() int { return s.cfg.Radix }
+
+// Config returns the switch configuration.
+func (s *Switch) Config() topo.Config { return s.cfg }
+
+// lineFor returns the sub-block line index on destination layer d for the
+// channel (src, ch); lines order the c*(L-1) incoming L2LCs by ascending
+// source layer then channel, with the local intermediate output last.
+func (s *Switch) lineFor(d, src, ch int) int {
+	sidx := src
+	if src > d {
+		sidx--
+	}
+	return sidx*s.cfg.Channels + ch
+}
+
+// Arbitrate runs one two-phase arbitration cycle. req[i] is the final
+// output requested by input i, or -1. Inputs holding connections, busy
+// outputs, and busy L2LCs do not participate. Returns the connections
+// formed; each persists until Release.
+func (s *Switch) Arbitrate(req []int) []topo.Grant {
+	if len(req) != s.cfg.Radix {
+		panic(fmt.Sprintf("core: request vector length %d, want %d", len(req), s.cfg.Radix))
+	}
+	cfg := s.cfg
+
+	// Phase 1a: build local-switch request masks.
+	for o := range s.intermReq {
+		clearBools(s.intermReq[o])
+		s.intermWin[o] = -1
+	}
+	for c := range s.chReq {
+		clearBools(s.chReq[c])
+		s.chWin[c] = -1
+		s.chWeight[c] = 0
+	}
+	if cfg.Alloc == topo.PriorityBased {
+		for d := range s.destReq {
+			clearBools(s.destReq[d])
+		}
+	}
+	for in, o := range req {
+		if o < 0 || s.heldOut[in] >= 0 || s.outIn[o] >= 0 {
+			continue
+		}
+		l, li := cfg.LayerOf(in), cfg.LocalIndex(in)
+		d := cfg.LayerOf(o)
+		if d == l {
+			s.intermReq[o][li] = true
+			continue
+		}
+		if cfg.Alloc == topo.PriorityBased {
+			s.destReq[l*cfg.Layers+d][li] = true
+			continue
+		}
+		cid := s.healthyChannel(l, d, cfg.ChannelFor(in, o))
+		if cid >= 0 && !s.chBusy[cid] {
+			s.chReq[cid][li] = true
+			s.chWeight[cid]++
+		}
+	}
+
+	// Phase 1b: local-switch arbitration.
+	for o := range s.intermReq {
+		s.intermWin[o] = s.interArb[o].Grant(s.intermReq[o])
+	}
+	if cfg.Alloc == topo.PriorityBased {
+		// Channels to a destination fill in priority order: each channel's
+		// arbiter picks among the requestors the earlier channels left.
+		for l := 0; l < cfg.Layers; l++ {
+			for d := 0; d < cfg.Layers; d++ {
+				if d == l {
+					continue
+				}
+				remaining := s.destReq[l*cfg.Layers+d]
+				left := countBools(remaining)
+				for ch := 0; ch < cfg.Channels && left > 0; ch++ {
+					cid := cfg.L2LCID(l, d, ch)
+					if s.chBusy[cid] || s.chFailed[cid] {
+						continue
+					}
+					w := s.chArb[cid].Grant(remaining)
+					if w < 0 {
+						break
+					}
+					s.chWin[cid] = w
+					s.chWeight[cid] = left
+					remaining[w] = false
+					left--
+				}
+			}
+		}
+	} else {
+		for c := range s.chReq {
+			s.chWin[c] = s.chArb[c].Grant(s.chReq[c])
+		}
+	}
+
+	// Phase 2: inter-layer sub-block arbitration per idle final output.
+	var grants []topo.Grant
+	for o := 0; o < cfg.Radix; o++ {
+		if s.outIn[o] >= 0 {
+			continue
+		}
+		d := cfg.LayerOf(o)
+		lines := cfg.SubBlockInputs()
+		any := false
+		for i := 0; i < lines; i++ {
+			s.lineReq[i] = false
+		}
+		for src := 0; src < cfg.Layers; src++ {
+			if src == d {
+				continue
+			}
+			for ch := 0; ch < cfg.Channels; ch++ {
+				cid := cfg.L2LCID(src, d, ch)
+				w := s.chWin[cid]
+				if w < 0 {
+					continue
+				}
+				gi := cfg.Port(src, w)
+				if req[gi] != o {
+					continue // channel winner targets another output on this layer
+				}
+				line := s.lineFor(d, src, ch)
+				s.lineReq[line] = true
+				s.lineInput[line] = gi
+				s.lineWeight[line] = s.chWeight[cid]
+				s.lineCh[line] = cid
+				any = true
+			}
+		}
+		if w := s.intermWin[o]; w >= 0 {
+			line := lines - 1
+			s.lineReq[line] = true
+			s.lineInput[line] = cfg.Port(d, w)
+			s.lineWeight[line] = countBools(s.intermReq[o])
+			s.lineCh[line] = -1
+			any = true
+		}
+		if !any {
+			continue
+		}
+
+		sb := &s.subs[o]
+		var win int
+		switch sb.scheme {
+		case topo.WLRG:
+			win = sb.wlrg.Grant(s.lineReq)
+		case topo.CLRG:
+			win = sb.clrg.Grant(s.lineReq, s.lineInput)
+		default:
+			win = sb.plain.Grant(s.lineReq)
+		}
+		if win < 0 {
+			continue
+		}
+		gi := s.lineInput[win]
+		switch sb.scheme {
+		case topo.WLRG:
+			sb.wlrg.Update(win, s.lineWeight[win])
+		case topo.CLRG:
+			sb.clrg.Update(win, gi)
+		default:
+			sb.plain.Update(win)
+		}
+
+		// Back-propagate the local-switch priority update to the winner.
+		if cid := s.lineCh[win]; cid >= 0 {
+			s.chArb[cid].Update(cfg.LocalIndex(gi))
+			s.chBusy[cid] = true
+			s.heldCh[gi] = cid
+			s.chGrants[cid]++
+		} else {
+			s.interArb[o].Update(cfg.LocalIndex(gi))
+			s.localPath++
+		}
+		s.outGrants[o]++
+		s.heldOut[gi] = o
+		s.outIn[o] = gi
+		grants = append(grants, topo.Grant{In: gi, Out: o})
+	}
+	return grants
+}
+
+// Release frees the connection held by input in after its last flit. It
+// is a no-op if in holds nothing.
+func (s *Switch) Release(in int) {
+	o := s.heldOut[in]
+	if o < 0 {
+		return
+	}
+	s.heldOut[in] = -1
+	s.outIn[o] = -1
+	if cid := s.heldCh[in]; cid >= 0 {
+		s.chBusy[cid] = false
+		s.heldCh[in] = -1
+	}
+}
+
+// Holds returns the final output input in is connected to, or -1.
+func (s *Switch) Holds(in int) int { return s.heldOut[in] }
+
+// HeldChannel returns the L2LC input in's connection crosses, or -1 for
+// no connection or a same-layer connection.
+func (s *Switch) HeldChannel(in int) int { return s.heldCh[in] }
+
+// OutputBusy reports whether final output out carries a connection.
+func (s *Switch) OutputBusy(out int) bool { return s.outIn[out] >= 0 }
+
+// ChannelBusy reports whether the given L2LC carries a connection.
+func (s *Switch) ChannelBusy(cid int) bool { return s.chBusy[cid] }
+
+// healthyChannel returns the L2LC for (src layer, dst layer) starting at
+// the assigned channel and probing forward past failed channels, or -1
+// if every channel of the pair is dead.
+func (s *Switch) healthyChannel(src, dst, ch int) int {
+	for k := 0; k < s.cfg.Channels; k++ {
+		cid := s.cfg.L2LCID(src, dst, (ch+k)%s.cfg.Channels)
+		if !s.chFailed[cid] {
+			return cid
+		}
+	}
+	return -1
+}
+
+// FailChannel permanently removes an L2LC from service, modeling a
+// faulty TSV bundle. Binned traffic assigned to the channel falls back
+// to the next healthy channel toward the same layer; priority-based
+// allocation simply skips it. Failing the last healthy channel between a
+// layer pair is refused, since that would disconnect the pair.
+func (s *Switch) FailChannel(cid int) error {
+	if cid < 0 || cid >= len(s.chFailed) {
+		return fmt.Errorf("core: no such channel %d", cid)
+	}
+	if s.chFailed[cid] {
+		return nil
+	}
+	src, dst, _ := s.cfg.L2LCSrcDst(cid)
+	healthy := 0
+	for ch := 0; ch < s.cfg.Channels; ch++ {
+		if !s.chFailed[s.cfg.L2LCID(src, dst, ch)] {
+			healthy++
+		}
+	}
+	if healthy <= 1 {
+		return fmt.Errorf("core: channel %d is the last healthy L2LC from layer %d to %d", cid, src, dst)
+	}
+	// An in-flight connection over cid finishes its packet normally; the
+	// channel simply accepts no new arbitration.
+	s.chFailed[cid] = true
+	return nil
+}
+
+// ChannelFailed reports whether cid has been failed.
+func (s *Switch) ChannelFailed(cid int) bool { return s.chFailed[cid] }
+
+// Stats reports the switch's connection counters since construction:
+// connections carried per L2LC, connections formed per output, and the
+// count that stayed on their source layer. The L2LC histogram is the
+// direct observable of the channel-allocation policies' balance.
+type Stats struct {
+	// ChannelGrants counts connections per L2LC, indexed by channel id.
+	ChannelGrants []int64
+	// OutputGrants counts connections per final output.
+	OutputGrants []int64
+	// LocalPath counts same-layer connections (no L2LC used).
+	LocalPath int64
+}
+
+// Stats returns a snapshot of the connection counters.
+func (s *Switch) Stats() Stats {
+	return Stats{
+		ChannelGrants: append([]int64(nil), s.chGrants...),
+		OutputGrants:  append([]int64(nil), s.outGrants...),
+		LocalPath:     s.localPath,
+	}
+}
+
+// Class returns the CLRG priority class of primary input in at the
+// sub-block of output out; it panics for other schemes. Exposed for
+// tests and fairness diagnostics.
+func (s *Switch) Class(out, in int) int {
+	if s.subs[out].clrg == nil {
+		panic("core: Class is only meaningful for CLRG")
+	}
+	return s.subs[out].clrg.Class(in)
+}
+
+func clearBools(b []bool) {
+	for i := range b {
+		b[i] = false
+	}
+}
+
+func countBools(b []bool) int {
+	n := 0
+	for _, v := range b {
+		if v {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,133 @@
+// Package crossbar models the flat 2D Swizzle-Switch (paper §II-A) and
+// its naive 3D extension, the folded switch (paper §II-B). Both are
+// matrix crossbars with built-in least-recently-granted arbitration; the
+// folded switch redistributes ports over layers but keeps the single flat
+// arbitration domain, so the two are cycle-identical in behaviour and
+// differ only in physical cost (see internal/phys).
+//
+// The model is connection-oriented, mirroring how the Swizzle-Switch
+// reuses its output buses as priority lines: an output arbitrates only
+// while idle, and a granted connection holds the input and output until
+// the caller releases it after the packet's last flit.
+package crossbar
+
+import (
+	"fmt"
+
+	"github.com/reprolab/hirise/internal/arb"
+	"github.com/reprolab/hirise/internal/topo"
+)
+
+// Switch is a flat N×N matrix crossbar with one arbiter per output.
+type Switch struct {
+	n      int
+	arbs   []arb.Arbiter
+	held   []int  // held[in] = output held by in, or -1
+	outIn  []int  // outIn[out] = input holding out, or -1
+	reqBuf []bool // scratch request mask, reused across outputs
+}
+
+// New returns an N×N crossbar with LRG arbitration at every output, the
+// configuration the paper's 2D baseline uses.
+func New(radix int) *Switch {
+	arbs := make([]arb.Arbiter, radix)
+	for i := range arbs {
+		arbs[i] = arb.NewLRG(radix)
+	}
+	s, err := NewWithArbiters(radix, arbs)
+	if err != nil {
+		panic(err) // cannot happen: we built a well-formed arbiter set
+	}
+	return s
+}
+
+// NewFolded returns the 3D folded baseline: a radix-N switch folded over
+// the given number of layers. Arbitration is identical to the flat 2D
+// switch (paper §II-B); layers only affect physical cost, so the value
+// behaves exactly like New(radix).
+func NewFolded(radix, layers int) *Switch {
+	if layers < 1 || radix%layers != 0 {
+		panic(fmt.Sprintf("crossbar: cannot fold radix %d over %d layers", radix, layers))
+	}
+	return New(radix)
+}
+
+// NewWithArbiters returns a crossbar using the provided per-output
+// arbiters (used by arbitration-policy ablations). Each arbiter must span
+// exactly radix requestors.
+func NewWithArbiters(radix int, arbs []arb.Arbiter) (*Switch, error) {
+	if len(arbs) != radix {
+		return nil, fmt.Errorf("crossbar: %d arbiters for radix %d", len(arbs), radix)
+	}
+	for o, a := range arbs {
+		if a.N() != radix {
+			return nil, fmt.Errorf("crossbar: output %d arbiter spans %d, want %d", o, a.N(), radix)
+		}
+	}
+	s := &Switch{
+		n:      radix,
+		arbs:   arbs,
+		held:   make([]int, radix),
+		outIn:  make([]int, radix),
+		reqBuf: make([]bool, radix),
+	}
+	for i := range s.held {
+		s.held[i] = -1
+		s.outIn[i] = -1
+	}
+	return s, nil
+}
+
+// Radix returns the port count.
+func (s *Switch) Radix() int { return s.n }
+
+// Arbitrate runs one arbitration cycle. req[i] is the output input i
+// requests, or -1. Inputs already holding a connection and outputs busy
+// with one do not participate. It returns the connections formed this
+// cycle; each stays established until Release.
+func (s *Switch) Arbitrate(req []int) []topo.Grant {
+	if len(req) != s.n {
+		panic(fmt.Sprintf("crossbar: request vector length %d, want %d", len(req), s.n))
+	}
+	var grants []topo.Grant
+	for out := 0; out < s.n; out++ {
+		if s.outIn[out] >= 0 {
+			continue // output bus busy carrying flits; no priority lines free
+		}
+		any := false
+		for in := 0; in < s.n; in++ {
+			r := req[in] == out && s.held[in] < 0
+			s.reqBuf[in] = r
+			any = any || r
+		}
+		if !any {
+			continue
+		}
+		win := s.arbs[out].Grant(s.reqBuf)
+		if win < 0 {
+			continue
+		}
+		s.arbs[out].Update(win)
+		s.held[win] = out
+		s.outIn[out] = win
+		grants = append(grants, topo.Grant{In: win, Out: out})
+	}
+	return grants
+}
+
+// Release frees the connection held by input in after its last flit. It
+// is a no-op if in holds nothing.
+func (s *Switch) Release(in int) {
+	out := s.held[in]
+	if out < 0 {
+		return
+	}
+	s.held[in] = -1
+	s.outIn[out] = -1
+}
+
+// Holds returns the output input in is connected to, or -1.
+func (s *Switch) Holds(in int) int { return s.held[in] }
+
+// OutputBusy reports whether out is carrying an active connection.
+func (s *Switch) OutputBusy(out int) bool { return s.outIn[out] >= 0 }

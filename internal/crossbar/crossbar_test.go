@@ -1,0 +1,215 @@
+package crossbar
+
+import (
+	"testing"
+
+	"github.com/reprolab/hirise/internal/arb"
+	"github.com/reprolab/hirise/internal/prng"
+	"github.com/reprolab/hirise/internal/topo"
+)
+
+func reqVec(n int, pairs map[int]int) []int {
+	r := make([]int, n)
+	for i := range r {
+		r[i] = -1
+	}
+	for in, out := range pairs {
+		r[in] = out
+	}
+	return r
+}
+
+func TestSingleRequestGranted(t *testing.T) {
+	s := New(8)
+	g := s.Arbitrate(reqVec(8, map[int]int{3: 5}))
+	if len(g) != 1 || g[0] != (topo.Grant{In: 3, Out: 5}) {
+		t.Fatalf("grants %v", g)
+	}
+	if s.Holds(3) != 5 || !s.OutputBusy(5) {
+		t.Fatal("connection state not recorded")
+	}
+}
+
+func TestContendersGetOneWinner(t *testing.T) {
+	s := New(8)
+	g := s.Arbitrate(reqVec(8, map[int]int{1: 4, 2: 4, 3: 4}))
+	if len(g) != 1 {
+		t.Fatalf("grants %v, want exactly one", g)
+	}
+	if g[0].In != 1 {
+		t.Fatalf("winner %d, want 1 (highest initial LRG)", g[0].In)
+	}
+}
+
+func TestParallelDisjointGrants(t *testing.T) {
+	s := New(8)
+	g := s.Arbitrate(reqVec(8, map[int]int{0: 7, 1: 6, 2: 5}))
+	if len(g) != 3 {
+		t.Fatalf("grants %v, want 3 disjoint connections", g)
+	}
+}
+
+func TestBusyOutputDoesNotArbitrate(t *testing.T) {
+	s := New(8)
+	s.Arbitrate(reqVec(8, map[int]int{0: 4}))
+	g := s.Arbitrate(reqVec(8, map[int]int{1: 4}))
+	if len(g) != 0 {
+		t.Fatalf("busy output granted: %v", g)
+	}
+	s.Release(0)
+	g = s.Arbitrate(reqVec(8, map[int]int{1: 4}))
+	if len(g) != 1 || g[0].In != 1 {
+		t.Fatalf("after release, grants %v", g)
+	}
+}
+
+func TestBusyInputDoesNotArbitrate(t *testing.T) {
+	s := New(8)
+	s.Arbitrate(reqVec(8, map[int]int{0: 4}))
+	if g := s.Arbitrate(reqVec(8, map[int]int{0: 5})); len(g) != 0 {
+		t.Fatalf("held input granted a second output: %v", g)
+	}
+}
+
+func TestReleaseIdempotent(t *testing.T) {
+	s := New(4)
+	s.Arbitrate(reqVec(4, map[int]int{0: 1}))
+	s.Release(0)
+	s.Release(0) // no-op
+	if s.Holds(0) != -1 || s.OutputBusy(1) {
+		t.Fatal("state corrupt after double release")
+	}
+}
+
+func TestLRGRotationAcrossGrants(t *testing.T) {
+	// Three inputs fight for one output with single-cycle transactions:
+	// LRG must rotate perfectly.
+	s := New(4)
+	req := reqVec(4, map[int]int{0: 3, 1: 3, 2: 3})
+	var seq []int
+	for i := 0; i < 9; i++ {
+		g := s.Arbitrate(req)
+		if len(g) != 1 {
+			t.Fatalf("cycle %d: grants %v", i, g)
+		}
+		seq = append(seq, g[0].In)
+		s.Release(g[0].In)
+	}
+	want := []int{0, 1, 2, 0, 1, 2, 0, 1, 2}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("sequence %v, want %v", seq, want)
+		}
+	}
+}
+
+func TestFoldedBehavesLikeFlat(t *testing.T) {
+	// The folded switch is the same arbitration domain (paper §II-B);
+	// identical request streams must yield identical grants.
+	src := prng.New(21)
+	flat, folded := New(16), NewFolded(16, 4)
+	req := make([]int, 16)
+	for cycle := 0; cycle < 500; cycle++ {
+		for i := range req {
+			req[i] = -1
+			if src.Bernoulli(0.5) {
+				req[i] = src.Intn(16)
+			}
+		}
+		ga, gb := flat.Arbitrate(req), folded.Arbitrate(req)
+		if len(ga) != len(gb) {
+			t.Fatalf("cycle %d: %v vs %v", cycle, ga, gb)
+		}
+		for i := range ga {
+			if ga[i] != gb[i] {
+				t.Fatalf("cycle %d: %v vs %v", cycle, ga, gb)
+			}
+		}
+		for _, g := range ga {
+			if src.Bernoulli(0.5) {
+				flat.Release(g.In)
+				folded.Release(g.In)
+			}
+		}
+	}
+}
+
+func TestFoldedRejectsBadFold(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewFolded(63, 4)
+}
+
+func TestConnectionInvariants(t *testing.T) {
+	// Under random traffic with random holds/releases, no output ever has
+	// two holders and every input holds at most one output.
+	src := prng.New(5)
+	s := New(32)
+	req := make([]int, 32)
+	live := map[int]int{} // in -> out
+	for cycle := 0; cycle < 2000; cycle++ {
+		for i := range req {
+			req[i] = -1
+			if src.Bernoulli(0.6) {
+				req[i] = src.Intn(32)
+			}
+		}
+		for _, g := range s.Arbitrate(req) {
+			if _, dup := live[g.In]; dup {
+				t.Fatalf("input %d granted while holding", g.In)
+			}
+			for _, o := range live {
+				if o == g.Out {
+					t.Fatalf("output %d double-granted", g.Out)
+				}
+			}
+			live[g.In] = g.Out
+		}
+		for in := range live {
+			if src.Bernoulli(0.3) {
+				s.Release(in)
+				delete(live, in)
+			}
+		}
+	}
+}
+
+func TestNewWithArbitersValidation(t *testing.T) {
+	if _, err := NewWithArbiters(4, make([]arb.Arbiter, 3)); err == nil {
+		t.Error("wrong arbiter count accepted")
+	}
+	bad := []arb.Arbiter{arb.NewLRG(4), arb.NewLRG(3), arb.NewLRG(4), arb.NewLRG(4)}
+	if _, err := NewWithArbiters(4, bad); err == nil {
+		t.Error("wrong arbiter span accepted")
+	}
+}
+
+func TestRoundRobinCrossbar(t *testing.T) {
+	arbs := make([]arb.Arbiter, 4)
+	for i := range arbs {
+		arbs[i] = arb.NewRoundRobin(4)
+	}
+	s, err := NewWithArbiters(4, arbs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := reqVec(4, map[int]int{0: 2, 1: 2})
+	g1 := s.Arbitrate(req)
+	s.Release(g1[0].In)
+	g2 := s.Arbitrate(req)
+	if g1[0].In == g2[0].In {
+		t.Fatal("round-robin crossbar did not rotate")
+	}
+}
+
+func TestArbitratePanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(8).Arbitrate(make([]int, 7))
+}

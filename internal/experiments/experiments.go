@@ -1,0 +1,224 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§VI). Each runner returns a Table — a titled grid of
+// formatted rows — that cmd/hirise-bench prints and the repository-root
+// benchmarks time. Figure runners emit the figure's series as columns.
+//
+// Simulation-backed experiments accept Opts so tests and benchmarks can
+// trade fidelity for speed; the defaults match the fidelity used for
+// EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"github.com/reprolab/hirise/internal/core"
+	"github.com/reprolab/hirise/internal/crossbar"
+	"github.com/reprolab/hirise/internal/phys"
+	"github.com/reprolab/hirise/internal/sim"
+	"github.com/reprolab/hirise/internal/topo"
+)
+
+// Opts tunes simulation fidelity.
+type Opts struct {
+	// Warmup and Measure are the simulation windows in cycles.
+	Warmup, Measure int64
+	// Seed drives all stochastic components.
+	Seed uint64
+	// Tech is the process technology (zero value: Default32nm).
+	Tech phys.Tech
+}
+
+// DefaultOpts returns the fidelity used for the published EXPERIMENTS.md
+// numbers.
+func DefaultOpts() Opts {
+	return Opts{Warmup: 10000, Measure: 50000, Seed: 1, Tech: phys.Default32nm()}
+}
+
+// QuickOpts returns a fast, lower-fidelity variant for tests and smoke
+// runs.
+func QuickOpts() Opts {
+	return Opts{Warmup: 2000, Measure: 8000, Seed: 1, Tech: phys.Default32nm()}
+}
+
+func (o Opts) norm() Opts {
+	d := DefaultOpts()
+	if o.Warmup == 0 {
+		o.Warmup = d.Warmup
+	}
+	if o.Measure == 0 {
+		o.Measure = d.Measure
+	}
+	if o.Seed == 0 {
+		o.Seed = d.Seed
+	}
+	if o.Tech == (phys.Tech{}) {
+		o.Tech = d.Tech
+	}
+	return o
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	// ID is the experiment identifier ("table4", "fig10", ...).
+	ID string
+	// Title describes what the paper artifact shows.
+	Title string
+	// Header names the columns.
+	Header []string
+	// Rows holds formatted cells.
+	Rows [][]string
+	// Notes documents modeling caveats for this experiment.
+	Notes []string
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Fprint(&b)
+	return b.String()
+}
+
+// Kind selects a switch family.
+type Kind int
+
+const (
+	// Flat2D is the 2D Swizzle-Switch baseline.
+	Flat2D Kind = iota
+	// Folded3D is the folded 2D switch baseline.
+	Folded3D
+	// HiRise3D is the paper's switch.
+	HiRise3D
+)
+
+// Design names one concrete switch under evaluation and builds fresh
+// simulator instances and physical costs for it.
+type Design struct {
+	// Name is the row label.
+	Name string
+	// Kind is the switch family.
+	Kind Kind
+	// Cfg is the full configuration (2D uses only Radix; folded uses
+	// Radix and Layers).
+	Cfg topo.Config
+}
+
+// Designs used across experiments. The Hi-Rise variants use the paper's
+// 4-layer 64-radix geometry with input binning and 3 CLRG classes.
+func design2D(radix int) Design {
+	return Design{Name: "2D", Kind: Flat2D, Cfg: topo.Config{Radix: radix, Layers: 1}}
+}
+
+func designFolded(radix, layers int) Design {
+	return Design{Name: "3D Folded", Kind: Folded3D, Cfg: topo.Config{Radix: radix, Layers: layers}}
+}
+
+func designHiRise(name string, channels int, scheme topo.Scheme) Design {
+	return Design{Name: name, Kind: HiRise3D, Cfg: topo.Config{
+		Radix: 64, Layers: 4, Channels: channels,
+		Alloc: topo.InputBinned, Scheme: scheme, Classes: 3,
+	}}
+}
+
+// NewSwitch builds a fresh simulator instance of the design.
+func (d Design) NewSwitch() sim.Switch {
+	switch d.Kind {
+	case Flat2D:
+		return crossbar.New(d.Cfg.Radix)
+	case Folded3D:
+		return crossbar.NewFolded(d.Cfg.Radix, d.Cfg.Layers)
+	default:
+		s, err := core.New(d.Cfg)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: bad design %q: %v", d.Name, err))
+		}
+		return s
+	}
+}
+
+// Cost returns the design's physical cost.
+func (d Design) Cost(tech phys.Tech) phys.Cost {
+	switch d.Kind {
+	case Flat2D:
+		return phys.Flat2D(d.Cfg.Radix, tech)
+	case Folded3D:
+		return phys.Folded(d.Cfg.Radix, d.Cfg.Layers, tech)
+	default:
+		return phys.HiRise(d.Cfg, tech)
+	}
+}
+
+// ConfigString renders the design's structure in the paper's table style.
+func (d Design) ConfigString() string {
+	switch d.Kind {
+	case Flat2D:
+		return fmt.Sprintf("%dx%d", d.Cfg.Radix, d.Cfg.Radix)
+	case Folded3D:
+		return fmt.Sprintf("[%dx%d]x%d", d.Cfg.Radix/d.Cfg.Layers, d.Cfg.Radix, d.Cfg.Layers)
+	default:
+		in, out := d.Cfg.LocalSwitchShape()
+		return fmt.Sprintf("[(%dx%d), %d.(%dx1)]x%d",
+			in, out, d.Cfg.PortsPerLayer(), d.Cfg.SubBlockInputs(), d.Cfg.Layers)
+	}
+}
+
+// parallel runs fn(i) for i in [0,n) concurrently and waits.
+func parallel(n int, fn func(i int)) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// f formats a float with the given precision.
+func f(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	return &Table{
+		ID: "t", Title: "sample",
+		Header: []string{"A", "B"},
+		Rows:   [][]string{{"1", "x,y"}, {"2", "z"}},
+		Notes:  []string{"n1"},
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	if err := sampleTable().WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := "A,B\n1,\"x,y\"\n2,z\n"
+	if got != want {
+		t.Fatalf("csv %q, want %q", got, want)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	src := sampleTable()
+	data, err := json.Marshal(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Table
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != src.ID || back.Title != src.Title || len(back.Rows) != 2 ||
+		back.Rows[0][1] != "x,y" || back.Notes[0] != "n1" {
+		t.Fatalf("round trip mangled table: %+v", back)
+	}
+}
+
+func TestWriteJSONIsValid(t *testing.T) {
+	var b strings.Builder
+	if err := sampleTable().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var v map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &v); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if v["id"] != "t" {
+		t.Fatalf("id field %v", v["id"])
+	}
+}

@@ -1,0 +1,81 @@
+package manycore
+
+import (
+	"math"
+	"testing"
+
+	"github.com/reprolab/hirise/internal/crossbar"
+	"github.com/reprolab/hirise/internal/trace"
+)
+
+func addrCfg() Config {
+	c := quickCfg()
+	c.AddressMode = true
+	return c
+}
+
+func TestAddressModeRuns(t *testing.T) {
+	r := mustRun(t, addrCfg(), crossbar.New(64), uniformBenches(t, "milc", 64))
+	if r.SystemIPC <= 0 || r.NetPackets == 0 {
+		t.Fatalf("no progress in address mode: %+v", r)
+	}
+	if r.AvgL1MPKI <= 0 {
+		t.Fatal("address mode should report measured L1 MPKI")
+	}
+}
+
+// TestAddressModeMPKIMatchesCatalog closes the substitution loop inside
+// the full system: real per-core L1s driven by the sized address streams
+// must reproduce the catalog MPKI the probabilistic mode injects.
+func TestAddressModeMPKIMatchesCatalog(t *testing.T) {
+	for _, name := range []string{"astar", "milc", "Gems"} {
+		b, err := trace.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := addrCfg()
+		cfg.Warmup, cfg.Measure = 10000, 40000
+		r := mustRun(t, cfg, crossbar.New(64), uniformBenches(t, name, 64))
+		if rel := math.Abs(r.AvgL1MPKI-b.NetMPKI) / b.NetMPKI; rel > 0.30 {
+			t.Errorf("%s: measured MPKI %.1f vs catalog %.1f", name, r.AvgL1MPKI, b.NetMPKI)
+		}
+	}
+}
+
+func TestAddressModeLowMPKINearIssueWidth(t *testing.T) {
+	r := mustRun(t, addrCfg(), crossbar.New(64), uniformBenches(t, "sjeng", 64))
+	for i, ipc := range r.PerCoreIPC {
+		if ipc < 1.6 {
+			t.Fatalf("core %d IPC %.2f; sjeng should run near issue width", i, ipc)
+		}
+	}
+}
+
+func TestAddressModeFasterSwitchHelps(t *testing.T) {
+	benches := uniformBenches(t, "Gems", 64)
+	slow := addrCfg()
+	slow.SwitchGHz = 1.69
+	fast := addrCfg()
+	fast.SwitchGHz = 2.2
+	rs := mustRun(t, slow, crossbar.New(64), benches)
+	rf := mustRun(t, fast, crossbar.New(64), benches)
+	if rf.SystemIPC <= rs.SystemIPC {
+		t.Errorf("faster switch IPC %.1f not above %.1f in address mode", rf.SystemIPC, rs.SystemIPC)
+	}
+}
+
+func TestAddressModeDeterminism(t *testing.T) {
+	benches := uniformBenches(t, "milc", 64)
+	a := mustRun(t, addrCfg(), crossbar.New(64), benches)
+	b := mustRun(t, addrCfg(), crossbar.New(64), benches)
+	if a.SystemIPC != b.SystemIPC || a.AvgL1MPKI != b.AvgL1MPKI {
+		t.Error("address mode diverged across identical runs")
+	}
+}
+
+func TestProbabilisticModeReportsNoMPKI(t *testing.T) {
+	r := mustRun(t, quickCfg(), crossbar.New(64), uniformBenches(t, "milc", 64))
+	if r.AvgL1MPKI != 0 {
+		t.Errorf("probabilistic mode reported MPKI %.2f", r.AvgL1MPKI)
+	}
+}

@@ -1,0 +1,187 @@
+package noc
+
+import "fmt"
+
+// Topology defines the wiring of a switch-composed network: how many
+// nodes, how each node's switch ports split between attached cores and
+// links, which output ports make minimal progress toward a destination,
+// and where each link lands. The paper's Fig 13 mesh is one instance;
+// the flattened butterfly it is compared against (§VI-E, refs [4][20])
+// is another.
+type Topology interface {
+	// Nodes returns the node count.
+	Nodes() int
+	// Concentration returns the cores attached to each node.
+	Concentration() int
+	// Radix returns each node's switch radix (concentration + links).
+	Radix() int
+	// RouteCandidates appends to dst the equivalent minimal-progress
+	// output ports at node toward destCore (multiple lanes of the same
+	// logical hop). A destination on the node itself yields its local
+	// delivery port.
+	RouteCandidates(dst []int, node, destCore int) []int
+	// LinkDest maps (node, link output port) to the neighbouring node
+	// and the input port the packet arrives on.
+	LinkDest(node, out int) (int, int)
+}
+
+// Mesh is a W×H 2D mesh with XY dimension-ordered routing and LinkPorts
+// lanes per direction — the Fig 13 topology. XY order keeps the buffer
+// dependency graph acyclic, so bounded buffers cannot deadlock.
+type Mesh struct {
+	W, H  int
+	Conc  int
+	Lanes int
+}
+
+// Nodes returns the node count.
+func (m Mesh) Nodes() int { return m.W * m.H }
+
+// Concentration returns cores per node.
+func (m Mesh) Concentration() int { return m.Conc }
+
+// Radix returns the per-node switch radix.
+func (m Mesh) Radix() int { return m.Conc + numDirs*m.Lanes }
+
+// RouteCandidates implements Topology: X first, then Y, then local.
+func (m Mesh) RouteCandidates(dst []int, node, destCore int) []int {
+	dNode, dPort := destCore/m.Conc, destCore%m.Conc
+	if node == dNode {
+		return append(dst, dPort)
+	}
+	x, y := node%m.W, node/m.W
+	dx, dy := dNode%m.W, dNode/m.W
+	dir := south
+	switch {
+	case dx > x:
+		dir = east
+	case dx < x:
+		dir = west
+	case dy < y:
+		dir = north
+	}
+	for lane := 0; lane < m.Lanes; lane++ {
+		dst = append(dst, m.Conc+dir*m.Lanes+lane)
+	}
+	return dst
+}
+
+// LinkDest implements Topology: mesh links land on the mirrored input
+// port of the adjacent node.
+func (m Mesh) LinkDest(node, out int) (int, int) {
+	dir := (out - m.Conc) / m.Lanes
+	lane := (out - m.Conc) % m.Lanes
+	var nb int
+	switch dir {
+	case east:
+		nb = node + 1
+	case west:
+		nb = node - 1
+	case north:
+		nb = node - m.W
+	default:
+		nb = node + m.W
+	}
+	return nb, m.Conc + opposite(dir)*m.Lanes + lane
+}
+
+func (m Mesh) validate() error {
+	if m.W < 1 || m.H < 1 || m.Conc < 1 || m.Lanes < 1 {
+		return fmt.Errorf("noc: bad mesh %+v", m)
+	}
+	return nil
+}
+
+// FlattenedButterfly is a W×H grid where every node links directly to
+// every other node in its row and in its column (refs [4][20]): any
+// destination is at most two link hops away (row then column, dimension
+// ordered — deadlock-free with bounded buffers).
+//
+// Port layout per node: Conc local ports, then (W-1)*Lanes row links (to
+// the other columns in ascending x order, skipping self), then
+// (H-1)*Lanes column links (ascending y, skipping self).
+type FlattenedButterfly struct {
+	W, H  int
+	Conc  int
+	Lanes int
+}
+
+// Nodes returns the node count.
+func (f FlattenedButterfly) Nodes() int { return f.W * f.H }
+
+// Concentration returns cores per node.
+func (f FlattenedButterfly) Concentration() int { return f.Conc }
+
+// Radix returns the per-node switch radix.
+func (f FlattenedButterfly) Radix() int {
+	return f.Conc + (f.W-1+f.H-1)*f.Lanes
+}
+
+// rowPort returns the first lane port toward column tx (tx != own x).
+func (f FlattenedButterfly) rowPort(x, tx int) int {
+	idx := tx
+	if tx > x {
+		idx--
+	}
+	return f.Conc + idx*f.Lanes
+}
+
+// colPort returns the first lane port toward row ty (ty != own y).
+func (f FlattenedButterfly) colPort(y, ty int) int {
+	idx := ty
+	if ty > y {
+		idx--
+	}
+	return f.Conc + (f.W-1)*f.Lanes + idx*f.Lanes
+}
+
+// RouteCandidates implements Topology: row hop first, then column hop,
+// then local delivery.
+func (f FlattenedButterfly) RouteCandidates(dst []int, node, destCore int) []int {
+	dNode, dPort := destCore/f.Conc, destCore%f.Conc
+	if node == dNode {
+		return append(dst, dPort)
+	}
+	x, y := node%f.W, node/f.W
+	dx, dy := dNode%f.W, dNode/f.W
+	var base int
+	if dx != x {
+		base = f.rowPort(x, dx)
+	} else {
+		base = f.colPort(y, dy)
+	}
+	for lane := 0; lane < f.Lanes; lane++ {
+		dst = append(dst, base+lane)
+	}
+	return dst
+}
+
+// LinkDest implements Topology. Row links land on the neighbour's row
+// port pointing back; column links likewise.
+func (f FlattenedButterfly) LinkDest(node, out int) (int, int) {
+	x, y := node%f.W, node/f.W
+	rel := out - f.Conc
+	lane := rel % f.Lanes
+	group := rel / f.Lanes
+	if group < f.W-1 { // row link
+		tx := group
+		if tx >= x {
+			tx++
+		}
+		nb := y*f.W + tx
+		return nb, f.rowPort(tx, x) + lane
+	}
+	ty := group - (f.W - 1)
+	if ty >= y {
+		ty++
+	}
+	nb := ty*f.W + x
+	return nb, f.colPort(ty, y) + lane
+}
+
+func (f FlattenedButterfly) validate() error {
+	if f.W < 2 || f.H < 1 || f.Conc < 1 || f.Lanes < 1 {
+		return fmt.Errorf("noc: bad flattened butterfly %+v", f)
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+package noc
+
+import (
+	"testing"
+
+	"github.com/reprolab/hirise/internal/crossbar"
+	"github.com/reprolab/hirise/internal/sim"
+)
+
+func fbfly(w, h, conc, lanes int) Config {
+	t := FlattenedButterfly{W: w, H: h, Conc: conc, Lanes: lanes}
+	return Config{
+		Topology:  t,
+		NewSwitch: func() sim.Switch { return crossbar.New(t.Radix()) },
+		Warmup:    2000, Measure: 8000, Seed: 1,
+	}
+}
+
+func TestFBflyRadix(t *testing.T) {
+	f := FlattenedButterfly{W: 4, H: 4, Conc: 48, Lanes: 2}
+	// 48 local + (3+3)*2 links = 60.
+	if got := f.Radix(); got != 60 {
+		t.Fatalf("radix %d, want 60", got)
+	}
+}
+
+// TestFBflyLinkSymmetry checks every link is bidirectionally consistent:
+// following LinkDest from (node, out) and then routing back lands on a
+// port whose LinkDest returns the original node.
+func TestFBflyLinkSymmetry(t *testing.T) {
+	f := FlattenedButterfly{W: 3, H: 4, Conc: 2, Lanes: 2}
+	for node := 0; node < f.Nodes(); node++ {
+		for out := f.Conc; out < f.Radix(); out++ {
+			nb, inPort := f.LinkDest(node, out)
+			if nb < 0 || nb >= f.Nodes() || nb == node {
+				t.Fatalf("node %d out %d: bad neighbour %d", node, out, nb)
+			}
+			if inPort < f.Conc || inPort >= f.Radix() {
+				t.Fatalf("node %d out %d: bad input port %d", node, out, inPort)
+			}
+			// The reverse port on nb must point back at node.
+			back, backIn := f.LinkDest(nb, inPort)
+			if back != node || backIn != out {
+				t.Fatalf("link (%d,%d)->(%d,%d) not symmetric: reverse gives (%d,%d)",
+					node, out, nb, inPort, back, backIn)
+			}
+		}
+	}
+}
+
+// TestFBflyDiameterTwo checks the defining property: every packet
+// reaches its destination in at most 3 switch traversals (row hop,
+// column hop, local delivery at the destination node).
+func TestFBflyDiameterTwo(t *testing.T) {
+	cfg := fbfly(4, 4, 2, 1)
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := n.Run(0.02)
+	if res.Delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+	if res.AvgHops > 3.0 {
+		t.Errorf("avg hops %.2f exceeds the flattened butterfly bound", res.AvgHops)
+	}
+}
+
+func TestFBflyRoutesRowFirst(t *testing.T) {
+	f := FlattenedButterfly{W: 4, H: 4, Conc: 2, Lanes: 1}
+	// Node 0 (0,0) -> core at node 15 (3,3): first hop must be the row
+	// link toward column 3.
+	cand := f.RouteCandidates(nil, 0, 15*2)
+	if len(cand) != 1 {
+		t.Fatalf("candidates %v", cand)
+	}
+	nb, _ := f.LinkDest(0, cand[0])
+	if nb != 3 { // node (3,0)
+		t.Fatalf("first hop to node %d, want 3 (row first)", nb)
+	}
+	// From (3,0) the next hop is the column link to (3,3).
+	cand = f.RouteCandidates(nil, 3, 15*2)
+	nb, _ = f.LinkDest(3, cand[0])
+	if nb != 15 {
+		t.Fatalf("second hop to node %d, want 15", nb)
+	}
+}
+
+func TestFBflyFewerHopsThanMesh(t *testing.T) {
+	meshCfg := smallMesh(4, 4, 2, 1)
+	mesh, err := New(meshCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := New(fbfly(4, 4, 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, rf := mesh.Run(0.02), fb.Run(0.02)
+	if rf.AvgHops >= rm.AvgHops {
+		t.Errorf("flattened butterfly hops %.2f not below mesh %.2f", rf.AvgHops, rm.AvgHops)
+	}
+}
+
+func TestFBflyBoundedBuffersLive(t *testing.T) {
+	cfg := fbfly(4, 4, 3, 1)
+	cfg.InputBufferPkts = 1
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := n.Run(1.0); res.Delivered == 0 {
+		t.Fatal("flattened butterfly deadlocked with tight buffers")
+	}
+}
+
+func TestFBflyValidate(t *testing.T) {
+	bad := fbfly(1, 4, 2, 1) // W < 2 has no row links
+	if _, err := New(bad); err == nil {
+		t.Error("degenerate flattened butterfly accepted")
+	}
+}
+
+func TestExplicitMeshTopologyMatchesImplicit(t *testing.T) {
+	imp, err := New(smallMesh(3, 3, 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	expCfg := Config{
+		Topology:  Mesh{W: 3, H: 3, Conc: 2, Lanes: 1},
+		NewSwitch: func() sim.Switch { return crossbar.New(6) },
+		Warmup:    2000, Measure: 8000, Seed: 1,
+	}
+	exp, err := New(expCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri, re := imp.Run(0.05), exp.Run(0.05)
+	if ri != re {
+		t.Errorf("implicit and explicit mesh configs diverge: %+v vs %+v", ri, re)
+	}
+}

@@ -1,0 +1,99 @@
+// Package plot renders simple ASCII line charts for the figure
+// experiments: cmd/hirise-bench uses it (with -plot) to draw each
+// figure's series the way the paper's plots read, without leaving the
+// terminal or adding dependencies.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line: paired X/Y points. NaN Y values are skipped
+// (the figure tables use them for saturated points).
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// markers assigns one glyph per series, cycling if needed.
+var markers = []byte{'o', 'x', '+', '*', '#', '@', '%', '&'}
+
+// Render draws the series into a width x height character grid with
+// axis ranges and a legend. It returns an error only for unusable input.
+func Render(w io.Writer, title string, series []Series, width, height int) error {
+	if width < 16 || height < 4 {
+		return fmt.Errorf("plot: grid %dx%d too small", width, height)
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("plot: series %q has %d x but %d y", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			if math.IsNaN(s.Y[i]) || math.IsNaN(s.X[i]) {
+				continue
+			}
+			points++
+			xmin, xmax = math.Min(xmin, s.X[i]), math.Max(xmax, s.X[i])
+			ymin, ymax = math.Min(ymin, s.Y[i]), math.Max(ymax, s.Y[i])
+		}
+	}
+	if points == 0 {
+		return fmt.Errorf("plot: no plottable points")
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			if math.IsNaN(s.Y[i]) || math.IsNaN(s.X[i]) {
+				continue
+			}
+			c := int((s.X[i] - xmin) / (xmax - xmin) * float64(width-1))
+			r := height - 1 - int((s.Y[i]-ymin)/(ymax-ymin)*float64(height-1))
+			grid[r][c] = m
+		}
+	}
+
+	if title != "" {
+		fmt.Fprintln(w, title)
+	}
+	yTop := fmt.Sprintf("%.3g", ymax)
+	yBot := fmt.Sprintf("%.3g", ymin)
+	pad := len(yTop)
+	if len(yBot) > pad {
+		pad = len(yBot)
+	}
+	for r, row := range grid {
+		label := strings.Repeat(" ", pad)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", pad, yTop)
+		case height - 1:
+			label = fmt.Sprintf("%*s", pad, yBot)
+		}
+		fmt.Fprintf(w, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", pad), strings.Repeat("-", width))
+	fmt.Fprintf(w, "%s  %-*.3g%*.3g\n", strings.Repeat(" ", pad), width/2, xmin, width-width/2, xmax)
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c=%s", markers[si%len(markers)], s.Name))
+	}
+	fmt.Fprintln(w, "legend:", strings.Join(legend, "  "))
+	return nil
+}

@@ -1,0 +1,77 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	var b strings.Builder
+	err := Render(&b, "demo", []Series{
+		{Name: "up", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}},
+		{Name: "down", X: []float64{0, 1, 2, 3}, Y: []float64{3, 2, 1, 0}},
+	}, 40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"demo", "o=up", "x=down", "+----"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The rising series' marker must appear in both the bottom-left and
+	// top-right regions.
+	lines := strings.Split(out, "\n")
+	var gridLines []string
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			gridLines = append(gridLines, l[strings.Index(l, "|")+1:])
+		}
+	}
+	top, bottom := gridLines[0], gridLines[len(gridLines)-1]
+	if !strings.Contains(top, "o") || !strings.Contains(bottom, "o") {
+		t.Errorf("rising series not spanning grid:\n%s", out)
+	}
+	if strings.Index(bottom, "o") > strings.Index(top, "o") {
+		t.Errorf("rising series should start low-left and end high-right:\n%s", out)
+	}
+}
+
+func TestRenderSkipsNaN(t *testing.T) {
+	var b strings.Builder
+	err := Render(&b, "", []Series{
+		{Name: "s", X: []float64{0, 1, 2}, Y: []float64{1, math.NaN(), 3}},
+	}, 30, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	var b strings.Builder
+	if err := Render(&b, "", nil, 40, 10); err == nil {
+		t.Error("empty series accepted")
+	}
+	if err := Render(&b, "", []Series{{Name: "s", X: []float64{1}, Y: []float64{}}}, 40, 10); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if err := Render(&b, "", []Series{{Name: "s", X: []float64{1}, Y: []float64{1}}}, 5, 2); err == nil {
+		t.Error("tiny grid accepted")
+	}
+	nan := []Series{{Name: "s", X: []float64{1}, Y: []float64{math.NaN()}}}
+	if err := Render(&b, "", nan, 40, 10); err == nil {
+		t.Error("all-NaN accepted")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	var b strings.Builder
+	err := Render(&b, "", []Series{
+		{Name: "flat", X: []float64{0, 0}, Y: []float64{5, 5}},
+	}, 30, 6)
+	if err != nil {
+		t.Fatalf("degenerate ranges should render: %v", err)
+	}
+}

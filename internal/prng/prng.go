@@ -1,0 +1,140 @@
+// Package prng provides small, fast, deterministic pseudo-random number
+// generators for the simulator. Every stochastic component of the
+// reproduction (traffic generators, trace synthesis, workload placement)
+// draws from an explicitly seeded Source so that experiments are exactly
+// repeatable across runs and platforms.
+//
+// The generator is xoshiro256**, seeded through splitmix64 as its authors
+// recommend. It is not cryptographically secure; it is a simulation PRNG.
+package prng
+
+import "math"
+
+// Source is a deterministic xoshiro256** generator. The zero value is not
+// usable; construct with New. Source is not safe for concurrent use; give
+// each goroutine (or each simulated entity) its own Source, typically via
+// Split.
+type Source struct {
+	s [4]uint64
+}
+
+// splitmix64 advances the given state and returns the next output. It is
+// used only to expand seeds into full xoshiro state.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a Source seeded from seed. Distinct seeds give statistically
+// independent streams.
+func New(seed uint64) *Source {
+	var src Source
+	st := seed
+	for i := range src.s {
+		src.s[i] = splitmix64(&st)
+	}
+	return &src
+}
+
+// Split derives a new, statistically independent Source from s. The parent
+// stream advances by one draw. Use it to hand child components their own
+// generators without sharing state.
+func (s *Source) Split() *Source {
+	return New(s.Uint64() ^ 0xd3833e804f4c574b)
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (s *Source) Uint64() uint64 {
+	result := rotl(s.s[1]*5, 7) * 9
+	t := s.s[1] << 17
+	s.s[2] ^= s.s[0]
+	s.s[3] ^= s.s[1]
+	s.s[1] ^= s.s[2]
+	s.s[0] ^= s.s[3]
+	s.s[2] ^= t
+	s.s[3] = rotl(s.s[3], 45)
+	return result
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("prng: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded generation.
+	bound := uint64(n)
+	x := s.Uint64()
+	hi, lo := mul64(x, bound)
+	if lo < bound {
+		threshold := -bound % bound
+		for lo < threshold {
+			x = s.Uint64()
+			hi, lo = mul64(x, bound)
+		}
+	}
+	return int(hi)
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	a0, a1 := a&mask32, a>>32
+	b0, b1 := b&mask32, b>>32
+	w0 := a0 * b0
+	t := a1*b0 + w0>>32
+	w1 := t&mask32 + a0*b1
+	hi = a1*b1 + t>>32 + w1>>32
+	lo = a * b
+	return
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bernoulli returns true with probability p (clamped to [0,1]).
+func (s *Source) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+func (s *Source) Exp(mean float64) float64 {
+	u := s.Float64()
+	for u == 0 {
+		u = s.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// Perm returns a random permutation of [0, n) using Fisher-Yates.
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes xs in place.
+func (s *Source) Shuffle(xs []int) {
+	for i := len(xs) - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}

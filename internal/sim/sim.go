@@ -1,0 +1,308 @@
+// Package sim is the cycle-accurate, flit-level network simulator used to
+// evaluate every switch configuration (paper §V). It models the paper's
+// setup: 4 virtual channels per input port with a buffer depth of 4 flits
+// each, 128-bit flits, 4-flit packets, and open-loop injection from a
+// finite source queue.
+//
+// Timing follows the Swizzle-Switch connection lifecycle: the output bus
+// doubles as the priority bus, so a packet costs one arbitration cycle
+// plus PacketFlits data cycles of output occupancy; peak utilization is
+// PacketFlits/(PacketFlits+1) flits per cycle per port. The simulator
+// counts in switch cycles — internal/phys converts to nanoseconds and
+// Tbps at each configuration's clock.
+package sim
+
+import (
+	"fmt"
+
+	"github.com/reprolab/hirise/internal/prng"
+	"github.com/reprolab/hirise/internal/stats"
+	"github.com/reprolab/hirise/internal/topo"
+)
+
+// Switch is the arbitration-and-connection view the simulator drives; it
+// is implemented by crossbar.Switch (2D, folded) and core.Switch
+// (Hi-Rise).
+type Switch interface {
+	// Radix returns the port count.
+	Radix() int
+	// Arbitrate runs one arbitration cycle over the per-input requested
+	// outputs (-1 for none) and returns the connections formed.
+	Arbitrate(req []int) []topo.Grant
+	// Release frees the connection held by an input after its last flit.
+	Release(in int)
+}
+
+// Traffic produces the offered load. Implementations live in
+// internal/traffic.
+type Traffic interface {
+	// Next reports whether input injects a new packet this cycle at the
+	// given offered load (packets/cycle/input) and, if so, its
+	// destination output. rng is the input's private stream.
+	Next(input int, cycle int64, load float64, rng *prng.Source) (dest int, inject bool)
+}
+
+// Config parameterizes one simulation run.
+type Config struct {
+	Switch  Switch
+	Traffic Traffic
+	// Load is the offered load in packets per cycle per input.
+	Load float64
+	// PacketFlits is the packet length (paper: 4 flits of 128 bits).
+	PacketFlits int
+	// VCs is the number of virtual channels per input (paper: 4), each
+	// holding one packet (depth 4 flits).
+	VCs int
+	// SourceQueueCap bounds the per-input injection queue; injections
+	// arriving at a full queue are counted and discarded, which caps
+	// offered load at the port's acceptance rate past saturation.
+	SourceQueueCap int
+	// Warmup and Measure are the lengths, in cycles, of the warmup and
+	// measurement windows.
+	Warmup, Measure int64
+	// Seed drives all stochastic choices.
+	Seed uint64
+}
+
+// Defaults fills unset fields with the paper's parameters.
+func (c *Config) Defaults() {
+	if c.PacketFlits == 0 {
+		c.PacketFlits = 4
+	}
+	if c.VCs == 0 {
+		c.VCs = 4
+	}
+	if c.SourceQueueCap == 0 {
+		c.SourceQueueCap = 64
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 10000
+	}
+	if c.Measure == 0 {
+		c.Measure = 50000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+func (c *Config) validate() error {
+	switch {
+	case c.Switch == nil:
+		return fmt.Errorf("sim: no switch")
+	case c.Traffic == nil:
+		return fmt.Errorf("sim: no traffic")
+	case c.Load < 0:
+		return fmt.Errorf("sim: negative load %v", c.Load)
+	case c.PacketFlits < 1 || c.VCs < 1 || c.SourceQueueCap < 1:
+		return fmt.Errorf("sim: non-positive structural parameter")
+	case c.Warmup < 0 || c.Measure <= 0:
+		return fmt.Errorf("sim: bad windows warmup=%d measure=%d", c.Warmup, c.Measure)
+	}
+	return nil
+}
+
+// Result aggregates one run's measurements. All rates are per switch
+// cycle; all latencies are in cycles.
+type Result struct {
+	// OfferedLoad echoes the configured load.
+	OfferedLoad float64
+	// AcceptedFlits is the aggregate delivered flit rate (flits/cycle).
+	AcceptedFlits float64
+	// AcceptedPackets is the aggregate delivered packet rate.
+	AcceptedPackets float64
+	// AvgLatency is the mean packet latency, injection to last flit.
+	AvgLatency float64
+	// P50Latency and P99Latency are latency quantiles.
+	P50Latency, P99Latency float64
+	// PerInputLatency is the mean latency per source input (NaN-free:
+	// inputs that delivered nothing report 0).
+	PerInputLatency []float64
+	// PerInputPackets is the delivered packet rate per source input.
+	PerInputPackets []float64
+	// Injected and Delivered count packets during measurement.
+	Injected, Delivered int64
+	// DroppedInjections counts packets discarded at full source queues
+	// during measurement; nonzero means the port is saturated.
+	DroppedInjections int64
+}
+
+// Saturated reports whether offered traffic exceeded what the switch
+// accepted.
+func (r Result) Saturated() bool { return r.DroppedInjections > 0 }
+
+type packet struct {
+	birth int64
+	dest  int
+}
+
+type port struct {
+	rng  *prng.Source
+	srcQ []packet // FIFO, bounded by SourceQueueCap
+	vc   []packet // one packet per occupied VC
+	vcOk []bool
+	rr   int // round-robin VC pointer
+	// Active connection, if any.
+	connected bool
+	connVC    int
+	remaining int
+}
+
+// Run executes one simulation and returns its measurements.
+func Run(cfg Config) (Result, error) {
+	cfg.Defaults()
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	n := cfg.Switch.Radix()
+	root := prng.New(cfg.Seed)
+	ports := make([]*port, n)
+	for i := range ports {
+		ports[i] = &port{
+			rng:  root.Split(),
+			vc:   make([]packet, cfg.VCs),
+			vcOk: make([]bool, cfg.VCs),
+		}
+	}
+
+	req := make([]int, n)
+	hist := stats.NewHistogram(4, 4096)
+	perLat := stats.NewPerPort(n)
+	perPkt := make([]int64, n)
+	var injected, delivered, dropped, flits int64
+	releases := make([]int, 0, n)
+
+	total := cfg.Warmup + cfg.Measure
+	for cycle := int64(0); cycle < total; cycle++ {
+		measuring := cycle >= cfg.Warmup
+
+		// 1. Advance active transmissions; deliveries complete here but
+		// resources release only after this cycle's arbitration, matching
+		// the priority-bus reuse (arbitration cannot overlap data on the
+		// same output).
+		releases = releases[:0]
+		for in, p := range ports {
+			if !p.connected {
+				continue
+			}
+			p.remaining--
+			if p.remaining > 0 {
+				continue
+			}
+			pkt := p.vc[p.connVC]
+			if measuring {
+				lat := float64(cycle - pkt.birth)
+				hist.Add(lat)
+				perLat.Add(in, lat)
+				perPkt[in]++
+				delivered++
+				flits += int64(cfg.PacketFlits)
+			}
+			p.vcOk[p.connVC] = false
+			p.connected = false
+			releases = append(releases, in)
+		}
+
+		// 2. Build requests from unconnected inputs with waiting packets,
+		// selecting the candidate VC round-robin.
+		for in, p := range ports {
+			req[in] = -1
+			if p.connected {
+				continue
+			}
+			for k := 0; k < cfg.VCs; k++ {
+				v := (p.rr + k) % cfg.VCs
+				if p.vcOk[v] {
+					p.rr = (v + 1) % cfg.VCs
+					req[in] = p.vc[v].dest
+					p.connVC = v
+					break
+				}
+			}
+		}
+
+		// 3. Arbitrate and start new connections (flits flow on the
+		// following cycles).
+		for _, g := range cfg.Switch.Arbitrate(req) {
+			p := ports[g.In]
+			p.connected = true
+			p.remaining = cfg.PacketFlits
+		}
+
+		// 4. Release the connections that finished this cycle.
+		for _, in := range releases {
+			cfg.Switch.Release(in)
+		}
+
+		// 5. Inject new packets and refill VCs from the source queue.
+		for in, p := range ports {
+			if dest, ok := cfg.Traffic.Next(in, cycle, cfg.Load, p.rng); ok {
+				if len(p.srcQ) >= cfg.SourceQueueCap {
+					if measuring {
+						dropped++
+					}
+				} else {
+					p.srcQ = append(p.srcQ, packet{birth: cycle, dest: dest})
+					if measuring {
+						injected++
+					}
+				}
+			}
+			for v := 0; v < cfg.VCs && len(p.srcQ) > 0; v++ {
+				if !p.vcOk[v] {
+					p.vc[v] = p.srcQ[0]
+					p.srcQ = p.srcQ[1:]
+					p.vcOk[v] = true
+				}
+			}
+		}
+	}
+
+	res := Result{
+		OfferedLoad:       cfg.Load,
+		AcceptedFlits:     float64(flits) / float64(cfg.Measure),
+		AcceptedPackets:   float64(delivered) / float64(cfg.Measure),
+		AvgLatency:        hist.Mean(),
+		P50Latency:        hist.Quantile(0.5),
+		P99Latency:        hist.Quantile(0.99),
+		PerInputLatency:   perLat.Means(),
+		PerInputPackets:   make([]float64, n),
+		Injected:          injected,
+		Delivered:         delivered,
+		DroppedInjections: dropped,
+	}
+	for i, c := range perPkt {
+		res.PerInputPackets[i] = float64(c) / float64(cfg.Measure)
+	}
+	return res, nil
+}
+
+// SaturationThroughput runs the switch fully backlogged (load 1.0) and
+// returns the accepted flit rate per cycle — the saturation throughput
+// the paper's tables report, before conversion to Tbps.
+func SaturationThroughput(cfg Config) (float64, error) {
+	cfg.Load = 1.0
+	res, err := Run(cfg)
+	if err != nil {
+		return 0, err
+	}
+	return res.AcceptedFlits, nil
+}
+
+// LoadSweep runs the configuration at each load and returns the results
+// in order, reusing a fresh switch per point via the factory to avoid
+// state leakage between load points.
+func LoadSweep(base Config, newSwitch func() Switch, loads []float64) ([]Result, error) {
+	out := make([]Result, 0, len(loads))
+	for _, l := range loads {
+		cfg := base
+		cfg.Switch = newSwitch()
+		cfg.Load = l
+		r, err := Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

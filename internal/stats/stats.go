@@ -1,0 +1,269 @@
+// Package stats provides the measurement machinery shared by the switch
+// simulator and the many-core system model: running summaries, quantile
+// estimation via fixed-width histograms, per-port breakdowns, and
+// throughput accounting over warmup/measurement windows.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates a running mean/variance/min/max using Welford's
+// algorithm. The zero value is ready to use.
+type Summary struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	if s.n == 0 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.n++
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int64 { return s.n }
+
+// Mean returns the sample mean, or 0 with no observations.
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Min returns the smallest observation, or 0 with no observations.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation, or 0 with no observations.
+func (s *Summary) Max() float64 { return s.max }
+
+// Variance returns the unbiased sample variance.
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (s *Summary) StdErr() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.StdDev() / math.Sqrt(float64(s.n))
+}
+
+// Merge folds other into s, as if every observation of other had been
+// Added to s.
+func (s *Summary) Merge(other *Summary) {
+	if other.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *other
+		return
+	}
+	n := s.n + other.n
+	d := other.mean - s.mean
+	mean := s.mean + d*float64(other.n)/float64(n)
+	m2 := s.m2 + other.m2 + d*d*float64(s.n)*float64(other.n)/float64(n)
+	min, max := s.min, s.max
+	if other.min < min {
+		min = other.min
+	}
+	if other.max > max {
+		max = other.max
+	}
+	*s = Summary{n: n, mean: mean, m2: m2, min: min, max: max}
+}
+
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f sd=%.3f min=%.3f max=%.3f",
+		s.n, s.Mean(), s.StdDev(), s.min, s.max)
+}
+
+// Histogram is a fixed-bin-width histogram over [0, BinWidth*len(bins)),
+// with an overflow bucket. It supports approximate quantiles, which is all
+// the latency plots need.
+type Histogram struct {
+	binWidth float64
+	bins     []int64
+	overflow int64
+	sum      Summary
+}
+
+// NewHistogram creates a histogram with nbins bins of the given width.
+func NewHistogram(binWidth float64, nbins int) *Histogram {
+	if binWidth <= 0 || nbins <= 0 {
+		panic("stats: invalid histogram shape")
+	}
+	return &Histogram{binWidth: binWidth, bins: make([]int64, nbins)}
+}
+
+// Add records one observation. Negative values clamp to bin 0.
+func (h *Histogram) Add(x float64) {
+	h.sum.Add(x)
+	if x < 0 {
+		h.bins[0]++
+		return
+	}
+	i := int(x / h.binWidth)
+	if i >= len(h.bins) {
+		h.overflow++
+		return
+	}
+	h.bins[i]++
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() int64 { return h.sum.N() }
+
+// Mean returns the exact sample mean (not binned).
+func (h *Histogram) Mean() float64 { return h.sum.Mean() }
+
+// Quantile returns an approximation of the q-th quantile (q in [0,1]).
+// Values in the overflow bucket report as the histogram's upper bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	n := h.sum.N()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(q * float64(n-1))
+	var cum int64
+	for i, c := range h.bins {
+		cum += c
+		if cum > target {
+			return (float64(i) + 0.5) * h.binWidth
+		}
+	}
+	return h.binWidth * float64(len(h.bins))
+}
+
+// Throughput tracks accepted traffic over a measurement window, in units
+// of events (flits or packets) per cycle.
+type Throughput struct {
+	events int64
+	cycles int64
+}
+
+// Record adds n accepted events.
+func (t *Throughput) Record(n int64) { t.events += n }
+
+// Advance adds elapsed cycles to the window.
+func (t *Throughput) Advance(cycles int64) { t.cycles += cycles }
+
+// Events returns the number of recorded events.
+func (t *Throughput) Events() int64 { return t.events }
+
+// Cycles returns the window length.
+func (t *Throughput) Cycles() int64 { return t.cycles }
+
+// Rate returns events per cycle over the window.
+func (t *Throughput) Rate() float64 {
+	if t.cycles == 0 {
+		return 0
+	}
+	return float64(t.events) / float64(t.cycles)
+}
+
+// PerPort bundles a Summary per port plus an aggregate, for Fig 11(a)/(c)
+// style per-input breakdowns.
+type PerPort struct {
+	Ports []Summary
+	All   Summary
+}
+
+// NewPerPort creates a PerPort for n ports.
+func NewPerPort(n int) *PerPort {
+	return &PerPort{Ports: make([]Summary, n)}
+}
+
+// Add records an observation for port p.
+func (pp *PerPort) Add(p int, x float64) {
+	pp.Ports[p].Add(x)
+	pp.All.Add(x)
+}
+
+// Means returns the per-port means.
+func (pp *PerPort) Means() []float64 {
+	out := make([]float64, len(pp.Ports))
+	for i := range pp.Ports {
+		out[i] = pp.Ports[i].Mean()
+	}
+	return out
+}
+
+// Fairness metrics over a set of per-flow rates.
+
+// JainIndex returns Jain's fairness index of xs: (Σx)² / (n·Σx²).
+// 1.0 is perfectly fair; 1/n is maximally unfair. Returns 1 for empty or
+// all-zero input.
+func JainIndex(xs []float64) float64 {
+	var sum, sq float64
+	for _, x := range xs {
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 || len(xs) == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}
+
+// MaxMinRatio returns max(xs)/min(xs), or +Inf if min is zero while max is
+// not, or 1 for empty input.
+func MaxMinRatio(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	min, max := xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	if min == 0 {
+		if max == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return max / min
+}
+
+// Median returns the median of xs (xs is not modified).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	mid := len(cp) / 2
+	if len(cp)%2 == 1 {
+		return cp[mid]
+	}
+	return (cp[mid-1] + cp[mid]) / 2
+}

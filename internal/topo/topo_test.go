@@ -1,0 +1,231 @@
+package topo
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefault64Valid(t *testing.T) {
+	c := Default64()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Radix != 64 || c.Layers != 4 || c.Channels != 4 {
+		t.Fatalf("unexpected default %+v", c)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []Config{
+		{Radix: 0, Layers: 1},
+		{Radix: -4, Layers: 1},
+		{Radix: 64, Layers: 0},
+		{Radix: 63, Layers: 4, Channels: 1},
+		{Radix: 64, Layers: 4, Channels: 0},
+		{Radix: 64, Layers: 4, Channels: 1, Scheme: CLRG, Classes: 1},
+		{Radix: 64, Layers: 4, Channels: 3, Alloc: InputBinned}, // 16 % 3 != 0
+	}
+	for _, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted invalid config", c)
+		}
+	}
+}
+
+func TestLayerPortMath(t *testing.T) {
+	c := Config{Radix: 64, Layers: 4, Channels: 1}
+	if got := c.PortsPerLayer(); got != 16 {
+		t.Fatalf("ports/layer = %d", got)
+	}
+	if l := c.LayerOf(0); l != 0 {
+		t.Errorf("LayerOf(0) = %d", l)
+	}
+	if l := c.LayerOf(63); l != 3 {
+		t.Errorf("LayerOf(63) = %d", l)
+	}
+	if l := c.LayerOf(16); l != 1 {
+		t.Errorf("LayerOf(16) = %d", l)
+	}
+	if i := c.LocalIndex(20); i != 4 {
+		t.Errorf("LocalIndex(20) = %d", i)
+	}
+	if p := c.Port(3, 15); p != 63 {
+		t.Errorf("Port(3,15) = %d", p)
+	}
+}
+
+func TestPortRoundTrip(t *testing.T) {
+	if err := quick.Check(func(pRaw uint16) bool {
+		c := Config{Radix: 96, Layers: 4, Channels: 2}
+		p := int(pRaw) % c.Radix
+		return c.Port(c.LayerOf(p), c.LocalIndex(p)) == p
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestL2LCCountMatchesPaperTableIV(t *testing.T) {
+	// Table IV: #TSVs = NumL2LC * 128 bits -> 1536, 3072, 6144 for c=1,2,4.
+	for _, tc := range []struct{ c, want int }{{1, 12}, {2, 24}, {4, 48}} {
+		cfg := Config{Radix: 64, Layers: 4, Channels: tc.c}
+		if got := cfg.NumL2LC(); got != tc.want {
+			t.Errorf("c=%d: NumL2LC = %d, want %d", tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestL2LCIDDenseAndInvertible(t *testing.T) {
+	cfg := Config{Radix: 64, Layers: 4, Channels: 4}
+	seen := make(map[int]bool)
+	for src := 0; src < cfg.Layers; src++ {
+		for dst := 0; dst < cfg.Layers; dst++ {
+			if src == dst {
+				continue
+			}
+			for ch := 0; ch < cfg.Channels; ch++ {
+				id := cfg.L2LCID(src, dst, ch)
+				if id < 0 || id >= cfg.NumL2LC() {
+					t.Fatalf("id %d out of range", id)
+				}
+				if seen[id] {
+					t.Fatalf("duplicate id %d", id)
+				}
+				seen[id] = true
+				s, d, c2 := cfg.L2LCSrcDst(id)
+				if s != src || d != dst || c2 != ch {
+					t.Fatalf("round trip (%d,%d,%d) -> %d -> (%d,%d,%d)",
+						src, dst, ch, id, s, d, c2)
+				}
+			}
+		}
+	}
+	if len(seen) != cfg.NumL2LC() {
+		t.Fatalf("covered %d ids, want %d", len(seen), cfg.NumL2LC())
+	}
+}
+
+// TestL2LCIDRoundTripRandomConfigs extends the dense-cover test to
+// random layer/channel geometries.
+func TestL2LCIDRoundTripRandomConfigs(t *testing.T) {
+	if err := quick.Check(func(lRaw, cRaw, srcRaw, dstRaw, chRaw uint8) bool {
+		layers := 2 + int(lRaw%6)
+		channels := 1 + int(cRaw%4)
+		cfg := Config{Radix: layers * 8, Layers: layers, Channels: channels}
+		src := int(srcRaw) % layers
+		dst := int(dstRaw) % layers
+		if dst == src {
+			dst = (dst + 1) % layers
+		}
+		ch := int(chRaw) % channels
+		id := cfg.L2LCID(src, dst, ch)
+		if id < 0 || id >= cfg.NumL2LC() {
+			return false
+		}
+		s, d, c := cfg.L2LCSrcDst(id)
+		return s == src && d == dst && c == ch
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestL2LCIDPanicsOnSameLayer(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Config{Radix: 64, Layers: 4, Channels: 1}.L2LCID(2, 2, 0)
+}
+
+func TestChannelForPolicies(t *testing.T) {
+	base := Config{Radix: 64, Layers: 4, Channels: 4}
+
+	in := base
+	in.Alloc = InputBinned
+	// Input 5 on layer 0 -> local index 5 -> channel 1, regardless of output.
+	if ch := in.ChannelFor(5, 63); ch != 1 {
+		t.Errorf("input-binned channel = %d", ch)
+	}
+	if ch := in.ChannelFor(5, 32); ch != 1 {
+		t.Errorf("input-binned channel should not depend on output, got %d", ch)
+	}
+
+	out := base
+	out.Alloc = OutputBinned
+	// Output 63 -> local index 15 -> channel 3, regardless of input.
+	if ch := out.ChannelFor(5, 63); ch != 3 {
+		t.Errorf("output-binned channel = %d", ch)
+	}
+	if ch := out.ChannelFor(9, 63); ch != 3 {
+		t.Errorf("output-binned channel should not depend on input, got %d", ch)
+	}
+
+	pri := base
+	pri.Alloc = PriorityBased
+	if ch := pri.ChannelFor(5, 63); ch != -1 {
+		t.Errorf("priority-based should return -1, got %d", ch)
+	}
+}
+
+func TestInputBinnedInterleavingSpreadsNeighbours(t *testing.T) {
+	// Adjacent inputs on a layer must land on different channels
+	// ("selected in an interleaved fashion", paper §III-A).
+	c := Config{Radix: 64, Layers: 4, Channels: 4, Alloc: InputBinned}
+	for local := 0; local < c.PortsPerLayer()-1; local++ {
+		a := c.ChannelFor(c.Port(1, local), 63)
+		b := c.ChannelFor(c.Port(1, local+1), 63)
+		if a == b {
+			t.Fatalf("inputs %d and %d share channel %d", local, local+1, a)
+		}
+	}
+}
+
+func TestShapesMatchPaperExamples(t *testing.T) {
+	// Paper §III-A: 64-radix, 4 layers, c=1 -> local 16x19, sub-blocks 4x1.
+	c1 := Config{Radix: 64, Layers: 4, Channels: 1}
+	if in, out := c1.LocalSwitchShape(); in != 16 || out != 19 {
+		t.Errorf("c=1 local switch %dx%d, want 16x19", in, out)
+	}
+	if n := c1.SubBlockInputs(); n != 4 {
+		t.Errorf("c=1 sub-block inputs %d, want 4", n)
+	}
+	// c=4 -> local 16x28, sub-blocks 13x1.
+	c4 := Config{Radix: 64, Layers: 4, Channels: 4}
+	if in, out := c4.LocalSwitchShape(); in != 16 || out != 28 {
+		t.Errorf("c=4 local switch %dx%d, want 16x28", in, out)
+	}
+	if n := c4.SubBlockInputs(); n != 13 {
+		t.Errorf("c=4 sub-block inputs %d, want 13", n)
+	}
+	// Input binning with c=4: each L2LC serves 4 pre-assigned inputs.
+	if n := c4.InputsPerChannel(); n != 4 {
+		t.Errorf("inputs/channel %d, want 4", n)
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	flat := Config{Radix: 64, Layers: 1}
+	if s := flat.String(); s != "64x64" {
+		t.Errorf("flat string %q", s)
+	}
+	hr := Default64()
+	s := hr.String()
+	for _, want := range []string{"16x28", "13x1", "x4", "CLRG"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestSchemeAndPolicyStrings(t *testing.T) {
+	if LRG.String() != "LRG" || CLRG.String() != "CLRG" || WLRG.String() != "WLRG" || L2LLRG.String() != "L-2-L LRG" {
+		t.Error("scheme names wrong")
+	}
+	if InputBinned.String() != "input-binned" || OutputBinned.String() != "output-binned" || PriorityBased.String() != "priority" {
+		t.Error("policy names wrong")
+	}
+	if Scheme(99).String() == "" || AllocPolicy(99).String() == "" {
+		t.Error("unknown values should still render")
+	}
+}

@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"github.com/reprolab/hirise/internal/prng"
+)
+
+func TestCatalogCoversAllMixes(t *testing.T) {
+	for _, m := range TableVIMixes() {
+		for _, p := range m.Parts {
+			if _, err := Lookup(p.Bench); err != nil {
+				t.Errorf("%s: %v", m.Name, err)
+			}
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("doom3"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestMixesSumTo64Cores(t *testing.T) {
+	for _, m := range TableVIMixes() {
+		if m.Cores() != 64 {
+			t.Errorf("%s: %d instances, want 64", m.Name, m.Cores())
+		}
+	}
+}
+
+// TestMixMPKIMatchesTableVI is the calibration check: the catalog's
+// per-benchmark MPKIs must reproduce the paper's per-mix averages.
+func TestMixMPKIMatchesTableVI(t *testing.T) {
+	for _, m := range TableVIMixes() {
+		got := m.AvgMPKI()
+		if rel := math.Abs(got-m.PaperMPKI) / m.PaperMPKI; rel > 0.02 {
+			t.Errorf("%s: avg MPKI %.2f, paper %.1f", m.Name, got, m.PaperMPKI)
+		}
+	}
+}
+
+func TestMixMPKIsAreMonotone(t *testing.T) {
+	mixes := TableVIMixes()
+	for i := 1; i < len(mixes); i++ {
+		if mixes[i].AvgMPKI() <= mixes[i-1].AvgMPKI() {
+			t.Errorf("mix MPKIs should increase: %s (%.1f) vs %s (%.1f)",
+				mixes[i-1].Name, mixes[i-1].AvgMPKI(), mixes[i].Name, mixes[i].AvgMPKI())
+		}
+	}
+}
+
+func TestAssignShufflesButPreservesMultiset(t *testing.T) {
+	m := TableVIMixes()[0]
+	a, err := m.Assign(64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Assign(64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, x := range a {
+		counts[x.Name]++
+	}
+	for _, p := range m.Parts {
+		if counts[p.Bench] != p.Count {
+			t.Errorf("%s count %d, want %d", p.Bench, counts[p.Bench], p.Count)
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i].Name != b[i].Name {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds gave identical placement")
+	}
+}
+
+func TestAssignRejectsWrongCoreCount(t *testing.T) {
+	if _, err := TableVIMixes()[0].Assign(32, 1); err == nil {
+		t.Error("wrong core count accepted")
+	}
+}
+
+func TestMissStreamLongRunRate(t *testing.T) {
+	for _, name := range []string{"sjeng", "astar", "milc", "mcf"} {
+		b, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := NewMissStream(b)
+		rng := prng.New(5)
+		misses := 0
+		const instructions = 2000000
+		for i := 0; i < instructions; i++ {
+			if s.Miss(rng) {
+				misses++
+			}
+		}
+		got := float64(misses) / instructions * 1000
+		if rel := math.Abs(got-b.NetMPKI) / b.NetMPKI; rel > 0.08 {
+			t.Errorf("%s: measured MPKI %.2f, want %.2f", name, got, b.NetMPKI)
+		}
+	}
+}
+
+func TestMissStreamIsBursty(t *testing.T) {
+	b, err := Lookup("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewMissStream(b)
+	rng := prng.New(9)
+	// Count miss pairs within a short window; bursty streams have far
+	// more short-gap pairs than an i.i.d. stream at the same rate.
+	last, short := -1000, 0
+	misses := 0
+	const instructions = 500000
+	for i := 0; i < instructions; i++ {
+		if s.Miss(rng) {
+			misses++
+			if i-last <= 4 {
+				short++
+			}
+			last = i
+		}
+	}
+	iidShortFrac := 1 - math.Pow(1-b.NetMPKI/1000, 4)
+	gotFrac := float64(short) / float64(misses)
+	if gotFrac < 1.5*iidShortFrac {
+		t.Errorf("short-gap fraction %.3f vs i.i.d. %.3f: stream not bursty", gotFrac, iidShortFrac)
+	}
+}
+
+func TestCatalogSane(t *testing.T) {
+	for _, b := range Catalog() {
+		if b.NetMPKI <= 0 || b.NetMPKI > 250 {
+			t.Errorf("%s: implausible MPKI %v", b.Name, b.NetMPKI)
+		}
+		if b.L2MissRatio < 0 || b.L2MissRatio > 1 {
+			t.Errorf("%s: bad L2 miss ratio %v", b.Name, b.L2MissRatio)
+		}
+		if b.Burstiness < 1 {
+			t.Errorf("%s: burstiness %v", b.Name, b.Burstiness)
+		}
+	}
+}

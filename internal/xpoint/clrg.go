@@ -1,0 +1,141 @@
+package xpoint
+
+// CLRGColumn is the bit-level inter-layer sub-block cross-point
+// arrangement of paper Fig 7: one cross-point per contending line (the
+// incoming L2LCs plus the local intermediate output), thermometer class
+// counters for every primary input, class-grouped priority line
+// segments on the reused output bus, priority-select muxes (PSMs) that
+// inhibit lower classes, and a polling mux (Mux2) that picks each
+// line's own wire within its class group.
+type CLRGColumn struct {
+	lines    int
+	classes  int
+	counters []uint8  // per primary input, thermometer-coded value
+	pri      [][]bool // LRG matrix over lines
+	wires    []bool   // classes*lines priority wires, true = precharged
+	connect  []bool
+}
+
+// NewCLRGColumn returns a sub-block column over the given number of
+// contending lines, tracking the given number of primary inputs, with
+// the given class count (the paper uses 3: {00,01,11}).
+func NewCLRGColumn(lines, inputs, classes int) *CLRGColumn {
+	if classes < 2 {
+		panic("xpoint: CLRG needs at least 2 classes")
+	}
+	c := &CLRGColumn{
+		lines:    lines,
+		classes:  classes,
+		counters: make([]uint8, inputs),
+		pri:      make([][]bool, lines),
+		wires:    make([]bool, classes*lines),
+		connect:  make([]bool, lines),
+	}
+	for i := range c.pri {
+		c.pri[i] = make([]bool, lines)
+		for j := i + 1; j < lines; j++ {
+			c.pri[i][j] = true
+		}
+	}
+	return c
+}
+
+// Class returns the current class of a primary input (0 highest).
+func (c *CLRGColumn) Class(input int) int { return int(c.counters[input]) }
+
+// PriorityLinesUsed returns how many output-bus wires the arbitration
+// borrows: one group of `lines` wires per class (Fig 7 uses wires 0-38
+// of the 128-bit bus for 13 lines x 3 classes).
+func (c *CLRGColumn) PriorityLinesUsed() int { return c.classes * c.lines }
+
+// Arbitrate runs one arbitration phase. req[line] marks lines whose
+// L2LC (or intermediate output) carries a request for this output;
+// inputOf[line] is the primary input that line presents (its local
+// winner, selected by Mux1 in hardware). Returns the winning line or
+// -1, committing LRG and counter updates for the winner.
+func (c *CLRGColumn) Arbitrate(req []bool, inputOf []int) int {
+	// Precharge every class-grouped priority wire and clear the
+	// connectivity bits.
+	for i := range c.wires {
+		c.wires[i] = true
+	}
+	for i := range c.connect {
+		c.connect[i] = false
+	}
+
+	// Evaluate: each requesting cross-point's PSMs drive the wire
+	// groups. Lower-priority classes (larger counter values) are pulled
+	// down wholesale; the cross-point's own class group receives its
+	// LRG pull-downs; higher-priority groups are left precharged.
+	for i := 0; i < c.lines; i++ {
+		if !req[i] {
+			continue
+		}
+		ci := int(c.counters[inputOf[i]])
+		for k := ci + 1; k < c.classes; k++ {
+			for j := 0; j < c.lines; j++ {
+				c.wires[k*c.lines+j] = false
+			}
+		}
+		for j := 0; j < c.lines; j++ {
+			if c.pri[i][j] {
+				c.wires[ci*c.lines+j] = false
+			}
+		}
+	}
+
+	// Sense: each line polls, via Mux2, its own wire within its class
+	// group; a surviving high wire latches the connectivity bit.
+	winner := -1
+	for i := 0; i < c.lines; i++ {
+		if !req[i] {
+			continue
+		}
+		ci := int(c.counters[inputOf[i]])
+		if c.wires[ci*c.lines+i] {
+			if winner >= 0 {
+				panic("xpoint: two CLRG connectivity bits latched")
+			}
+			winner = i
+		}
+	}
+	if winner < 0 {
+		return -1
+	}
+	c.connect[winner] = true
+
+	// LRG is updated even on cycles decided purely by class (paper
+	// §III-B4), and the winning primary input's counter increments; a
+	// saturating counter halves every counter in the sub-block.
+	for j := 0; j < c.lines; j++ {
+		if j != winner {
+			c.pri[winner][j] = false
+			c.pri[j][winner] = true
+		}
+	}
+	in := inputOf[winner]
+	if int(c.counters[in]) >= c.classes-1 {
+		for i := range c.counters {
+			c.counters[i] /= 2
+		}
+	}
+	c.counters[in]++
+	return winner
+}
+
+// Connected reports whether line i's connectivity bit is set.
+func (c *CLRGColumn) Connected(i int) bool { return c.connect[i] }
+
+// Disconnect clears line i's connectivity bit.
+func (c *CLRGColumn) Disconnect(i int) { c.connect[i] = false }
+
+// Drive models the data phase: the line whose connectivity bit is set
+// gates its bus onto the final output.
+func (c *CLRGColumn) Drive(lineData []uint64) (uint64, bool) {
+	for i, on := range c.connect {
+		if on {
+			return lineData[i], true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,82 @@
+package xpoint
+
+import (
+	"testing"
+
+	"github.com/reprolab/hirise/internal/crossbar"
+	"github.com/reprolab/hirise/internal/prng"
+)
+
+// TestColumnsReproduceFlat2DSwitch assembles a flat 2D Swizzle-Switch
+// from bit-level columns (one per output, with persistent connectivity
+// across held connections) and differentially tests it against
+// crossbar.Switch: identical grants on identical request streams with
+// random hold times.
+func TestColumnsReproduceFlat2DSwitch(t *testing.T) {
+	const n = 32
+	cols := make([]*Column, n)
+	for o := range cols {
+		cols[o] = NewColumn(n)
+	}
+	ref := crossbar.New(n)
+
+	held := make([]int, n) // input -> output or -1
+	outBusy := make([]bool, n)
+	for i := range held {
+		held[i] = -1
+	}
+	mask := make([]bool, n)
+
+	src := prng.New(321)
+	req := make([]int, n)
+	for cycle := 0; cycle < 2000; cycle++ {
+		for i := range req {
+			req[i] = -1
+			if src.Bernoulli(0.5) {
+				req[i] = src.Intn(n)
+			}
+		}
+
+		// Bit-level: arbitrate each idle output column.
+		type grant struct{ in, out int }
+		var bitGrants []grant
+		for o := 0; o < n; o++ {
+			if outBusy[o] {
+				continue
+			}
+			any := false
+			for i := 0; i < n; i++ {
+				mask[i] = req[i] == o && held[i] < 0
+				any = any || mask[i]
+			}
+			if !any {
+				continue
+			}
+			if w := cols[o].Arbitrate(mask); w >= 0 {
+				bitGrants = append(bitGrants, grant{w, o})
+				held[w] = o
+				outBusy[o] = true
+			}
+		}
+
+		refGrants := ref.Arbitrate(req)
+		if len(refGrants) != len(bitGrants) {
+			t.Fatalf("cycle %d: %d bit-level grants vs %d behavioural", cycle, len(bitGrants), len(refGrants))
+		}
+		for i := range refGrants {
+			if refGrants[i].In != bitGrants[i].in || refGrants[i].Out != bitGrants[i].out {
+				t.Fatalf("cycle %d grant %d: (%d,%d) vs (%d,%d)", cycle, i,
+					bitGrants[i].in, bitGrants[i].out, refGrants[i].In, refGrants[i].Out)
+			}
+		}
+
+		for in := 0; in < n; in++ {
+			if held[in] >= 0 && src.Bernoulli(0.3) {
+				cols[held[in]].Disconnect(in)
+				outBusy[held[in]] = false
+				held[in] = -1
+				ref.Release(in)
+			}
+		}
+	}
+}

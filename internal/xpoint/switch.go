@@ -1,0 +1,323 @@
+package xpoint
+
+import (
+	"fmt"
+
+	"github.com/reprolab/hirise/internal/topo"
+)
+
+// Switch composes the bit-level columns into a complete Hi-Rise switch:
+// per layer, one local-switch Column per intermediate output and per
+// L2LC port, and one inter-layer sub-block per final output (a plain
+// Column for the L-2-L LRG baseline, a CLRGColumn for CLRG). It follows
+// the same two-phase, single-cycle arbitration and connection-holding
+// discipline as the behavioural model in internal/core; differential
+// tests require the two to produce identical grants on identical request
+// streams, which validates that the behavioural simulator really
+// implements the circuits of paper §IV.
+//
+// Only hardware-feasible configurations exist at this level: L-2-L LRG
+// and CLRG arbitration with input or output binning (WLRG has no
+// implementable cross-point, as the paper concludes).
+type Switch struct {
+	cfg   topo.Config
+	ports int
+
+	interCols []*Column     // per final output: local intermediate-output column
+	chCols    []*Column     // per L2LC: local channel column
+	subPlain  []*Column     // per final output (L-2-L LRG)
+	subCLRG   []*CLRGColumn // per final output (CLRG)
+
+	heldOut  []int
+	heldCh   []int
+	heldLine []int // sub-block line of the held connection
+	outIn    []int
+	chBusy   []bool
+
+	intermReq [][]bool
+	chReq     [][]bool
+	intermWin []int
+	chWin     []int
+	lineReq   []bool
+	lineInput []int
+	lineCh    []int
+}
+
+// NewSwitch builds the bit-level switch.
+func NewSwitch(cfg topo.Config) (*Switch, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Layers < 2 {
+		return nil, fmt.Errorf("xpoint: need a 3D configuration")
+	}
+	switch cfg.Scheme {
+	case topo.L2LLRG, topo.CLRG:
+	default:
+		return nil, fmt.Errorf("xpoint: scheme %v has no cross-point implementation", cfg.Scheme)
+	}
+	if cfg.Alloc == topo.PriorityBased {
+		return nil, fmt.Errorf("xpoint: priority-based allocation is serialized in hardware; model binned policies only")
+	}
+	n, ports := cfg.Radix, cfg.PortsPerLayer()
+	lines := cfg.SubBlockInputs()
+	s := &Switch{
+		cfg:       cfg,
+		ports:     ports,
+		interCols: make([]*Column, n),
+		chCols:    make([]*Column, cfg.NumL2LC()),
+		heldOut:   make([]int, n),
+		heldCh:    make([]int, n),
+		heldLine:  make([]int, n),
+		outIn:     make([]int, n),
+		chBusy:    make([]bool, cfg.NumL2LC()),
+		intermReq: make([][]bool, n),
+		chReq:     make([][]bool, cfg.NumL2LC()),
+		intermWin: make([]int, n),
+		chWin:     make([]int, cfg.NumL2LC()),
+		lineReq:   make([]bool, lines),
+		lineInput: make([]int, lines),
+		lineCh:    make([]int, lines),
+	}
+	if cfg.Scheme == topo.CLRG {
+		s.subCLRG = make([]*CLRGColumn, n)
+	} else {
+		s.subPlain = make([]*Column, n)
+	}
+	for o := 0; o < n; o++ {
+		s.interCols[o] = NewColumn(ports)
+		s.intermReq[o] = make([]bool, ports)
+		if s.subCLRG != nil {
+			s.subCLRG[o] = NewCLRGColumn(lines, n, cfg.Classes)
+		} else {
+			s.subPlain[o] = NewColumn(lines)
+		}
+		s.heldOut[o] = -1
+		s.heldCh[o] = -1
+		s.heldLine[o] = -1
+		s.outIn[o] = -1
+	}
+	for c := range s.chCols {
+		s.chCols[c] = NewColumn(ports)
+		s.chReq[c] = make([]bool, ports)
+	}
+	return s, nil
+}
+
+// Radix returns the port count.
+func (s *Switch) Radix() int { return s.cfg.Radix }
+
+func (s *Switch) lineFor(d, src, ch int) int {
+	sidx := src
+	if src > d {
+		sidx--
+	}
+	return sidx*s.cfg.Channels + ch
+}
+
+// Arbitrate runs one two-phase cycle at the bit level and returns the
+// connections formed, holding each until Release.
+func (s *Switch) Arbitrate(req []int) []topo.Grant {
+	cfg := s.cfg
+	for o := range s.intermReq {
+		for i := range s.intermReq[o] {
+			s.intermReq[o][i] = false
+		}
+	}
+	for c := range s.chReq {
+		for i := range s.chReq[c] {
+			s.chReq[c][i] = false
+		}
+	}
+	for in, o := range req {
+		if o < 0 || s.heldOut[in] >= 0 || s.outIn[o] >= 0 {
+			continue
+		}
+		l, li := cfg.LayerOf(in), cfg.LocalIndex(in)
+		d := cfg.LayerOf(o)
+		if d == l {
+			s.intermReq[o][li] = true
+			continue
+		}
+		cid := cfg.L2LCID(l, d, cfg.ChannelFor(in, o))
+		if !s.chBusy[cid] {
+			s.chReq[cid][li] = true
+		}
+	}
+
+	// Phase 1: local-switch columns evaluate; priority updates are
+	// withheld until a final-output win back-propagates. Columns whose
+	// resource is busy carrying a connection do not arbitrate — their
+	// connectivity bit keeps gating data until Release.
+	for o := range s.intermReq {
+		s.intermWin[o] = -1
+		if s.outIn[o] < 0 {
+			s.intermWin[o] = s.interCols[o].Evaluate(s.intermReq[o])
+		}
+	}
+	for c := range s.chReq {
+		s.chWin[c] = -1
+		if !s.chBusy[c] {
+			s.chWin[c] = s.chCols[c].Evaluate(s.chReq[c])
+		}
+	}
+
+	// Phase 2: inter-layer sub-blocks.
+	var grants []topo.Grant
+	lines := cfg.SubBlockInputs()
+	for o := 0; o < cfg.Radix; o++ {
+		if s.outIn[o] >= 0 {
+			continue
+		}
+		d := cfg.LayerOf(o)
+		any := false
+		for i := 0; i < lines; i++ {
+			s.lineReq[i] = false
+		}
+		for src := 0; src < cfg.Layers; src++ {
+			if src == d {
+				continue
+			}
+			for ch := 0; ch < cfg.Channels; ch++ {
+				cid := cfg.L2LCID(src, d, ch)
+				w := s.chWin[cid]
+				if w < 0 {
+					continue
+				}
+				gi := cfg.Port(src, w)
+				if req[gi] != o {
+					continue
+				}
+				line := s.lineFor(d, src, ch)
+				s.lineReq[line] = true
+				s.lineInput[line] = gi
+				s.lineCh[line] = cid
+				any = true
+			}
+		}
+		if w := s.intermWin[o]; w >= 0 {
+			line := lines - 1
+			s.lineReq[line] = true
+			s.lineInput[line] = cfg.Port(d, w)
+			s.lineCh[line] = -1
+			any = true
+		}
+		if !any {
+			continue
+		}
+		var win int
+		if s.subCLRG != nil {
+			win = s.subCLRG[o].Arbitrate(s.lineReq, s.lineInput)
+		} else {
+			win = s.subPlain[o].Arbitrate(s.lineReq)
+		}
+		if win < 0 {
+			continue
+		}
+		gi := s.lineInput[win]
+		if cid := s.lineCh[win]; cid >= 0 {
+			s.chCols[cid].Update(cfg.LocalIndex(gi)) // back-propagated win
+			s.chBusy[cid] = true
+			s.heldCh[gi] = cid
+		} else {
+			s.interCols[o].Update(cfg.LocalIndex(gi))
+		}
+		// Losing local winners' connectivity bits must not gate data;
+		// only the final winner's path stays connected.
+		for i := 0; i < lines; i++ {
+			if i != win && s.lineReq[i] {
+				if cid := s.lineCh[i]; cid >= 0 {
+					s.chCols[cid].Disconnect(cfg.LocalIndex(s.lineInput[i]))
+				} else {
+					s.interCols[o].Disconnect(cfg.LocalIndex(s.lineInput[i]))
+				}
+			}
+		}
+		s.heldOut[gi] = o
+		s.heldLine[gi] = win
+		s.outIn[o] = gi
+		grants = append(grants, topo.Grant{In: gi, Out: o})
+	}
+	return grants
+}
+
+// Release frees the connection held by input in, clearing every
+// connectivity bit along its path.
+func (s *Switch) Release(in int) {
+	o := s.heldOut[in]
+	if o < 0 {
+		return
+	}
+	li := s.cfg.LocalIndex(in)
+	if cid := s.heldCh[in]; cid >= 0 {
+		s.chCols[cid].Disconnect(li)
+		s.chBusy[cid] = false
+		s.heldCh[in] = -1
+	} else {
+		s.interCols[o].Disconnect(li)
+	}
+	if line := s.heldLine[in]; line >= 0 {
+		if s.subCLRG != nil {
+			s.subCLRG[o].Disconnect(line)
+		} else {
+			s.subPlain[o].Disconnect(line)
+		}
+		s.heldLine[in] = -1
+	}
+	s.heldOut[in] = -1
+	s.outIn[o] = -1
+}
+
+// DriveAll models one data cycle through the whole fabric: every input
+// presents a word, connectivity bits gate words across the local
+// switches onto intermediate-output and L2LC buses, and the inter-layer
+// sub-blocks gate those buses onto the final outputs. It returns the
+// word observed at each output and a validity mask.
+func (s *Switch) DriveAll(data []uint64) ([]uint64, []bool) {
+	cfg := s.cfg
+	ports := s.ports
+	lines := cfg.SubBlockInputs()
+
+	// Layer-local views of the input data.
+	layerData := make([][]uint64, cfg.Layers)
+	for l := range layerData {
+		layerData[l] = data[l*ports : (l+1)*ports]
+	}
+	// Channel buses.
+	chBus := make([]uint64, cfg.NumL2LC())
+	chOk := make([]bool, cfg.NumL2LC())
+	for cid := range s.chCols {
+		src, _, _ := cfg.L2LCSrcDst(cid)
+		chBus[cid], chOk[cid] = s.chCols[cid].Drive(layerData[src])
+	}
+
+	out := make([]uint64, cfg.Radix)
+	ok := make([]bool, cfg.Radix)
+	lineData := make([]uint64, lines)
+	for o := 0; o < cfg.Radix; o++ {
+		d := cfg.LayerOf(o)
+		for i := range lineData {
+			lineData[i] = 0
+		}
+		for src := 0; src < cfg.Layers; src++ {
+			if src == d {
+				continue
+			}
+			for ch := 0; ch < cfg.Channels; ch++ {
+				cid := cfg.L2LCID(src, d, ch)
+				if chOk[cid] {
+					lineData[s.lineFor(d, src, ch)] = chBus[cid]
+				}
+			}
+		}
+		if v, on := s.interCols[o].Drive(layerData[d]); on {
+			lineData[lines-1] = v
+		}
+		if s.subCLRG != nil {
+			out[o], ok[o] = s.subCLRG[o].Drive(lineData)
+		} else {
+			out[o], ok[o] = s.subPlain[o].Drive(lineData)
+		}
+	}
+	return out, ok
+}

@@ -1,0 +1,161 @@
+package xpoint
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/reprolab/hirise/internal/core"
+	"github.com/reprolab/hirise/internal/prng"
+	"github.com/reprolab/hirise/internal/topo"
+)
+
+func TestNewSwitchValidation(t *testing.T) {
+	if _, err := NewSwitch(topo.Config{Radix: 64, Layers: 1}); err == nil {
+		t.Error("2D config accepted")
+	}
+	wlrg := topo.Config{Radix: 64, Layers: 4, Channels: 4, Scheme: topo.WLRG}
+	if _, err := NewSwitch(wlrg); err == nil {
+		t.Error("WLRG accepted — it has no cross-point implementation")
+	}
+	pri := topo.Config{Radix: 64, Layers: 4, Channels: 4, Alloc: topo.PriorityBased, Scheme: topo.L2LLRG}
+	if _, err := NewSwitch(pri); err == nil {
+		t.Error("priority-based allocation accepted")
+	}
+}
+
+// TestBitLevelMatchesBehavioural is the flagship equivalence check: the
+// switch assembled from paper-§IV cross-point circuits and the
+// behavioural core.Switch must form identical connections on identical
+// random request streams with random hold times, for both feasible
+// schemes and both binned allocation policies.
+func TestBitLevelMatchesBehavioural(t *testing.T) {
+	for _, scheme := range []topo.Scheme{topo.L2LLRG, topo.CLRG} {
+		for _, alloc := range []topo.AllocPolicy{topo.InputBinned, topo.OutputBinned} {
+			cfg := topo.Config{
+				Radix: 64, Layers: 4, Channels: 4,
+				Alloc: alloc, Scheme: scheme, Classes: 3,
+			}
+			bit, err := NewSwitch(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			beh, err := core.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := prng.New(uint64(1000 + int(scheme)*10 + int(alloc)))
+			req := make([]int, 64)
+			held := map[int]bool{}
+			for cycle := 0; cycle < 3000; cycle++ {
+				for i := range req {
+					req[i] = -1
+					if src.Bernoulli(0.5) {
+						req[i] = src.Intn(64)
+					}
+				}
+				ga := bit.Arbitrate(req)
+				gb := beh.Arbitrate(req)
+				if len(ga) != len(gb) {
+					t.Fatalf("%v/%v cycle %d: bit-level %v vs behavioural %v",
+						scheme, alloc, cycle, ga, gb)
+				}
+				for i := range ga {
+					if ga[i] != gb[i] {
+						t.Fatalf("%v/%v cycle %d: grant %d differs: %v vs %v",
+							scheme, alloc, cycle, i, ga[i], gb[i])
+					}
+					held[ga[i].In] = true
+				}
+				for in := range held {
+					if src.Bernoulli(0.3) {
+						bit.Release(in)
+						beh.Release(in)
+						delete(held, in)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBitLevelReproducesPaperSequences replays the golden Fig 4/5
+// sequences on the circuit-level switch.
+func TestBitLevelReproducesPaperSequences(t *testing.T) {
+	req := make([]int, 64)
+	for i := range req {
+		req[i] = -1
+	}
+	for _, in := range []int{3, 7, 11, 15, 20} {
+		req[in] = 63
+	}
+	seq := func(scheme topo.Scheme) []int {
+		s, err := NewSwitch(topo.Config{
+			Radix: 64, Layers: 4, Channels: 1,
+			Alloc: topo.InputBinned, Scheme: scheme, Classes: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []int
+		for len(got) < 10 {
+			for _, g := range s.Arbitrate(req) {
+				got = append(got, g.In)
+				s.Release(g.In)
+			}
+		}
+		return got
+	}
+	l2l := seq(topo.L2LLRG)
+	wantL2L := []int{3, 20, 7, 20, 11, 20, 15, 20, 3, 20}
+	for i := range wantL2L {
+		if l2l[i] != wantL2L[i] {
+			t.Fatalf("L-2-L LRG circuit sequence %v, want %v", l2l, wantL2L)
+		}
+	}
+	clrg := seq(topo.CLRG)
+	wantCLRG := []int{3, 20, 7, 11, 15, 20, 3, 7, 11, 15}
+	for i := range wantCLRG {
+		if clrg[i] != wantCLRG[i] {
+			t.Fatalf("CLRG circuit sequence %v, want %v", clrg, wantCLRG)
+		}
+	}
+}
+
+// TestColumnEvaluateDoesNotMutate verifies the evaluate/update split the
+// back-propagated local update depends on.
+func TestColumnEvaluateDoesNotMutate(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		src := prng.New(seed)
+		n := 2 + src.Intn(10)
+		c := NewColumn(n)
+		r := make([]bool, n)
+		for i := range r {
+			r[i] = src.Bernoulli(0.5)
+		}
+		a := c.Evaluate(r)
+		b := c.Evaluate(r)
+		return a == b
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBitLevelArbitrate(b *testing.B) {
+	s, err := NewSwitch(topo.Config{
+		Radix: 64, Layers: 4, Channels: 4,
+		Alloc: topo.InputBinned, Scheme: topo.CLRG, Classes: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := make([]int, 64)
+	for i := range req {
+		req[i] = (i * 29) % 64
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, g := range s.Arbitrate(req) {
+			s.Release(g.In)
+		}
+	}
+}

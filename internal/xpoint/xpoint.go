@@ -1,0 +1,139 @@
+// Package xpoint models the Swizzle-Switch cross-point circuits at the
+// bit level (paper §II-A and §IV): the matrix crossbar's output column
+// whose data lines are reused as precharged priority lines during
+// arbitration, the per-cross-point priority vectors and connectivity
+// bits, and the CLRG cross-point of Fig 7 with its thermometer class
+// counters, priority-select muxes (PSMs), and class-grouped priority
+// line segments.
+//
+// The package exists as an independent, circuit-faithful implementation
+// of the same policies as internal/arb; differential tests drive both
+// with identical request streams and require identical grants forever.
+// That equivalence is the evidence that the behavioural models used by
+// the simulator really do describe the silicon mechanism the paper
+// builds.
+package xpoint
+
+// Column is one output column of a matrix Swizzle-Switch: n cross-points
+// (one per input row) sharing the output bus, which doubles as n
+// precharged priority lines during the arbitration phase.
+//
+// Each cross-point i stores a priority vector pri[i]: pri[i][j] set means
+// input i has priority over input j for this output. During arbitration,
+// every requesting cross-point pulls down the priority lines of the
+// inputs it beats; a requestor whose own line stays high wins, sets its
+// connectivity bit through the sense-amp latch, and the column commits
+// the LRG update (winner loses to everyone).
+type Column struct {
+	n       int
+	pri     [][]bool
+	connect []bool
+	lines   []bool // scratch: priority lines, true = precharged high
+}
+
+// NewColumn returns a column over n inputs with initial priority order
+// 0 > 1 > ... > n-1.
+func NewColumn(n int) *Column {
+	c := &Column{
+		n:       n,
+		pri:     make([][]bool, n),
+		connect: make([]bool, n),
+		lines:   make([]bool, n),
+	}
+	for i := range c.pri {
+		c.pri[i] = make([]bool, n)
+		for j := i + 1; j < n; j++ {
+			c.pri[i][j] = true
+		}
+	}
+	return c
+}
+
+// Arbitrate runs one arbitration phase: precharge, evaluate, latch.
+// It returns the winning input (connectivity bit set) or -1, and commits
+// the self-updating LRG priority change. 2D Swizzle-Switch columns
+// update unconditionally; Hi-Rise local-switch columns instead call
+// Evaluate and commit with Update only when the inter-layer switch
+// back-propagates a final-output win (paper §III-B1).
+func (c *Column) Arbitrate(req []bool) int {
+	winner := c.Evaluate(req)
+	if winner >= 0 {
+		c.Update(winner)
+	}
+	return winner
+}
+
+// Evaluate runs precharge + evaluate + latch without touching the
+// priority bits, returning the winner or -1.
+func (c *Column) Evaluate(req []bool) int {
+	// Precharge: all priority lines high, connectivity bits cleared
+	// (the previous connection's release precedes re-arbitration).
+	for i := range c.lines {
+		c.lines[i] = true
+		c.connect[i] = false
+	}
+	// Evaluate: every requesting cross-point's pull-down transistors
+	// discharge the lines of the inputs it beats.
+	for i := 0; i < c.n; i++ {
+		if !req[i] {
+			continue
+		}
+		for j := 0; j < c.n; j++ {
+			if c.pri[i][j] {
+				c.lines[j] = false
+			}
+		}
+	}
+	// Sense: a requestor whose own polled line stayed high latches its
+	// connectivity bit.
+	winner := -1
+	for i := 0; i < c.n; i++ {
+		if req[i] && c.lines[i] {
+			if winner >= 0 {
+				panic("xpoint: two connectivity bits latched — priority matrix corrupt")
+			}
+			winner = i
+		}
+	}
+	if winner < 0 {
+		return -1
+	}
+	c.connect[winner] = true
+	return winner
+}
+
+// Update commits the self-updating LRG priority change for a winner:
+// its row clears (beats nobody) and its column sets in every other
+// cross-point (everybody beats it).
+func (c *Column) Update(winner int) {
+	for j := 0; j < c.n; j++ {
+		if j != winner {
+			c.pri[winner][j] = false
+			c.pri[j][winner] = true
+		}
+	}
+}
+
+// Connected reports whether input i's connectivity bit is set (it
+// carries data until the next arbitration phase).
+func (c *Column) Connected(i int) bool { return c.connect[i] }
+
+// Disconnect clears input i's connectivity bit (the release at the end
+// of a packet).
+func (c *Column) Disconnect(i int) { c.connect[i] = false }
+
+// Drive models the data phase: the cross-point whose connectivity bit is
+// set gates its input word onto the shared output bus. It returns the
+// bus value and whether any cross-point drove it.
+func (c *Column) Drive(inputData []uint64) (uint64, bool) {
+	for i, on := range c.connect {
+		if on {
+			return inputData[i], true
+		}
+	}
+	return 0, false
+}
+
+// PriorityLinesUsed returns how many output-bus wires the arbitration
+// phase borrows: one per input row.
+func (c *Column) PriorityLinesUsed() int { return c.n }
