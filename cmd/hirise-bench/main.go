@@ -5,34 +5,46 @@
 //	hirise-bench -list
 //	hirise-bench -run table4
 //	hirise-bench -run fig10,fig11a
-//	hirise-bench -run all [-quick] [-seed N] [-warmup N] [-measure N]
+//	hirise-bench -run all [-quick] [-parallel N] [-seed N] [-warmup N] [-measure N]
 //
 // Each experiment prints as an aligned text table; figure experiments
 // print their series as columns (one row per x-axis point), ready for
 // plotting. Fidelity defaults to the EXPERIMENTS.md settings; -quick
 // trades accuracy for speed.
+//
+// Experiments, and the simulations inside each experiment, run
+// concurrently on up to -parallel workers. Every simulation derives its
+// seed from the experiment ID and its position in the sweep — never from
+// scheduling — so stdout is byte-identical at every -parallel value.
+// Per-experiment timings go to stderr.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"github.com/reprolab/hirise"
+	"github.com/reprolab/hirise/internal/pool"
 )
 
 func main() {
 	var (
-		run     = flag.String("run", "", "comma-separated experiment IDs, or \"all\"")
-		list    = flag.Bool("list", false, "list available experiments and exit")
-		quick   = flag.Bool("quick", false, "reduced fidelity for a fast smoke run")
-		seed    = flag.Uint64("seed", 0, "override random seed")
-		warmup  = flag.Int64("warmup", 0, "override warmup cycles")
-		measure = flag.Int64("measure", 0, "override measurement cycles")
-		format  = flag.String("format", "text", "output format: text | csv | json")
-		plotIt  = flag.Bool("plot", false, "draw figure experiments as ASCII charts (text format only)")
+		run      = flag.String("run", "", "comma-separated experiment IDs, or \"all\"")
+		list     = flag.Bool("list", false, "list available experiments and exit")
+		quick    = flag.Bool("quick", false, "reduced fidelity for a fast smoke run")
+		seed     = flag.Uint64("seed", 0, "override random seed (the engine remaps 0 to 1)")
+		warmup   = flag.Int64("warmup", 0, "override warmup cycles (0 keeps the built-in default)")
+		measure  = flag.Int64("measure", 0, "override measurement cycles (0 keeps the built-in default)")
+		format   = flag.String("format", "text", "output format: text | csv | json")
+		plotIt   = flag.Bool("plot", false, "draw figure experiments as ASCII charts (text format only)")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
+			"max concurrent experiments and simulations per experiment; 1 forces serial. Output is byte-identical at any value")
 	)
 	flag.Parse()
 
@@ -46,54 +58,142 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *format != "text" && *format != "csv" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "unknown format %q (want text, csv, or json)\n", *format)
+		os.Exit(2)
+	}
 
 	opts := hirise.DefaultExperimentOpts()
 	if *quick {
 		opts = hirise.QuickExperimentOpts()
 	}
-	if *seed != 0 {
-		opts.Seed = *seed
-	}
-	if *warmup != 0 {
-		opts.Warmup = *warmup
-	}
-	if *measure != 0 {
-		opts.Measure = *measure
+	// Apply an override whenever its flag appeared on the command line, so
+	// explicit zeroes reach the engine too. The engine treats zero as
+	// "unset" (sim.Config.Defaults remaps Seed 0 to 1 and restores the
+	// fidelity's windows), so an explicit zero selects the default — say
+	// so rather than silently ignoring the flag.
+	flag.Visit(func(fl *flag.Flag) {
+		switch fl.Name {
+		case "seed":
+			opts.Seed = *seed
+			if *seed == 0 {
+				fmt.Fprintln(os.Stderr, "note: -seed 0 means unset and is remapped to 1 by the simulator")
+			}
+		case "warmup":
+			opts.Warmup = *warmup
+			if *warmup == 0 {
+				fmt.Fprintln(os.Stderr, "note: -warmup 0 means unset and falls back to the publication default, even with -quick")
+			}
+		case "measure":
+			opts.Measure = *measure
+			if *measure == 0 {
+				fmt.Fprintln(os.Stderr, "note: -measure 0 means unset and falls back to the publication default, even with -quick")
+			}
+		}
+	})
+	opts.Workers = *parallel
+
+	ids, err := resolveIDs(*run, hirise.Experiments())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintf(os.Stderr, "valid ids: %s\n", strings.Join(hirise.Experiments(), ", "))
+		os.Exit(2)
 	}
 
-	ids := strings.Split(*run, ",")
-	if *run == "all" {
-		ids = hirise.Experiments()
+	if err := runExperiments(os.Stdout, os.Stderr, ids, opts, *format, *plotIt); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	for _, id := range ids {
+}
+
+// resolveIDs expands and validates the -run specification against the
+// experiment registry before anything runs, so an unknown id aborts with
+// a clean usage error instead of stopping mid-run with partial output.
+// Empty elements are skipped and duplicates collapse to their first
+// occurrence. The spec "all" expands to every experiment.
+func resolveIDs(spec string, valid []string) ([]string, error) {
+	if strings.TrimSpace(spec) == "all" {
+		return valid, nil
+	}
+	known := make(map[string]bool, len(valid))
+	for _, id := range valid {
+		known[id] = true
+	}
+	var ids []string
+	seen := make(map[string]bool)
+	for _, id := range strings.Split(spec, ",") {
 		id = strings.TrimSpace(id)
+		if id == "" || seen[id] {
+			continue
+		}
+		if !known[id] {
+			return nil, fmt.Errorf("unknown experiment %q", id)
+		}
+		seen[id] = true
+		ids = append(ids, id)
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("no experiment ids in %q", spec)
+	}
+	return ids, nil
+}
+
+// runExperiments runs the experiments on at most opts.Workers
+// concurrent workers, each rendering into a private buffer, and writes
+// the buffers to w strictly in id order — streaming each one as soon as
+// it and all of its predecessors are ready, so long runs show progress
+// while concurrent runs still write exactly the bytes serial runs
+// write. Per-experiment timings go to errw alongside the corresponding
+// output. On failure the outputs preceding the first failing id have
+// been written (matching what a serial run would have printed) and that
+// id's error is returned.
+func runExperiments(w, errw io.Writer, ids []string, opts hirise.ExperimentOpts, format string, plotIt bool) error {
+	type rendered struct {
+		out []byte
+		dur time.Duration
+		err error
+	}
+	done := make([]chan rendered, len(ids))
+	for i := range done {
+		done[i] = make(chan rendered, 1)
+	}
+	go pool.Do(len(ids), opts.Workers, func(i int) {
 		start := time.Now()
-		tb, err := hirise.RunExperiment(id, opts)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		var buf bytes.Buffer
+		err := renderOne(&buf, ids[i], opts, format, plotIt)
+		done[i] <- rendered{out: buf.Bytes(), dur: time.Since(start), err: err}
+	})
+	for i := range ids {
+		r := <-done[i]
+		if r.err != nil {
+			return r.err
 		}
-		switch *format {
-		case "text":
-			tb.Fprint(os.Stdout)
-			if *plotIt {
-				if ok, perr := tb.RenderPlot(os.Stdout, 72, 20); ok && perr != nil {
-					err = perr
-				} else if ok {
-					fmt.Println()
-				}
-			}
-			fmt.Printf("(%s took %.1fs)\n\n", id, time.Since(start).Seconds())
-		case "csv":
-			err = tb.WriteCSV(os.Stdout)
-		case "json":
-			err = tb.WriteJSON(os.Stdout)
-		default:
-			err = fmt.Errorf("unknown format %q", *format)
-		}
+		w.Write(r.out)
+		fmt.Fprintf(errw, "(%s took %.1fs)\n", ids[i], r.dur.Seconds())
+	}
+	return nil
+}
+
+func renderOne(buf *bytes.Buffer, id string, opts hirise.ExperimentOpts, format string, plotIt bool) error {
+	tb, err := hirise.RunExperiment(id, opts)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "csv":
+		return tb.WriteCSV(buf)
+	case "json":
+		return tb.WriteJSON(buf)
+	}
+	tb.Fprint(buf)
+	if plotIt {
+		ok, err := tb.RenderPlot(buf, 72, 20)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
+		}
+		if ok {
+			fmt.Fprintln(buf)
 		}
 	}
+	return nil
 }

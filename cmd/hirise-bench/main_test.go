@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"github.com/reprolab/hirise"
+)
+
+func TestResolveIDs(t *testing.T) {
+	valid := []string{"table1", "table4", "fig10"}
+	cases := []struct {
+		spec string
+		want []string
+		ok   bool
+	}{
+		{"all", valid, true},
+		{" all ", valid, true},
+		{"table4", []string{"table4"}, true},
+		{"fig10,table1", []string{"fig10", "table1"}, true},
+		{"table4,table4,table4", []string{"table4"}, true},
+		{" table4 , ,fig10,", []string{"table4", "fig10"}, true},
+		{"nope", nil, false},
+		{"table4,nope", nil, false},
+		{"", nil, false},
+		{",,", nil, false},
+	}
+	for _, c := range cases {
+		got, err := resolveIDs(c.spec, valid)
+		if c.ok != (err == nil) {
+			t.Errorf("resolveIDs(%q): err = %v, want ok=%v", c.spec, err, c.ok)
+			continue
+		}
+		if c.ok && !reflect.DeepEqual(got, c.want) {
+			t.Errorf("resolveIDs(%q) = %v, want %v", c.spec, got, c.want)
+		}
+	}
+}
+
+func TestResolveIDsValidatesBeforeRunning(t *testing.T) {
+	// The whole point of up-front validation: a spec mixing good and bad
+	// ids must fail as a unit, not start the good ones.
+	if _, err := resolveIDs("table4,bogus", []string{"table4"}); err == nil {
+		t.Fatal("want error for spec with one unknown id")
+	} else if !strings.Contains(err.Error(), "bogus") {
+		t.Errorf("error %q does not name the unknown id", err)
+	}
+}
+
+func fastOpts(workers int) hirise.ExperimentOpts {
+	o := hirise.QuickExperimentOpts()
+	o.Warmup, o.Measure = 500, 2000
+	o.Workers = workers
+	return o
+}
+
+// TestRunExperimentsWorkerCountInvariance checks the CLI's end-to-end
+// guarantee: the bytes written to stdout for a multi-experiment run are
+// identical at every -parallel value, in every output format.
+func TestRunExperimentsWorkerCountInvariance(t *testing.T) {
+	ids := []string{"table1", "fig9a", "corner", "cache-mpki"}
+	render := func(workers int, format string) []byte {
+		t.Helper()
+		var out, timings bytes.Buffer
+		if err := runExperiments(&out, &timings, ids, fastOpts(workers), format, format == "text"); err != nil {
+			t.Fatalf("%s workers=%d: %v", format, workers, err)
+		}
+		if got := strings.Count(timings.String(), "took"); got != len(ids) {
+			t.Fatalf("%s workers=%d: %d timing lines for %d ids", format, workers, got, len(ids))
+		}
+		return out.Bytes()
+	}
+	for _, format := range []string{"text", "csv", "json"} {
+		serial := render(1, format)
+		if len(serial) == 0 {
+			t.Fatalf("%s: empty serial output", format)
+		}
+		for _, w := range []int{4, runtime.GOMAXPROCS(0)} {
+			if got := render(w, format); !bytes.Equal(serial, got) {
+				t.Errorf("%s: workers=%d stdout differs from serial", format, w)
+			}
+		}
+	}
+}

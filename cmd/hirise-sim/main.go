@@ -44,6 +44,7 @@ func main() {
 		flits    = flag.Int("flits", 4, "flits per packet")
 		perInput = flag.Bool("perinput", false, "print per-input latency and throughput")
 		sweep    = flag.String("sweep", "", "sweep loads lo:hi:step (packets/cycle/input) instead of a single run")
+		workers  = flag.Int("parallel", 0, "concurrent sweep points (0 = all CPUs, 1 = serial); results are identical at any value")
 	)
 	flag.Parse()
 
@@ -71,27 +72,37 @@ func main() {
 		fail("unknown allocation %q", *alloc)
 	}
 
+	// Normalize the design and compute its physical cost once so that
+	// makeSwitch is a pure factory, safe to call from concurrent sweep
+	// points.
 	tech := hirise.Tech32nm()
 	var cost hirise.Cost
+	switch strings.ToLower(*design) {
+	case "2d":
+		cfg.Layers = 1
+		cost = hirise.CostOf(cfg, tech)
+	case "folded":
+		cost = hirise.FoldedCost(*radix, *layers, tech)
+	case "hirise":
+		if _, err := hirise.New(cfg); err != nil {
+			fail("%v", err)
+		}
+		cost = hirise.CostOf(cfg, tech)
+	default:
+		fail("unknown design %q", *design)
+	}
 	makeSwitch := func() hirise.SimSwitch {
 		switch strings.ToLower(*design) {
 		case "2d":
-			cfg.Layers = 1
-			cost = hirise.CostOf(cfg, tech)
 			return hirise.New2D(*radix)
 		case "folded":
-			cost = hirise.FoldedCost(*radix, *layers, tech)
 			return hirise.NewFolded(*radix, *layers)
-		case "hirise":
+		default:
 			s, err := hirise.New(cfg)
 			if err != nil {
-				fail("%v", err)
+				panic(err) // validated above
 			}
-			cost = hirise.CostOf(cfg, tech)
 			return s
-		default:
-			fail("unknown design %q", *design)
-			return nil
 		}
 	}
 	makeTraffic := func() hirise.TrafficPattern {
@@ -125,24 +136,27 @@ func main() {
 		if err != nil {
 			fail("%v", err)
 		}
-		makeSwitch() // set cost for unit conversion
+		makeTraffic() // reject unknown patterns before fanning out
+		var loads []float64
+		for load := lo; load <= hi+1e-12; load += step {
+			loads = append(loads, load)
+		}
+		results, err := hirise.LoadSweep(hirise.SimConfig{
+			PacketFlits: *flits, VCs: *vcs,
+			Warmup: *warmup, Measure: *measure, Seed: *seed,
+		}, makeSwitch, makeTraffic, loads, *workers)
+		if err != nil {
+			fail("%v", err)
+		}
 		fmt.Printf("%-14s %-12s %-12s %-10s %-8s %s\n",
 			"load(pkt/cyc)", "load(pkt/ns)", "tput(pkt/ns)", "lat(ns)", "p99(cyc)", "state")
-		for load := lo; load <= hi+1e-12; load += step {
-			res, err := hirise.Simulate(hirise.SimConfig{
-				Switch: makeSwitch(), Traffic: makeTraffic(), Load: load,
-				PacketFlits: *flits, VCs: *vcs,
-				Warmup: *warmup, Measure: *measure, Seed: *seed,
-			})
-			if err != nil {
-				fail("%v", err)
-			}
+		for i, res := range results {
 			state := "ok"
 			if res.Saturated() {
 				state = "saturated"
 			}
 			fmt.Printf("%-14.4f %-12.4f %-12.2f %-10.2f %-8.0f %s\n",
-				load, load*cost.FreqGHz, res.AcceptedPackets*cost.FreqGHz,
+				loads[i], loads[i]*cost.FreqGHz, res.AcceptedPackets*cost.FreqGHz,
 				res.AvgLatency*cost.CycleNS(), res.P99Latency, state)
 		}
 		return

@@ -140,6 +140,17 @@ func Simulate(cfg SimConfig) (SimResult, error) { return sim.Run(cfg) }
 // SaturationThroughput measures the fully-backlogged accepted flit rate.
 func SaturationThroughput(cfg SimConfig) (float64, error) { return sim.SaturationThroughput(cfg) }
 
+// LoadSweep simulates the base configuration at each offered load on at
+// most workers concurrent runs (0 selects all CPUs, 1 forces serial) and
+// returns the results in load order. Each point runs a fresh switch from
+// newSwitch under a seed derived from (base.Seed, point index), so the
+// results are identical at every worker count. newTraffic, when non-nil,
+// gives each point its own traffic pattern; it is required for stateful
+// patterns such as BurstyTraffic.
+func LoadSweep(base SimConfig, newSwitch func() SimSwitch, newTraffic func() TrafficPattern, loads []float64, workers int) ([]SimResult, error) {
+	return sim.LoadSweep(base, newSwitch, newTraffic, loads, workers)
+}
+
 // Traffic patterns (paper §V, §VI).
 type (
 	// UniformTraffic is uniform random traffic.

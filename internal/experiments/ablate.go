@@ -24,7 +24,7 @@ func AblateClasses(o Opts) *Table {
 	o = o.norm()
 	classCounts := []int{2, 3, 4, 6, 8}
 	rows := make([][]string, len(classCounts))
-	parallel(len(classCounts), func(i int) {
+	o.sweep(len(classCounts), func(i int) {
 		classes := classCounts[i]
 		mk := func() *core.Switch {
 			sw, err := core.New(topo.Config{
@@ -40,7 +40,7 @@ func AblateClasses(o Opts) *Table {
 			Switch:  mk(),
 			Traffic: traffic.Hotspot{Target: 63},
 			Load:    1.0,
-			Warmup:  o.Warmup, Measure: o.Measure, Seed: o.Seed,
+			Warmup:  o.Warmup, Measure: o.Measure, Seed: o.seedFor("ablate-classes", i, 0),
 		})
 		if err != nil {
 			panic(err)
@@ -52,7 +52,7 @@ func AblateClasses(o Opts) *Table {
 			Switch:  mk(),
 			Traffic: traffic.Hotspot{Target: 63},
 			Load:    0.95 * 0.2 / 64,
-			Warmup:  o.Warmup * 4, Measure: o.Measure * 4, Seed: o.Seed,
+			Warmup:  o.Warmup * 4, Measure: o.Measure * 4, Seed: o.seedFor("ablate-classes", i, 1),
 		})
 		if err != nil {
 			panic(err)
@@ -104,10 +104,10 @@ func AblateAlloc(o Opts) *Table {
 	}
 
 	rows := make([][]string, len(policies))
-	parallel(len(policies), func(pi int) {
+	o.sweep(len(policies), func(pi int) {
 		cfg := cfgFor(policies[pi])
 		row := []string{policies[pi].String()}
-		for _, pat := range patterns {
+		for pati, pat := range patterns {
 			sw, err := core.New(cfg)
 			if err != nil {
 				panic(err)
@@ -115,7 +115,8 @@ func AblateAlloc(o Opts) *Table {
 			flits, err := sim.SaturationThroughput(sim.Config{
 				Switch:  sw,
 				Traffic: pat.make(cfg),
-				Warmup:  o.Warmup, Measure: o.Measure, Seed: o.Seed,
+				Warmup:  o.Warmup, Measure: o.Measure,
+				Seed: o.seedFor("ablate-alloc", pi*len(patterns)+pati, 0),
 			})
 			if err != nil {
 				panic(err)
@@ -143,13 +144,13 @@ func AblateVCs(o Opts) *Table {
 	o = o.norm()
 	vcs := []int{1, 2, 4, 8}
 	rows := make([][]string, len(vcs))
-	parallel(len(vcs), func(i int) {
+	o.sweep(len(vcs), func(i int) {
 		d := designHiRise("", 4, topo.CLRG)
 		flits, err := sim.SaturationThroughput(sim.Config{
 			Switch:  d.NewSwitch(),
 			Traffic: traffic.Uniform{Radix: 64},
 			VCs:     vcs[i],
-			Warmup:  o.Warmup, Measure: o.Measure, Seed: o.Seed,
+			Warmup:  o.Warmup, Measure: o.Measure, Seed: o.seedFor("ablate-vcs", i, 0),
 		})
 		if err != nil {
 			panic(err)
@@ -159,7 +160,7 @@ func AblateVCs(o Opts) *Table {
 			Traffic: traffic.Uniform{Radix: 64},
 			VCs:     vcs[i],
 			Load:    0.05,
-			Warmup:  o.Warmup, Measure: o.Measure, Seed: o.Seed,
+			Warmup:  o.Warmup, Measure: o.Measure, Seed: o.seedFor("ablate-vcs", i, 1),
 		})
 		if err != nil {
 			panic(err)
@@ -193,24 +194,23 @@ func Locality(o Opts) *Table {
 		designHiRise("3D 1-Channel", 1, topo.CLRG),
 	}
 	cells := make([][]string, len(designs))
-	parallel(len(designs), func(di int) {
-		d := designs[di]
-		col := make([]string, len(fracs))
-		for fi, frac := range fracs {
-			flits, err := sim.SaturationThroughput(sim.Config{
-				Switch: d.NewSwitch(),
-				Traffic: traffic.LayerMix{
-					Cfg:       designHiRise("", 4, topo.CLRG).Cfg,
-					LocalFrac: frac,
-				},
-				Warmup: o.Warmup, Measure: o.Measure, Seed: o.Seed,
-			})
-			if err != nil {
-				panic(err)
-			}
-			col[fi] = f(flits, 1)
+	for di := range cells {
+		cells[di] = make([]string, len(fracs))
+	}
+	o.sweep(len(designs)*len(fracs), func(k int) {
+		di, fi := k/len(fracs), k%len(fracs)
+		flits, err := sim.SaturationThroughput(sim.Config{
+			Switch: designs[di].NewSwitch(),
+			Traffic: traffic.LayerMix{
+				Cfg:       designHiRise("", 4, topo.CLRG).Cfg,
+				LocalFrac: fracs[fi],
+			},
+			Warmup: o.Warmup, Measure: o.Measure, Seed: o.seedFor("locality", k, 0),
+		})
+		if err != nil {
+			panic(err)
 		}
-		cells[di] = col
+		cells[di][fi] = f(flits, 1)
 	})
 	rows := make([][]string, len(fracs))
 	for fi, frac := range fracs {
@@ -265,7 +265,7 @@ func AblateQoS(o Opts) *Table {
 		Switch:  sw,
 		Traffic: traffic.Hotspot{Target: 63},
 		Load:    1.0,
-		Warmup:  o.Warmup, Measure: o.Measure, Seed: o.Seed,
+		Warmup:  o.Warmup, Measure: o.Measure, Seed: o.seedFor("ablate-qos", 0, 0),
 	})
 	if err != nil {
 		panic(err)
@@ -302,7 +302,7 @@ func AblateISLIP(o Opts) *Table {
 	schemes := []topo.Scheme{topo.L2LLRG, topo.ISLIP1, topo.CLRG}
 	inputs := []int{3, 7, 11, 15, 20}
 	cols := make([][]float64, len(schemes))
-	parallel(len(schemes), func(si int) {
+	o.sweep(len(schemes), func(si int) {
 		sw, err := core.New(topo.Config{
 			Radix: 64, Layers: 4, Channels: 1,
 			Alloc: topo.InputBinned, Scheme: schemes[si], Classes: 3,
@@ -314,7 +314,7 @@ func AblateISLIP(o Opts) *Table {
 			Switch:  sw,
 			Traffic: traffic.Adversarial(),
 			Load:    1.0,
-			Warmup:  o.Warmup, Measure: o.Measure, Seed: o.Seed,
+			Warmup:  o.Warmup, Measure: o.Measure, Seed: o.seedFor("ablate-islip", si, 0),
 		})
 		if err != nil {
 			panic(err)
@@ -355,13 +355,13 @@ func AblateBursty(o Opts) *Table {
 	o = o.norm()
 	designs := arbitrationDesigns()
 	rows := make([][]string, len(designs))
-	parallel(len(designs), func(di int) {
+	o.sweep(len(designs), func(di int) {
 		d := designs[di]
 		res, err := sim.Run(sim.Config{
 			Switch:  d.NewSwitch(),
 			Traffic: traffic.NewBursty(64, 16),
 			Load:    0.3,
-			Warmup:  o.Warmup, Measure: o.Measure, Seed: o.Seed,
+			Warmup:  o.Warmup, Measure: o.Measure, Seed: o.seedFor("ablate-bursty", di, 0),
 		})
 		if err != nil {
 			panic(err)

@@ -54,7 +54,7 @@ func AblatePacketLength(o Opts) *Table {
 	o = o.norm()
 	lengths := []int{1, 2, 4, 8, 16}
 	rows := make([][]string, len(lengths))
-	parallel(len(lengths), func(i int) {
+	o.sweep(len(lengths), func(i int) {
 		n := lengths[i]
 		d := designHiRise("", 4, topo.CLRG)
 		sat, err := sim.SaturationThroughput(sim.Config{
@@ -62,7 +62,7 @@ func AblatePacketLength(o Opts) *Table {
 			Traffic: traffic.Uniform{Radix: 64},
 			// Keep buffering per VC matched to the packet.
 			PacketFlits: n,
-			Warmup:      o.Warmup, Measure: o.Measure, Seed: o.Seed,
+			Warmup:      o.Warmup, Measure: o.Measure, Seed: o.seedFor("ablate-pktlen", i, 0),
 		})
 		if err != nil {
 			panic(err)
@@ -72,7 +72,7 @@ func AblatePacketLength(o Opts) *Table {
 			Traffic:     traffic.Uniform{Radix: 64},
 			PacketFlits: n,
 			Load:        0.02,
-			Warmup:      o.Warmup, Measure: o.Measure, Seed: o.Seed,
+			Warmup:      o.Warmup, Measure: o.Measure, Seed: o.seedFor("ablate-pktlen", i, 1),
 		})
 		if err != nil {
 			panic(err)

@@ -23,14 +23,14 @@ func CacheMPKI(o Opts) *Table {
 	names := []string{"sjeng", "gcc", "astar", "sjas", "milc", "swim", "Gems", "mcf"}
 	refs := int(o.Measure) * 8
 	rows := make([][]string, len(names))
-	parallel(len(names), func(i int) {
+	o.sweep(len(names), func(i int) {
 		b, err := trace.Lookup(names[i])
 		if err != nil {
 			panic(err)
 		}
 		target := b.NetMPKI / 1000 / memRefsPerInstr
 		p := cache.ForMissRate(target, cache.L1D())
-		measured, err := cache.MeasureMissRate(p, cache.L1D(), refs, o.Seed)
+		measured, err := cache.MeasureMissRate(p, cache.L1D(), refs, o.seedFor("cache-mpki", i, 0))
 		if err != nil {
 			panic(err)
 		}

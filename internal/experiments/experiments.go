@@ -12,11 +12,11 @@ import (
 	"fmt"
 	"io"
 	"strings"
-	"sync"
 
 	"github.com/reprolab/hirise/internal/core"
 	"github.com/reprolab/hirise/internal/crossbar"
 	"github.com/reprolab/hirise/internal/phys"
+	"github.com/reprolab/hirise/internal/pool"
 	"github.com/reprolab/hirise/internal/sim"
 	"github.com/reprolab/hirise/internal/topo"
 )
@@ -25,10 +25,16 @@ import (
 type Opts struct {
 	// Warmup and Measure are the simulation windows in cycles.
 	Warmup, Measure int64
-	// Seed drives all stochastic components.
+	// Seed drives all stochastic components. Every simulation task
+	// derives its own stream from it via seedFor, so results are
+	// identical at any Workers count.
 	Seed uint64
 	// Tech is the process technology (zero value: Default32nm).
 	Tech phys.Tech
+	// Workers bounds the number of simulations run concurrently within
+	// an experiment: 0 selects runtime.GOMAXPROCS(0), 1 forces serial
+	// execution. Output is byte-identical at every value.
+	Workers int
 }
 
 // DefaultOpts returns the fidelity used for the published EXPERIMENTS.md
@@ -43,6 +49,11 @@ func QuickOpts() Opts {
 	return Opts{Warmup: 2000, Measure: 8000, Seed: 1, Tech: phys.Default32nm()}
 }
 
+// norm fills unset (zero) fields with the DefaultOpts values. Note that
+// zero means "unset" for every numeric field, so an explicit Seed 0 or
+// Warmup 0 is indistinguishable from the default and is remapped (Seed
+// 0 becomes 1, mirroring sim.Config.Defaults); Workers 0 is left for
+// the pool to resolve to runtime.GOMAXPROCS(0).
 func (o Opts) norm() Opts {
 	d := DefaultOpts()
 	if o.Warmup == 0 {
@@ -207,17 +218,19 @@ func (d Design) ConfigString() string {
 	}
 }
 
-// parallel runs fn(i) for i in [0,n) concurrently and waits.
-func parallel(n int, fn func(i int)) {
-	var wg sync.WaitGroup
-	wg.Add(n)
-	for i := 0; i < n; i++ {
-		go func(i int) {
-			defer wg.Done()
-			fn(i)
-		}(i)
-	}
-	wg.Wait()
+// sweep runs fn(i) for i in [0,n) through the bounded worker pool at the
+// options' worker count and waits. fn must write only index-owned state;
+// per-task PRNG streams come from o.seedFor, never from scheduling.
+func (o Opts) sweep(n int, fn func(i int)) { pool.Do(n, o.Workers, fn) }
+
+// seedFor derives the PRNG seed of one simulation task from the base
+// seed and the task's stable coordinates: the experiment ID, the point
+// index within the sweep, and the replicate (seed) index. The derivation
+// (splitmix64 chaining, see internal/pool) depends only on these
+// coordinates — never on worker identity or completion order — which is
+// what makes parallel experiment output byte-identical to serial output.
+func (o Opts) seedFor(id string, point, replicate int) uint64 {
+	return pool.SeedFor(o.Seed, pool.StringID(id), uint64(point), uint64(replicate))
 }
 
 // f formats a float with the given precision.

@@ -30,7 +30,8 @@ func Fig9a(o Opts) *Table {
 	o = o.norm()
 	radices := []int{16, 32, 48, 64, 80, 96, 112, 128}
 	rows := make([][]string, len(radices))
-	for i, n := range radices {
+	o.sweep(len(radices), func(i int) {
+		n := radices[i]
 		rows[i] = []string{
 			fmt.Sprintf("%d", n),
 			f(phys.Flat2D(n, o.Tech).FreqGHz, 2),
@@ -38,7 +39,7 @@ func Fig9a(o Opts) *Table {
 			f(hiriseAt(n, 4, 2, topo.L2LLRG).Cost(o.Tech).FreqGHz, 2),
 			f(hiriseAt(n, 4, 1, topo.L2LLRG).Cost(o.Tech).FreqGHz, 2),
 		}
-	}
+	})
 	return &Table{
 		ID:     "fig9a",
 		Title:  "Frequency (GHz) vs radix, 4-layer 3D switch",
@@ -52,14 +53,15 @@ func Fig9a(o Opts) *Table {
 // silicon layers for radices 48, 64, 80, and 128 (4-channel).
 func Fig9b(o Opts) *Table {
 	o = o.norm()
-	rows := make([][]string, 0, 6)
-	for layers := 2; layers <= 7; layers++ {
+	rows := make([][]string, 6)
+	o.sweep(len(rows), func(i int) {
+		layers := i + 2
 		row := []string{fmt.Sprintf("%d", layers)}
 		for _, radix := range []int{48, 64, 80, 128} {
 			row = append(row, f(hiriseAt(radix, layers, 4, topo.L2LLRG).Cost(o.Tech).FreqGHz, 2))
 		}
-		rows = append(rows, row)
-	}
+		rows[i] = row
+	})
 	return &Table{
 		ID:     "fig9b",
 		Title:  "Frequency (GHz) vs number of silicon layers (4-channel)",
@@ -75,7 +77,8 @@ func Fig9c(o Opts) *Table {
 	o = o.norm()
 	radices := []int{16, 32, 48, 64, 80, 96, 112, 128}
 	rows := make([][]string, len(radices))
-	for i, n := range radices {
+	o.sweep(len(radices), func(i int) {
+		n := radices[i]
 		rows[i] = []string{
 			fmt.Sprintf("%d", n),
 			f(phys.Flat2D(n, o.Tech).EnergyPJ, 1),
@@ -83,7 +86,7 @@ func Fig9c(o Opts) *Table {
 			f(hiriseAt(n, 4, 2, topo.L2LLRG).Cost(o.Tech).EnergyPJ, 1),
 			f(hiriseAt(n, 4, 1, topo.L2LLRG).Cost(o.Tech).EnergyPJ, 1),
 		}
-	}
+	})
 	return &Table{
 		ID:     "fig9c",
 		Title:  "Energy per 128-bit transaction (pJ) vs radix",
@@ -113,29 +116,30 @@ func Fig10(o Opts) *Table {
 	loads := []float64{0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35}
 	designs := fig10Designs()
 
+	// One pool task per (design, load) point: the sweep parallelizes
+	// across the whole grid, and each point draws its own derived seed.
 	cells := make([][]string, len(designs))
-	parallel(len(designs), func(di int) {
+	for di := range cells {
+		cells[di] = make([]string, len(loads))
+	}
+	o.sweep(len(designs)*len(loads), func(k int) {
+		di, li := k/len(loads), k%len(loads)
 		d := designs[di]
 		cost := d.Cost(o.Tech)
-		col := make([]string, len(loads))
-		for li, perNS := range loads {
-			perCycle := perNS / cost.FreqGHz
-			res, err := sim.Run(sim.Config{
-				Switch:  d.NewSwitch(),
-				Traffic: traffic.Uniform{Radix: d.Cfg.Radix},
-				Load:    perCycle,
-				Warmup:  o.Warmup, Measure: o.Measure, Seed: o.Seed,
-			})
-			if err != nil {
-				panic(err)
-			}
-			if res.Saturated() {
-				col[li] = "sat"
-			} else {
-				col[li] = f(res.AvgLatency*cost.CycleNS(), 2)
-			}
+		res, err := sim.Run(sim.Config{
+			Switch:  d.NewSwitch(),
+			Traffic: traffic.Uniform{Radix: d.Cfg.Radix},
+			Load:    loads[li] / cost.FreqGHz,
+			Warmup:  o.Warmup, Measure: o.Measure, Seed: o.seedFor("fig10", k, 0),
+		})
+		if err != nil {
+			panic(err)
 		}
-		cells[di] = col
+		if res.Saturated() {
+			cells[di][li] = "sat"
+		} else {
+			cells[di][li] = f(res.AvgLatency*cost.CycleNS(), 2)
+		}
 	})
 
 	rows := make([][]string, len(loads))
@@ -189,12 +193,12 @@ func Fig11a(o Opts) *Table {
 	const load = 0.95 * 0.2 / 64
 
 	lat := make([][]float64, len(designs))
-	parallel(len(designs), func(di int) {
+	o.sweep(len(designs), func(di int) {
 		res, err := sim.Run(sim.Config{
 			Switch:  designs[di].NewSwitch(),
 			Traffic: traffic.Hotspot{Target: 63},
 			Load:    load,
-			Warmup:  o.Warmup * 4, Measure: o.Measure * 4, Seed: o.Seed,
+			Warmup:  o.Warmup * 4, Measure: o.Measure * 4, Seed: o.seedFor("fig11a", di, 0),
 		})
 		if err != nil {
 			panic(err)
@@ -240,23 +244,23 @@ func Fig11b(o Opts) *Table {
 	designs := arbitrationDesigns()
 
 	cells := make([][]string, len(designs))
-	parallel(len(designs), func(di int) {
+	for di := range cells {
+		cells[di] = make([]string, len(loads))
+	}
+	o.sweep(len(designs)*len(loads), func(k int) {
+		di, li := k/len(loads), k%len(loads)
 		d := designs[di]
 		cost := d.Cost(o.Tech)
-		col := make([]string, len(loads))
-		for li, perNS := range loads {
-			res, err := sim.Run(sim.Config{
-				Switch:  d.NewSwitch(),
-				Traffic: traffic.Uniform{Radix: 64},
-				Load:    perNS / cost.FreqGHz,
-				Warmup:  o.Warmup, Measure: o.Measure, Seed: o.Seed,
-			})
-			if err != nil {
-				panic(err)
-			}
-			col[li] = f(res.AcceptedPackets*cost.FreqGHz, 2)
+		res, err := sim.Run(sim.Config{
+			Switch:  d.NewSwitch(),
+			Traffic: traffic.Uniform{Radix: 64},
+			Load:    loads[li] / cost.FreqGHz,
+			Warmup:  o.Warmup, Measure: o.Measure, Seed: o.seedFor("fig11b", k, 0),
+		})
+		if err != nil {
+			panic(err)
 		}
-		cells[di] = col
+		cells[di][li] = f(res.AcceptedPackets*cost.FreqGHz, 2)
 	})
 
 	rows := make([][]string, len(loads))
@@ -291,14 +295,14 @@ func Fig11c(o Opts) *Table {
 	inputs := []int{3, 7, 11, 15, 20}
 
 	tput := make([][]float64, len(designs))
-	parallel(len(designs), func(di int) {
+	o.sweep(len(designs), func(di int) {
 		d := designs[di]
 		cost := d.Cost(o.Tech)
 		res, err := sim.Run(sim.Config{
 			Switch:  d.NewSwitch(),
 			Traffic: traffic.Adversarial(),
 			Load:    1.0,
-			Warmup:  o.Warmup, Measure: o.Measure, Seed: o.Seed,
+			Warmup:  o.Warmup, Measure: o.Measure, Seed: o.seedFor("fig11c", di, 0),
 		})
 		if err != nil {
 			panic(err)
@@ -339,12 +343,13 @@ func Fig12(o Opts) *Table {
 	pitches := []float64{0.8, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0}
 	d2 := phys.Flat2D(64, o.Tech)
 	rows := make([][]string, len(pitches))
-	for i, p := range pitches {
+	o.sweep(len(pitches), func(i int) {
+		p := pitches[i]
 		tech := o.Tech
 		tech.TSVPitchUM = p
 		c := designHiRise("", 4, topo.CLRG).Cost(tech)
 		rows[i] = []string{f(p, 1), f(c.FreqGHz, 2), f(c.AreaMM2, 3), f(d2.FreqGHz, 2), f(d2.AreaMM2, 3)}
-	}
+	})
 	return &Table{
 		ID:     "fig12",
 		Title:  "Sensitivity to TSV pitch (64-radix 4-channel 4-layer Hi-Rise, CLRG)",

@@ -85,13 +85,16 @@ func Kilocore(o Opts) *Table {
 		sat noc.Result
 	}
 	results := make([]out, len(tops))
-	parallel(len(tops), func(i int) {
-		n, err := noc.New(tops[i].cfg)
+	o.sweep(len(tops), func(i int) {
+		cfg := tops[i].cfg
+		cfg.Seed = o.seedFor("kilocore", i, 0)
+		n, err := noc.New(cfg)
 		if err != nil {
 			panic(err)
 		}
 		low := n.Run(0.01)
-		n2, err := noc.New(tops[i].cfg)
+		cfg.Seed = o.seedFor("kilocore", i, 1)
+		n2, err := noc.New(cfg)
 		if err != nil {
 			panic(err)
 		}

@@ -30,18 +30,21 @@ func TableIVReplicated(o Opts) *Table {
 		designHiRise("3D 1-Channel", 1, topo.L2LLRG),
 	}
 	// Each (design, replicate) pair writes its own slot; no shared state.
+	// The replicate's stream is derived from its (design, replicate)
+	// coordinates, so the same base seed reproduces identical means at
+	// any worker count.
 	vals := make([][]float64, len(designs))
 	for i := range vals {
 		vals[i] = make([]float64, replicates)
 	}
-	parallel(len(designs)*replicates, func(k int) {
+	o.sweep(len(designs)*replicates, func(k int) {
 		di, rep := k/replicates, k%replicates
 		d := designs[di]
 		flits, err := sim.SaturationThroughput(sim.Config{
 			Switch:  d.NewSwitch(),
 			Traffic: traffic.Uniform{Radix: d.Cfg.Radix},
 			Warmup:  o.Warmup, Measure: o.Measure,
-			Seed: o.Seed + uint64(rep)*7919,
+			Seed: o.seedFor("table4-ci", di, rep),
 		})
 		if err != nil {
 			panic(err)

@@ -10,13 +10,14 @@ import (
 )
 
 // costRow measures one design's full table row: physical cost from phys
-// plus uniform-random saturation throughput from the simulator.
-func costRow(d Design, o Opts) []string {
+// plus uniform-random saturation throughput from the simulator. seed is
+// the task's derived PRNG seed (see Opts.seedFor).
+func costRow(d Design, o Opts, seed uint64) []string {
 	cost := d.Cost(o.Tech)
 	flits, err := sim.SaturationThroughput(sim.Config{
 		Switch:  d.NewSwitch(),
 		Traffic: traffic.Uniform{Radix: d.Cfg.Radix},
-		Warmup:  o.Warmup, Measure: o.Measure, Seed: o.Seed,
+		Warmup:  o.Warmup, Measure: o.Measure, Seed: seed,
 	})
 	if err != nil {
 		panic(err)
@@ -41,7 +42,7 @@ func TableI(o Opts) *Table {
 	o = o.norm()
 	designs := []Design{design2D(64), designFolded(64, 4)}
 	rows := make([][]string, len(designs))
-	parallel(len(designs), func(i int) { rows[i] = costRow(designs[i], o) })
+	o.sweep(len(designs), func(i int) { rows[i] = costRow(designs[i], o, o.seedFor("table1", i, 0)) })
 	return &Table{
 		ID:     "table1",
 		Title:  "Implementation cost of 2D versus 3D folded switch (64-radix, 4 layers)",
@@ -66,7 +67,7 @@ func TableIV(o Opts) *Table {
 		designHiRise("3D 1-Channel", 1, topo.L2LLRG),
 	}
 	rows := make([][]string, len(designs))
-	parallel(len(designs), func(i int) { rows[i] = costRow(designs[i], o) })
+	o.sweep(len(designs), func(i int) { rows[i] = costRow(designs[i], o, o.seedFor("table4", i, 0)) })
 	return &Table{
 		ID:     "table4",
 		Title:  "Implementation cost of switch configurations (64-radix; 3D switches have 4 layers)",
@@ -90,7 +91,7 @@ func TableV(o Opts) *Table {
 		designHiRise("3D CLRG", 4, topo.CLRG),
 	}
 	rows := make([][]string, len(designs))
-	parallel(len(designs), func(i int) { rows[i] = costRow(designs[i], o) })
+	o.sweep(len(designs), func(i int) { rows[i] = costRow(designs[i], o, o.seedFor("table5", i, 0)) })
 	return &Table{
 		ID:     "table5",
 		Title:  "Implementation cost of switch arbitration variants (64-radix, 4-channel, 4 layers)",
@@ -116,11 +117,11 @@ func CornerCase(o Opts) *Table {
 
 	var flits [2]float64
 	designs := []Design{d2, hr}
-	parallel(2, func(i int) {
+	o.sweep(2, func(i int) {
 		v, err := sim.SaturationThroughput(sim.Config{
 			Switch:  designs[i].NewSwitch(),
 			Traffic: pattern,
-			Warmup:  o.Warmup, Measure: o.Measure, Seed: o.Seed,
+			Warmup:  o.Warmup, Measure: o.Measure, Seed: o.seedFor("corner", i, 0),
 		})
 		if err != nil {
 			panic(err)

@@ -34,17 +34,19 @@ func TableVI(o Opts) *Table {
 		latHR   float64
 	}
 	results := make([]out, len(mixes))
-	parallel(len(mixes), func(i int) {
+	o.sweep(len(mixes), func(i int) {
 		mix := mixes[i]
-		benches, err := mix.Assign(64, o.Seed+uint64(i))
+		benches, err := mix.Assign(64, o.seedFor("table6", i, 0))
 		if err != nil {
 			panic(err)
 		}
+		// Both switches run under the same derived seed so the speedup
+		// comparison stays paired.
 		run := func(sw sim.Switch, ghz float64) manycore.Result {
 			sys, err := manycore.New(manycore.Config{
 				SwitchGHz: ghz,
 				Warmup:    warmup, Measure: measure,
-				Seed: o.Seed + uint64(i)*101,
+				Seed: o.seedFor("table6", i, 1),
 			}, sw, benches)
 			if err != nil {
 				panic(err)
@@ -99,9 +101,9 @@ func TableVIAddr(o Opts) *Table {
 		mpki    float64
 	}
 	results := make([]out, len(mixes))
-	parallel(len(mixes), func(i int) {
+	o.sweep(len(mixes), func(i int) {
 		mix := mixes[i]
-		benches, err := mix.Assign(64, o.Seed+uint64(i))
+		benches, err := mix.Assign(64, o.seedFor("table6-addr", i, 0))
 		if err != nil {
 			panic(err)
 		}
@@ -110,7 +112,7 @@ func TableVIAddr(o Opts) *Table {
 				SwitchGHz:   ghz,
 				AddressMode: true,
 				Warmup:      warmup, Measure: measure,
-				Seed: o.Seed + uint64(i)*101,
+				Seed: o.seedFor("table6-addr", i, 1),
 			}, sw, benches)
 			if err != nil {
 				panic(err)

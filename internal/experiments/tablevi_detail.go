@@ -32,11 +32,13 @@ func TableVIDetail(o Opts) *Table {
 	var results [2]manycore.Result
 	ghz := []float64{d2Cost.FreqGHz, hrCost.FreqGHz}
 	sws := []sim.Switch{design2D(64).NewSwitch(), hrDesign.NewSwitch()}
-	parallel(2, func(i int) {
+	// The two switches share one derived seed: the comparison is paired.
+	seed := o.seedFor("table6-detail", 0, 0)
+	o.sweep(2, func(i int) {
 		sys, err := manycore.New(manycore.Config{
 			SwitchGHz: ghz[i],
 			Warmup:    o.Warmup * 2, Measure: o.Measure * 2,
-			Seed: o.Seed,
+			Seed: seed,
 		}, sws[i], benches)
 		if err != nil {
 			panic(err)

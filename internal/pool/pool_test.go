@@ -1,0 +1,181 @@
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkersNormalization(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(7); got != 7 {
+		t.Errorf("Workers(7) = %d", got)
+	}
+}
+
+func TestDoRunsEveryTaskOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		const n = 100
+		counts := make([]atomic.Int64, n)
+		Do(n, workers, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+// TestDoBoundedConcurrency verifies that no more than the requested
+// number of tasks are ever in flight at once.
+func TestDoBoundedConcurrency(t *testing.T) {
+	const n, workers = 64, 3
+	var inFlight, peak atomic.Int64
+	Do(n, workers, func(i int) {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		inFlight.Add(-1)
+	})
+	if p := peak.Load(); p > workers {
+		t.Errorf("observed %d concurrent tasks, bound is %d", p, workers)
+	}
+	if p := peak.Load(); p < 1 {
+		t.Errorf("no task observed in flight (peak %d)", p)
+	}
+}
+
+// TestDoUnboundedInputBoundedGoroutines feeds far more tasks than
+// workers and checks the pool never spawns one goroutine per item (the
+// failure mode of the old experiments.parallel helper).
+func TestDoUnboundedInputBoundedGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	var gate sync.WaitGroup
+	gate.Add(1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		Do(1024, 4, func(i int) {
+			if i == 0 {
+				gate.Wait() // hold one task so the pool stays busy
+			}
+		})
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if g := runtime.NumGoroutine(); g > before+16 {
+		t.Errorf("goroutine count grew from %d to %d for 1024 tasks at 4 workers", before, g)
+	}
+	gate.Done()
+	<-done
+}
+
+// TestMapIndexOrderedReduction checks results land at their task index
+// even when completion order is adversarial (early tasks finish last).
+func TestMapIndexOrderedReduction(t *testing.T) {
+	const n = 32
+	for _, workers := range []int{1, 4, n} {
+		out := Map(n, workers, func(i int) int {
+			time.Sleep(time.Duration(n-i) * 200 * time.Microsecond)
+			return i * i
+		})
+		if len(out) != n {
+			t.Fatalf("workers=%d: len %d", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestDoPanicPropagation checks a panicking task re-panics in the caller
+// with the lowest-index panic value, after all tasks have finished.
+func TestDoPanicPropagation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic did not propagate", workers)
+				}
+				if r != "boom-3" {
+					t.Errorf("workers=%d: recovered %v, want lowest-index panic boom-3", workers, r)
+				}
+			}()
+			Do(16, workers, func(i int) {
+				ran.Add(1)
+				if i == 3 || i == 11 {
+					panic("boom-" + string(rune('0'+i%10)))
+				}
+			})
+		}()
+		if ran.Load() != 16 {
+			t.Errorf("workers=%d: %d tasks ran before re-panic, want all 16", workers, ran.Load())
+		}
+	}
+}
+
+func TestDoDegenerateInputs(t *testing.T) {
+	ran := false
+	Do(0, 4, func(int) { ran = true })
+	Do(-5, 4, func(int) { ran = true })
+	if ran {
+		t.Error("Do ran tasks for n <= 0")
+	}
+	Do(1, 0, func(i int) { ran = true }) // workers 0 -> GOMAXPROCS
+	if !ran {
+		t.Error("Do(1, 0, ...) did not run the task")
+	}
+}
+
+func TestSeedForDeterminismAndIndependence(t *testing.T) {
+	a := SeedFor(1, StringID("fig10"), 3, 0)
+	b := SeedFor(1, StringID("fig10"), 3, 0)
+	if a != b {
+		t.Fatalf("SeedFor not deterministic: %x vs %x", a, b)
+	}
+	seen := map[uint64][]uint64{a: {1, 3, 0}}
+	for _, tc := range [][]uint64{
+		{1, 3, 1},      // different seed index
+		{1, 4, 0},      // different point
+		{2, 3, 0},      // different base seed
+		{1, 0, 3},      // coordinate order matters
+		{1},            // shorter tuple
+		{1, 3, 0, 0},   // longer tuple
+		{0x7919, 3, 0}, // arbitrary base
+	} {
+		s := SeedFor(tc[0], append([]uint64{StringID("fig10")}, tc[1:]...)...)
+		if prev, dup := seen[s]; dup {
+			t.Errorf("seed collision between coords %v and %v", prev, tc)
+		}
+		seen[s] = tc
+	}
+	if x, y := SeedFor(1, StringID("fig10"), 0), SeedFor(1, StringID("fig11b"), 0); x == y {
+		t.Error("different experiment IDs produced the same seed")
+	}
+}
+
+func TestStringIDStable(t *testing.T) {
+	// FNV-1a of "table4" must never drift: derived seeds (and therefore
+	// all published experiment output) depend on it.
+	if got := StringID("table4"); got != 0xe265c6dbf29f8ab1 {
+		t.Errorf("StringID(\"table4\") = %#x, want %#x (FNV-1a)", got, uint64(0xe265c6dbf29f8ab1))
+	}
+	if StringID("") != 14695981039346656037 {
+		t.Errorf("StringID(\"\") should be the FNV-1a offset basis")
+	}
+}

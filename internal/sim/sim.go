@@ -15,6 +15,7 @@ package sim
 import (
 	"fmt"
 
+	"github.com/reprolab/hirise/internal/pool"
 	"github.com/reprolab/hirise/internal/prng"
 	"github.com/reprolab/hirise/internal/stats"
 	"github.com/reprolab/hirise/internal/topo"
@@ -64,7 +65,12 @@ type Config struct {
 	Seed uint64
 }
 
-// Defaults fills unset fields with the paper's parameters.
+// Defaults fills unset fields with the paper's parameters. Zero means
+// "unset" for every field, so explicit zeroes are indistinguishable from
+// defaults: in particular Seed 0 is silently remapped to 1 (seeds 0 and
+// 1 therefore run the exact same streams), and Warmup 0 becomes the
+// default 10000-cycle window. Callers that need a different fidelity
+// must pass nonzero values.
 func (c *Config) Defaults() {
 	if c.PacketFlits == 0 {
 		c.PacketFlits = 4
@@ -289,20 +295,33 @@ func SaturationThroughput(cfg Config) (float64, error) {
 	return res.AcceptedFlits, nil
 }
 
-// LoadSweep runs the configuration at each load and returns the results
-// in order, reusing a fresh switch per point via the factory to avoid
-// state leakage between load points.
-func LoadSweep(base Config, newSwitch func() Switch, loads []float64) ([]Result, error) {
-	out := make([]Result, 0, len(loads))
-	for _, l := range loads {
+// LoadSweep runs the configuration at each load on at most workers
+// concurrent simulations (0 selects runtime.GOMAXPROCS(0), 1 forces
+// serial) and returns the results in load order. Each point gets a
+// fresh switch from newSwitch to avoid state leakage, and derives its
+// own PRNG seed from (base.Seed, point index) via pool.SeedFor, so the
+// sweep's results are identical at every worker count. newTraffic, when
+// non-nil, supplies each point its own traffic pattern; it must be
+// non-nil for stateful patterns (e.g. traffic.Bursty), which can be
+// shared neither between concurrent points nor across sequential ones.
+// The first error by point index wins, mirroring serial execution.
+func LoadSweep(base Config, newSwitch func() Switch, newTraffic func() Traffic, loads []float64, workers int) ([]Result, error) {
+	out := make([]Result, len(loads))
+	errs := make([]error, len(loads))
+	pool.Do(len(loads), workers, func(i int) {
 		cfg := base
 		cfg.Switch = newSwitch()
-		cfg.Load = l
-		r, err := Run(cfg)
+		if newTraffic != nil {
+			cfg.Traffic = newTraffic()
+		}
+		cfg.Load = loads[i]
+		cfg.Seed = pool.SeedFor(base.Seed, uint64(i))
+		out[i], errs[i] = Run(cfg)
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, r)
 	}
 	return out, nil
 }

@@ -112,7 +112,9 @@ func TestLatencyMonotonicInLoad(t *testing.T) {
 	results, err := LoadSweep(
 		Config{Traffic: traffic.Uniform{Radix: 64}, Warmup: 2000, Measure: 10000},
 		func() Switch { return crossbar.New(64) },
+		nil,
 		[]float64{0.02, 0.06, 0.1},
+		0,
 	)
 	if err != nil {
 		t.Fatal(err)
