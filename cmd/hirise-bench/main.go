@@ -17,16 +17,23 @@
 // seed from the experiment ID and its position in the sweep — never from
 // scheduling — so stdout is byte-identical at every -parallel value.
 // Per-experiment timings go to stderr.
+//
+// -json FILE additionally writes every table as one machine-readable
+// JSON array (stable field layout, byte-deterministic) regardless of
+// -format; -cpuprofile/-memprofile/-exectrace/-runmetrics profile the
+// bench process itself, and -heartbeat prints progress to stderr.
 package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"github.com/reprolab/hirise"
@@ -45,6 +52,14 @@ func main() {
 		plotIt   = flag.Bool("plot", false, "draw figure experiments as ASCII charts (text format only)")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
 			"max concurrent experiments and simulations per experiment; 1 forces serial. Output is byte-identical at any value")
+		jsonOut = flag.String("json", "", "also write the tables as one JSON array to this file, regardless of -format")
+
+		// Host-side profiling of the bench process itself.
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+		exectrace  = flag.String("exectrace", "", "write a runtime execution trace (go tool trace) to this file")
+		runmetrics = flag.String("runmetrics", "", "write a runtime/metrics JSON snapshot to this file at exit")
+		heartbeat  = flag.Duration("heartbeat", 0, "print progress to stderr at this interval (0 = off)")
 	)
 	flag.Parse()
 
@@ -100,7 +115,36 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := runExperiments(os.Stdout, os.Stderr, ids, opts, *format, *plotIt); err != nil {
+	stopProfiles, err := hirise.StartProfiles(hirise.ProfileConfig{
+		CPUProfile: *cpuprofile, MemProfile: *memprofile,
+		ExecTrace: *exectrace, RuntimeMetrics: *runmetrics,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var jsonW io.Writer
+	var jsonF *os.File
+	if *jsonOut != "" {
+		jsonF, err = os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		jsonW = jsonF
+	}
+
+	err = runExperiments(os.Stdout, os.Stderr, jsonW, ids, opts, *format, *plotIt, *heartbeat)
+	if jsonF != nil {
+		if cerr := jsonF.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	if perr := stopProfiles(); perr != nil && err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -144,12 +188,16 @@ func resolveIDs(spec string, valid []string) ([]string, error) {
 // it and all of its predecessors are ready, so long runs show progress
 // while concurrent runs still write exactly the bytes serial runs
 // write. Per-experiment timings go to errw alongside the corresponding
-// output. On failure the outputs preceding the first failing id have
-// been written (matching what a serial run would have printed) and that
-// id's error is returned.
-func runExperiments(w, errw io.Writer, ids []string, opts hirise.ExperimentOpts, format string, plotIt bool) error {
+// output; hb > 0 also writes a progress heartbeat to errw. When jsonW
+// is non-nil, every table is additionally serialized there as one JSON
+// array in id order after all experiments finish. On failure the
+// outputs preceding the first failing id have been written (matching
+// what a serial run would have printed) and that id's error is
+// returned.
+func runExperiments(w, errw, jsonW io.Writer, ids []string, opts hirise.ExperimentOpts, format string, plotIt bool, hb time.Duration) error {
 	type rendered struct {
 		out []byte
+		tb  *hirise.ExperimentTable
 		dur time.Duration
 		err error
 	}
@@ -157,43 +205,56 @@ func runExperiments(w, errw io.Writer, ids []string, opts hirise.ExperimentOpts,
 	for i := range done {
 		done[i] = make(chan rendered, 1)
 	}
+	var completed atomic.Int64
+	stopHB := hirise.Heartbeat(errw, hb, func() string {
+		return fmt.Sprintf("%d/%d experiments done", completed.Load(), len(ids))
+	})
+	defer stopHB()
 	go pool.Do(len(ids), opts.Workers, func(i int) {
 		start := time.Now()
 		var buf bytes.Buffer
-		err := renderOne(&buf, ids[i], opts, format, plotIt)
-		done[i] <- rendered{out: buf.Bytes(), dur: time.Since(start), err: err}
+		tb, err := renderOne(&buf, ids[i], opts, format, plotIt)
+		completed.Add(1)
+		done[i] <- rendered{out: buf.Bytes(), tb: tb, dur: time.Since(start), err: err}
 	})
+	tables := make([]*hirise.ExperimentTable, 0, len(ids))
 	for i := range ids {
 		r := <-done[i]
 		if r.err != nil {
 			return r.err
 		}
 		w.Write(r.out)
+		tables = append(tables, r.tb)
 		fmt.Fprintf(errw, "(%s took %.1fs)\n", ids[i], r.dur.Seconds())
+	}
+	if jsonW != nil {
+		enc := json.NewEncoder(jsonW)
+		enc.SetIndent("", "  ")
+		return enc.Encode(tables)
 	}
 	return nil
 }
 
-func renderOne(buf *bytes.Buffer, id string, opts hirise.ExperimentOpts, format string, plotIt bool) error {
+func renderOne(buf *bytes.Buffer, id string, opts hirise.ExperimentOpts, format string, plotIt bool) (*hirise.ExperimentTable, error) {
 	tb, err := hirise.RunExperiment(id, opts)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	switch format {
 	case "csv":
-		return tb.WriteCSV(buf)
+		return tb, tb.WriteCSV(buf)
 	case "json":
-		return tb.WriteJSON(buf)
+		return tb, tb.WriteJSON(buf)
 	}
 	tb.Fprint(buf)
 	if plotIt {
 		ok, err := tb.RenderPlot(buf, 72, 20)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if ok {
 			fmt.Fprintln(buf)
 		}
 	}
-	return nil
+	return tb, nil
 }

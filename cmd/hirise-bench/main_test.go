@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
 	"reflect"
 	"runtime"
 	"strings"
@@ -9,6 +12,8 @@ import (
 
 	"github.com/reprolab/hirise"
 )
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
 
 func TestResolveIDs(t *testing.T) {
 	valid := []string{"table1", "table4", "fig10"}
@@ -57,6 +62,36 @@ func fastOpts(workers int) hirise.ExperimentOpts {
 	return o
 }
 
+// TestJSONGoldenFile pins the -json side output's exact bytes for the
+// purely analytic experiments (no simulation, no randomness), so the
+// machine-readable schema can't drift silently under consumers. Update
+// with `go test ./cmd/hirise-bench -run JSONGolden -update`.
+func TestJSONGoldenFile(t *testing.T) {
+	ids := []string{"fig9a", "fig12"}
+	var out, timings, js bytes.Buffer
+	if err := runExperiments(&out, &timings, &js, ids, fastOpts(2), "text", false, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := js.Bytes()
+	path := filepath.Join("testdata", "json.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./cmd/hirise-bench -run JSONGolden -update`): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("-json output drifted from golden file.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
 // TestRunExperimentsWorkerCountInvariance checks the CLI's end-to-end
 // guarantee: the bytes written to stdout for a multi-experiment run are
 // identical at every -parallel value, in every output format.
@@ -65,7 +100,7 @@ func TestRunExperimentsWorkerCountInvariance(t *testing.T) {
 	render := func(workers int, format string) []byte {
 		t.Helper()
 		var out, timings bytes.Buffer
-		if err := runExperiments(&out, &timings, ids, fastOpts(workers), format, format == "text"); err != nil {
+		if err := runExperiments(&out, &timings, nil, ids, fastOpts(workers), format, format == "text", 0); err != nil {
 			t.Fatalf("%s workers=%d: %v", format, workers, err)
 		}
 		if got := strings.Count(timings.String(), "took"); got != len(ids) {

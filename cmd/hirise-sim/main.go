@@ -7,14 +7,23 @@
 //	hirise-sim -design hirise -channels 4 -scheme clrg -traffic uniform -load 0.15
 //	hirise-sim -design 2d -traffic hotspot -load 0.002 -perinput
 //	hirise-sim -design hirise -channels 1 -scheme l2l -traffic adversarial -load 1
+//
+// Observability (all output to side files or stderr; stdout is
+// byte-identical to an unobserved run):
+//
+//	hirise-sim -traffic hotspot -load 0.05 -trace-chrome trace.json -fairness fairness.txt
+//	hirise-sim -sweep 0.01:0.3:0.01 -metrics metrics.json -heartbeat 10s
+//	hirise-sim -sweep 0.01:0.5:0.005 -cpuprofile cpu.pprof -runmetrics rt.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"github.com/reprolab/hirise"
 )
@@ -22,6 +31,23 @@ import (
 func fail(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, format+"\n", args...)
 	os.Exit(1)
+}
+
+// writeFile creates path and runs fn over it, failing loudly on any
+// error — observability output that silently vanishes is worse than
+// none.
+func writeFile(path string, fn func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		fail("writing %s: %v", path, err)
+	}
+	if err := f.Close(); err != nil {
+		fail("writing %s: %v", path, err)
+	}
 }
 
 func main() {
@@ -45,8 +71,35 @@ func main() {
 		perInput = flag.Bool("perinput", false, "print per-input latency and throughput")
 		sweep    = flag.String("sweep", "", "sweep loads lo:hi:step (packets/cycle/input) instead of a single run")
 		workers  = flag.Int("parallel", 0, "concurrent sweep points (0 = all CPUs, 1 = serial); results are identical at any value")
+
+		// Observability: switch-internals sinks, written to side files.
+		traceJSONL  = flag.String("trace-jsonl", "", "write flit lifecycle events as JSON Lines to this file")
+		traceChrome = flag.String("trace-chrome", "", "write flit lifecycle events as Chrome trace-event JSON (load in ui.perfetto.dev) to this file")
+		traceMax    = flag.Int("trace-max", 0, "max recorded events per run (0 = default cap); excess is counted, not recorded")
+		metricsOut  = flag.String("metrics", "", "write the metrics registry as JSON to this file (sweeps: one array entry per point)")
+		fairnessOut = flag.String("fairness", "", "write the arbitration fairness report to this file (sweeps: one section per point)")
+
+		// Host-side profiling of the simulator process itself.
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+		exectrace  = flag.String("exectrace", "", "write a runtime execution trace (go tool trace) to this file")
+		runmetrics = flag.String("runmetrics", "", "write a runtime/metrics JSON snapshot to this file at exit")
+		heartbeat  = flag.Duration("heartbeat", 0, "print progress to stderr at this interval (0 = off)")
 	)
 	flag.Parse()
+
+	stopProfiles, err := hirise.StartProfiles(hirise.ProfileConfig{
+		CPUProfile: *cpuprofile, MemProfile: *memprofile,
+		ExecTrace: *exectrace, RuntimeMetrics: *runmetrics,
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fail("%v", err)
+		}
+	}()
 
 	cfg := hirise.Config{
 		Radix: *radix, Layers: *layers, Channels: *channels, Classes: *classes,
@@ -131,6 +184,76 @@ func main() {
 		}
 	}
 
+	// Observability sinks: a nil observer (no obs flag set) keeps the
+	// simulator on its allocation-free disabled path. The fairness audit
+	// is class-aware only where classes exist: a Hi-Rise CLRG switch.
+	wantTrace := *traceJSONL != "" || *traceChrome != ""
+	auditClasses := 1
+	if strings.ToLower(*design) == "hirise" && cfg.Scheme == hirise.CLRG {
+		auditClasses = *classes
+	}
+	newObserver := func() *hirise.Observer {
+		o := &hirise.Observer{}
+		if *metricsOut != "" {
+			o.Metrics = hirise.NewMetricsRegistry()
+		}
+		if wantTrace {
+			o.Trace = hirise.NewTraceRecorder(*traceMax)
+		}
+		if *fairnessOut != "" {
+			o.Fairness = hirise.NewFairnessAudit(*radix, auditClasses)
+		}
+		if o.Metrics == nil && o.Trace == nil && o.Fairness == nil {
+			return nil
+		}
+		return o
+	}
+	// writeObsOutputs merges per-run sinks in run order — the order that
+	// keeps every artifact byte-identical at any -parallel value — and
+	// writes the requested side files. labels annotate fairness sections
+	// for sweeps (nil for a single run).
+	writeObsOutputs := func(observers []*hirise.Observer, labels []float64) {
+		recs := make([]*hirise.TraceRecorder, len(observers))
+		regs := make([]*hirise.MetricsRegistry, len(observers))
+		for i, o := range observers {
+			if o != nil {
+				recs[i], regs[i] = o.Trace, o.Metrics
+			}
+		}
+		if *traceJSONL != "" {
+			writeFile(*traceJSONL, func(w io.Writer) error { return hirise.WriteTraceJSONL(w, recs) })
+		}
+		if *traceChrome != "" {
+			writeFile(*traceChrome, func(w io.Writer) error { return hirise.WriteChromeTrace(w, recs) })
+		}
+		if *metricsOut != "" {
+			writeFile(*metricsOut, func(w io.Writer) error {
+				if labels == nil && len(regs) == 1 {
+					return regs[0].WriteJSON(w)
+				}
+				return hirise.WriteMetricsJSON(w, regs)
+			})
+		}
+		if *fairnessOut != "" {
+			writeFile(*fairnessOut, func(w io.Writer) error {
+				for i, o := range observers {
+					if o == nil || o.Fairness == nil {
+						continue
+					}
+					if labels != nil {
+						if _, err := fmt.Fprintf(w, "== load %.4f ==\n", labels[i]); err != nil {
+							return err
+						}
+					}
+					if err := o.Fairness.Report().WriteText(w); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		}
+	}
+
 	if *sweep != "" {
 		lo, hi, step, err := parseSweep(*sweep)
 		if err != nil {
@@ -141,12 +264,32 @@ func main() {
 		for load := lo; load <= hi+1e-12; load += step {
 			loads = append(loads, load)
 		}
-		results, err := hirise.LoadSweep(hirise.SimConfig{
+		observers := make([]*hirise.Observer, len(loads))
+		var obsFor func(i int) *hirise.Observer
+		if newObserver() != nil {
+			for i := range observers {
+				observers[i] = newObserver()
+			}
+			obsFor = func(i int) *hirise.Observer { return observers[i] }
+		}
+		var started atomic.Int64
+		countedMakeSwitch := func() hirise.SimSwitch {
+			started.Add(1)
+			return makeSwitch()
+		}
+		stopHB := hirise.Heartbeat(os.Stderr, *heartbeat, func() string {
+			return fmt.Sprintf("%d/%d sweep points started", started.Load(), len(loads))
+		})
+		results, err := hirise.LoadSweepObserved(hirise.SimConfig{
 			PacketFlits: *flits, VCs: *vcs,
 			Warmup: *warmup, Measure: *measure, Seed: *seed,
-		}, makeSwitch, makeTraffic, loads, *workers)
+		}, countedMakeSwitch, makeTraffic, loads, *workers, obsFor)
+		stopHB()
 		if err != nil {
 			fail("%v", err)
+		}
+		if obsFor != nil {
+			writeObsOutputs(observers, loads)
 		}
 		fmt.Printf("%-14s %-12s %-12s %-10s %-8s %s\n",
 			"load(pkt/cyc)", "load(pkt/ns)", "tput(pkt/ns)", "lat(ns)", "p99(cyc)", "state")
@@ -164,14 +307,21 @@ func main() {
 
 	sw := makeSwitch()
 	traf := makeTraffic()
+	observer := newObserver()
 
+	stopHB := hirise.Heartbeat(os.Stderr, *heartbeat, func() string { return "simulating" })
 	res, err := hirise.Simulate(hirise.SimConfig{
 		Switch: sw, Traffic: traf, Load: *load,
 		PacketFlits: *flits, VCs: *vcs,
 		Warmup: *warmup, Measure: *measure, Seed: *seed,
+		Obs: observer,
 	})
+	stopHB()
 	if err != nil {
 		fail("%v", err)
+	}
+	if observer != nil {
+		writeObsOutputs([]*hirise.Observer{observer}, nil)
 	}
 
 	fmt.Printf("design      %s (%s)\n", *design, cfg)

@@ -1,143 +1,22 @@
-// Command probe is a scratch calibration tool. It solves per-benchmark
-// MPKI values that exactly reproduce the per-mix average MPKIs of paper
-// Table VI while staying close to publicly known SPEC2006 miss-rate
-// folklore (minimum relative adjustment, Lagrange multipliers).
+// Command probe prints the Table VI MPKI calibration: per-benchmark
+// values solved so the per-mix average MPKIs match the paper exactly
+// while staying close to publicly known SPEC2006 miss-rate folklore
+// (minimum relative adjustment, Lagrange multipliers). The solver lives
+// in internal/trace; the catalog pins its output.
 package main
 
-import "fmt"
+import (
+	"fmt"
 
-type part struct {
-	bench string
-	count int
-}
+	"github.com/reprolab/hirise/internal/trace"
+)
 
 func main() {
-	prior := map[string]float64{
-		"milc": 45, "applu": 20, "astar": 15, "sjeng": 1.5, "tonto": 3, "hmmer": 3,
-		"sjas": 40, "gcc": 9, "sjbb": 45, "gromacs": 5, "xalan": 30,
-		"libquantum": 60, "barnes": 10, "tpcw": 55, "povray": 2,
-		"swim": 55, "leslie": 35, "omnet": 40, "art": 50,
-		"mcf": 110, "ocean": 40, "lbm": 60, "deal": 12, "sap": 45,
-		"namd": 3, "Gems": 75, "soplex": 50,
+	cal := trace.CalibrateTableVI()
+	for _, n := range cal.Names {
+		fmt.Printf("%-12s prior %6.1f -> %7.2f\n", n, cal.Priors[n], cal.Solved[n])
 	}
-	mixes := [][]part{
-		{{"milc", 11}, {"applu", 11}, {"astar", 10}, {"sjeng", 11}, {"tonto", 11}, {"hmmer", 10}},
-		{{"sjas", 11}, {"gcc", 11}, {"sjbb", 11}, {"gromacs", 11}, {"sjeng", 10}, {"xalan", 10}},
-		{{"milc", 11}, {"libquantum", 10}, {"astar", 11}, {"barnes", 11}, {"tpcw", 11}, {"povray", 10}},
-		{{"astar", 11}, {"swim", 11}, {"leslie", 10}, {"omnet", 10}, {"sjas", 11}, {"art", 11}},
-		{{"mcf", 11}, {"ocean", 10}, {"gromacs", 10}, {"lbm", 11}, {"deal", 11}, {"sap", 11}},
-		{{"mcf", 10}, {"namd", 11}, {"hmmer", 11}, {"tpcw", 11}, {"omnet", 10}, {"swim", 11}},
-		{{"Gems", 10}, {"sjbb", 11}, {"sjas", 11}, {"mcf", 10}, {"xalan", 11}, {"sap", 10}},
-		{{"milc", 11}, {"tpcw", 10}, {"Gems", 11}, {"mcf", 11}, {"sjas", 11}, {"soplex", 10}},
+	for m := range cal.Targets {
+		fmt.Printf("mix%d: target %.1f got %.2f\n", m+1, cal.Targets[m], cal.MixAvg[m])
 	}
-	targets := []float64{15.0, 21.3, 33.3, 38.4, 52.2, 58.4, 66.9, 76.0}
-
-	var names []string
-	for _, m := range mixes {
-		for _, p := range m {
-			found := false
-			for _, n := range names {
-				if n == p.bench {
-					found = true
-				}
-			}
-			if !found {
-				names = append(names, p.bench)
-			}
-		}
-	}
-	idx := map[string]int{}
-	for i, n := range names {
-		idx[n] = i
-	}
-	nb, nm := len(names), len(mixes)
-
-	// A x = b with A[m][b] = count/64.
-	A := make([][]float64, nm)
-	for m := range A {
-		A[m] = make([]float64, nb)
-		for _, p := range mixes[m] {
-			A[m][idx[p.bench]] = float64(p.count) / 64
-		}
-	}
-	p := make([]float64, nb)
-	for i, n := range names {
-		p[i] = prior[n]
-	}
-	// residual r = b - A p
-	r := make([]float64, nm)
-	for m := range r {
-		r[m] = targets[m]
-		for j := range p {
-			r[m] -= A[m][j] * p[j]
-		}
-	}
-	// W^-1 = diag(p_j^2); M = A W^-1 A^T
-	M := make([][]float64, nm)
-	for i := range M {
-		M[i] = make([]float64, nm)
-		for j := range M[i] {
-			for k := 0; k < nb; k++ {
-				M[i][j] += A[i][k] * p[k] * p[k] * A[j][k]
-			}
-		}
-	}
-	lam := solve(M, r)
-	x := make([]float64, nb)
-	for j := range x {
-		x[j] = p[j]
-		for m := 0; m < nm; m++ {
-			x[j] += p[j] * p[j] * A[m][j] * lam[m]
-		}
-	}
-	for i, n := range names {
-		fmt.Printf("%-12s prior %6.1f -> %7.2f\n", n, p[i], x[i])
-	}
-	for m := range mixes {
-		got := 0.0
-		for j := range x {
-			got += A[m][j] * x[j]
-		}
-		fmt.Printf("mix%d: target %.1f got %.2f\n", m+1, targets[m], got)
-	}
-}
-
-// solve performs Gaussian elimination with partial pivoting on M y = r.
-func solve(M [][]float64, r []float64) []float64 {
-	n := len(M)
-	a := make([][]float64, n)
-	for i := range a {
-		a[i] = append(append([]float64{}, M[i]...), r[i])
-	}
-	for c := 0; c < n; c++ {
-		piv := c
-		for i := c + 1; i < n; i++ {
-			if abs(a[i][c]) > abs(a[piv][c]) {
-				piv = i
-			}
-		}
-		a[c], a[piv] = a[piv], a[c]
-		for i := c + 1; i < n; i++ {
-			f := a[i][c] / a[c][c]
-			for j := c; j <= n; j++ {
-				a[i][j] -= f * a[c][j]
-			}
-		}
-	}
-	y := make([]float64, n)
-	for i := n - 1; i >= 0; i-- {
-		y[i] = a[i][n]
-		for j := i + 1; j < n; j++ {
-			y[i] -= a[i][j] * y[j]
-		}
-		y[i] /= a[i][i]
-	}
-	return y
-}
-
-func abs(v float64) float64 {
-	if v < 0 {
-		return -v
-	}
-	return v
 }

@@ -1,0 +1,47 @@
+// Command tracelint validates observability trace files produced by
+// hirise-sim: files ending in .jsonl are checked as JSON Lines
+// lifecycle traces, everything else as Chrome trace-event JSON. It
+// prints one "ok" line per valid file and exits nonzero on the first
+// invalid one, so CI can gate on trace integrity.
+//
+//	tracelint trace.json trace.jsonl
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/reprolab/hirise"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracelint FILE...")
+		os.Exit(2)
+	}
+	for _, path := range os.Args[1:] {
+		n, err := validate(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracelint: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Printf("ok %s (%d events)\n", path, n)
+	}
+}
+
+func validate(path string) (int, error) {
+	if strings.HasSuffix(path, ".jsonl") {
+		f, err := os.Open(path)
+		if err != nil {
+			return 0, err
+		}
+		defer f.Close()
+		return hirise.ValidateTraceJSONL(f)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	return hirise.ValidateChromeTrace(data)
+}

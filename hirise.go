@@ -25,12 +25,16 @@
 package hirise
 
 import (
+	"io"
+	"time"
+
 	"github.com/reprolab/hirise/internal/cache"
 	"github.com/reprolab/hirise/internal/core"
 	"github.com/reprolab/hirise/internal/crossbar"
 	"github.com/reprolab/hirise/internal/experiments"
 	"github.com/reprolab/hirise/internal/manycore"
 	"github.com/reprolab/hirise/internal/noc"
+	"github.com/reprolab/hirise/internal/obs"
 	"github.com/reprolab/hirise/internal/phys"
 	"github.com/reprolab/hirise/internal/sim"
 	"github.com/reprolab/hirise/internal/topo"
@@ -149,6 +153,85 @@ func SaturationThroughput(cfg SimConfig) (float64, error) { return sim.Saturatio
 // patterns such as BurstyTraffic.
 func LoadSweep(base SimConfig, newSwitch func() SimSwitch, newTraffic func() TrafficPattern, loads []float64, workers int) ([]SimResult, error) {
 	return sim.LoadSweep(base, newSwitch, newTraffic, loads, workers)
+}
+
+// LoadSweepObserved is LoadSweep with per-point observability: obsFor,
+// when non-nil, supplies each point its own Observer (points run
+// concurrently and obs sinks are single-writer). Merge the per-point
+// sinks in point order afterwards — WriteTraceJSONL, WriteChromeTrace,
+// and WriteMetricsJSON take the slices — and the serialized output is
+// byte-identical at every worker count.
+func LoadSweepObserved(base SimConfig, newSwitch func() SimSwitch, newTraffic func() TrafficPattern, loads []float64, workers int, obsFor func(i int) *Observer) ([]SimResult, error) {
+	return sim.LoadSweepObserved(base, newSwitch, newTraffic, loads, workers, obsFor)
+}
+
+// Observability (internal/obs): deterministic switch-internals metrics,
+// flit-lifecycle tracing, and arbitration fairness auditing. Attach an
+// Observer via SimConfig.Obs or SystemConfig.Obs; a nil Observer (the
+// default) keeps every hook allocation-free.
+type (
+	// Observer bundles the optional sinks a simulation writes to.
+	Observer = obs.Observer
+	// MetricsRegistry accumulates named counters, gauges, and
+	// fixed-bucket histograms.
+	MetricsRegistry = obs.Registry
+	// TraceRecorder captures flit lifecycle events keyed by simulated
+	// cycle, serializable as JSONL or Chrome trace-event JSON.
+	TraceRecorder = obs.Recorder
+	// TraceEvent is one recorded lifecycle event.
+	TraceEvent = obs.Event
+	// FairnessAudit accumulates per-(input, class) grant/denial and
+	// starvation-streak counters inside the arbiters.
+	FairnessAudit = obs.FairnessAudit
+	// FairnessReport is the aggregated view of a FairnessAudit.
+	FairnessReport = obs.FairnessReport
+	// ProfileConfig names host-side profiling outputs (pprof,
+	// runtime/trace, runtime/metrics) for CLI runs.
+	ProfileConfig = obs.ProfileConfig
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewTraceRecorder returns a bounded lifecycle-event recorder;
+// maxEvents <= 0 selects the default cap.
+func NewTraceRecorder(maxEvents int) *TraceRecorder { return obs.NewRecorder(maxEvents) }
+
+// NewFairnessAudit returns an audit over the given primary-input and
+// priority-class counts (classes is 1 for class-less schemes).
+func NewFairnessAudit(inputs, classes int) *FairnessAudit {
+	return obs.NewFairnessAudit(inputs, classes)
+}
+
+// WriteTraceJSONL serializes per-run recorders, in run order, as JSONL.
+func WriteTraceJSONL(w io.Writer, runs []*TraceRecorder) error { return obs.WriteJSONL(w, runs) }
+
+// WriteChromeTrace serializes per-run recorders as one Chrome
+// trace-event JSON document loadable in Perfetto (ui.perfetto.dev).
+func WriteChromeTrace(w io.Writer, runs []*TraceRecorder) error { return obs.WriteChromeTrace(w, runs) }
+
+// WriteMetricsJSON serializes per-run registries, in run order, as one
+// JSON array.
+func WriteMetricsJSON(w io.Writer, runs []*MetricsRegistry) error {
+	return obs.WriteRegistriesJSON(w, runs)
+}
+
+// ValidateChromeTrace checks Chrome trace-event JSON produced by
+// WriteChromeTrace and returns its event count.
+func ValidateChromeTrace(data []byte) (int, error) { return obs.ValidateChromeTrace(data) }
+
+// ValidateTraceJSONL checks a JSONL trace stream produced by
+// WriteTraceJSONL and returns its event count.
+func ValidateTraceJSONL(r io.Reader) (int, error) { return obs.ValidateJSONL(r) }
+
+// StartProfiles starts the configured host-side profilers; the returned
+// stop function (call exactly once) finishes them.
+func StartProfiles(pc ProfileConfig) (func() error, error) { return obs.StartProfiles(pc) }
+
+// Heartbeat writes progress() to w every interval until the returned
+// stop function is called. An interval <= 0 makes it a no-op.
+func Heartbeat(w io.Writer, interval time.Duration, progress func() string) (stop func()) {
+	return obs.Heartbeat(w, interval, progress)
 }
 
 // Traffic patterns (paper §V, §VI).

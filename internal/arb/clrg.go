@@ -1,5 +1,7 @@
 package arb
 
+import "github.com/reprolab/hirise/internal/obs"
+
 // CLRG implements the paper's Class-based Least Recently Granted
 // arbitration for one inter-layer sub-block (one final output).
 //
@@ -16,6 +18,8 @@ type CLRG struct {
 	lrg      *LRG
 	counters []uint8 // one per primary input
 	maxClass uint8   // counters saturate at this value (classes-1)
+	masked   []bool  // scratch: best-class request mask, reused per Grant
+	audit    *obs.FairnessAudit
 }
 
 // NewCLRG returns a CLRG arbiter over the given number of lines, tracking
@@ -38,8 +42,20 @@ func newCLRG(lrg *LRG, inputs, classes int) *CLRG {
 	if classes > 256 {
 		panic("arb: CLRG class count exceeds counter width")
 	}
-	return &CLRG{lrg: lrg, counters: make([]uint8, inputs), maxClass: uint8(classes - 1)}
+	return &CLRG{
+		lrg:      lrg,
+		counters: make([]uint8, inputs),
+		maxClass: uint8(classes - 1),
+		masked:   make([]bool, lrg.N()),
+	}
 }
+
+// SetAudit attaches a fairness audit: every Grant call then records one
+// observation per requesting line — (primary input, its current class,
+// whether the line won) — which is where the per-class grant/denial and
+// starvation-streak counters of the fairness report come from. A nil
+// audit (the default) disables auditing.
+func (c *CLRG) SetAudit(a *obs.FairnessAudit) { c.audit = a }
 
 // Lines returns the number of contending lines.
 func (c *CLRG) Lines() int { return c.lrg.N() }
@@ -50,7 +66,9 @@ func (c *CLRG) Class(input int) int { return int(c.counters[input]) }
 
 // Grant returns the winning line among those with req set, where
 // inputOf[line] is the primary input the line is presenting this cycle.
-// It returns -1 if nothing requests. State is not modified.
+// It returns -1 if nothing requests. Arbitration state is not modified;
+// an attached audit records each contender's outcome (Grant is called
+// once per sub-block arbitration round, so audit counts are per-round).
 func (c *CLRG) Grant(req []bool, inputOf []int) int {
 	best := int(c.maxClass) + 1
 	for line, r := range req {
@@ -64,11 +82,19 @@ func (c *CLRG) Grant(req []bool, inputOf []int) int {
 		return -1
 	}
 	// Inhibit every line outside the best class, then LRG tie-break.
-	masked := make([]bool, len(req))
 	for line, r := range req {
-		masked[line] = r && int(c.counters[inputOf[line]]) == best
+		c.masked[line] = r && int(c.counters[inputOf[line]]) == best
 	}
-	return c.lrg.Grant(masked)
+	win := c.lrg.Grant(c.masked)
+	if c.audit != nil {
+		for line, r := range req {
+			if r {
+				in := inputOf[line]
+				c.audit.Observe(in, int(c.counters[in]), line == win)
+			}
+		}
+	}
+	return win
 }
 
 // Update commits a win by the given line for the given primary input: the

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/reprolab/hirise/internal/prng"
+	"github.com/reprolab/hirise/internal/topo"
+)
+
+// arbWorkload drives cycles of rotating contention through sw: every
+// input requests a pseudo-random output, grants are released after a
+// few cycles, so arbitration, connection setup, and release all stay
+// hot. It is shared by the zero-alloc assertions and the benchmark.
+type arbSwitch interface {
+	Radix() int
+	Arbitrate(req []int) []topo.Grant
+	Release(in int)
+}
+
+// newArbWorkload returns a closure running the given number of cycles;
+// its buffers are allocated once here so AllocsPerRun sees only the
+// switch's own allocations.
+func newArbWorkload(sw arbSwitch, src *prng.Source) func(cycles int) {
+	n := sw.Radix()
+	req := make([]int, n)
+	holding := make([]int, 0, n)
+	return func(cycles int) {
+		for c := 0; c < cycles; c++ {
+			for i := range req {
+				req[i] = src.Intn(n)
+			}
+			for _, g := range sw.Arbitrate(req) {
+				holding = append(holding, g.In)
+			}
+			if c%4 == 3 {
+				for _, in := range holding {
+					sw.Release(in)
+				}
+				holding = holding[:0]
+			}
+		}
+	}
+}
+
+// TestArbitrateZeroAllocs asserts the tentpole's disabled-path
+// contract: with no observer attached, the arbitration hot loop of the
+// Hi-Rise switch allocates nothing per cycle. The grants return buffer
+// and every request mask are preallocated scratch; a regression here
+// shows up as garbage-collector pressure in every sweep.
+func TestArbitrateZeroAllocs(t *testing.T) {
+	for _, scheme := range []topo.Scheme{topo.L2LLRG, topo.WLRG, topo.CLRG} {
+		cfg := topo.Default64()
+		cfg.Scheme = scheme
+		sw, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		workload := newArbWorkload(sw, prng.New(7))
+		workload(64) // warm up: grow the grants buffer once
+		if avg := testing.AllocsPerRun(50, func() {
+			workload(16)
+		}); avg != 0 {
+			t.Errorf("%v: %v allocs per 16 arbitration cycles, want 0", scheme, avg)
+		}
+	}
+}
+
+func BenchmarkArbitrateHotLoop(b *testing.B) {
+	sw, err := New(topo.Default64())
+	if err != nil {
+		b.Fatal(err)
+	}
+	workload := newArbWorkload(sw, prng.New(7))
+	workload(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		workload(16)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"github.com/reprolab/hirise/internal/arb"
+	"github.com/reprolab/hirise/internal/obs"
 	"github.com/reprolab/hirise/internal/topo"
 )
 
@@ -44,13 +45,19 @@ type Switch struct {
 	outGrants []int64 // per output: connections formed
 	localPath int64   // same-layer connections (no L2LC)
 
+	// Observability (nil when disabled; see SetObserver).
+	rec    *obs.Recorder
+	audit  *obs.FairnessAudit // phase-2 audit for the non-CLRG schemes
+	cycles int64              // Arbitrate calls, the switch-local cycle count
+
 	// Scratch buffers, reused every cycle.
-	intermReq  [][]bool // per output: local-input request mask
-	chReq      [][]bool // per L2LC: local-input request mask
-	destReq    [][]bool // per (layer, dest layer): mask for priority-based allocation
-	intermWin  []int    // per output: local winner (local index), -1 if none
-	chWin      []int    // per L2LC: local winner (local index), -1 if none
-	chWeight   []int    // per L2LC: requestor count this cycle (WLRG)
+	grants     []topo.Grant // Arbitrate's return buffer, valid until the next call
+	intermReq  [][]bool     // per output: local-input request mask
+	chReq      [][]bool     // per L2LC: local-input request mask
+	destReq    [][]bool     // per (layer, dest layer): mask for priority-based allocation
+	intermWin  []int        // per output: local winner (local index), -1 if none
+	chWin      []int        // per L2LC: local winner (local index), -1 if none
+	chWeight   []int        // per L2LC: requestor count this cycle (WLRG)
 	lineReq    []bool
 	lineInput  []int
 	lineWeight []int
@@ -141,6 +148,30 @@ func newSubBlock(cfg topo.Config, lines int) subBlock {
 // Radix returns the total port count.
 func (s *Switch) Radix() int { return s.cfg.Radix }
 
+// SetObserver attaches observability sinks (internal/obs). The
+// observer's fairness audit receives one observation per contending
+// line per inter-layer sub-block round — routed through arb.CLRG for
+// the CLRG scheme (so observations carry the input's priority class)
+// and recorded here for the class-less schemes — and the observer's
+// trace recorder receives an EvL2LC event for every connection formed
+// across a layer-to-layer channel, keyed by this switch's own
+// arbitration-cycle counter (Arbitrate is called exactly once per
+// simulated cycle, so the two clocks agree). Passing nil detaches and
+// restores the allocation-free disabled path.
+func (s *Switch) SetObserver(o *obs.Observer) {
+	s.rec = o.Rec()
+	audit := o.Audit()
+	if s.cfg.Scheme == topo.CLRG {
+		// Class-aware observations come from inside the CLRG arbiters.
+		s.audit = nil
+		for i := range s.subs {
+			s.subs[i].clrg.SetAudit(audit)
+		}
+		return
+	}
+	s.audit = audit
+}
+
 // Config returns the switch configuration.
 func (s *Switch) Config() topo.Config { return s.cfg }
 
@@ -158,12 +189,15 @@ func (s *Switch) lineFor(d, src, ch int) int {
 // Arbitrate runs one two-phase arbitration cycle. req[i] is the final
 // output requested by input i, or -1. Inputs holding connections, busy
 // outputs, and busy L2LCs do not participate. Returns the connections
-// formed; each persists until Release.
+// formed; each persists until Release. The returned slice is a scratch
+// buffer reused by the next Arbitrate call, so callers must consume it
+// before re-arbitrating (every simulator in this repository does).
 func (s *Switch) Arbitrate(req []int) []topo.Grant {
 	if len(req) != s.cfg.Radix {
 		panic(fmt.Sprintf("core: request vector length %d, want %d", len(req), s.cfg.Radix))
 	}
 	cfg := s.cfg
+	s.cycles++
 
 	// Phase 1a: build local-switch request masks.
 	for o := range s.intermReq {
@@ -238,7 +272,7 @@ func (s *Switch) Arbitrate(req []int) []topo.Grant {
 	}
 
 	// Phase 2: inter-layer sub-block arbitration per idle final output.
-	var grants []topo.Grant
+	grants := s.grants[:0]
 	for o := 0; o < cfg.Radix; o++ {
 		if s.outIn[o] >= 0 {
 			continue
@@ -293,6 +327,16 @@ func (s *Switch) Arbitrate(req []int) []topo.Grant {
 		default:
 			win = sb.plain.Grant(s.lineReq)
 		}
+		if s.audit != nil {
+			// Class-less schemes audit here, one observation per
+			// contending line (CLRG audits inside arb.CLRG.Grant with
+			// the real class; these report class 0).
+			for line := 0; line < lines; line++ {
+				if s.lineReq[line] {
+					s.audit.Observe(s.lineInput[line], 0, line == win)
+				}
+			}
+		}
 		if win < 0 {
 			continue
 		}
@@ -312,6 +356,9 @@ func (s *Switch) Arbitrate(req []int) []topo.Grant {
 			s.chBusy[cid] = true
 			s.heldCh[gi] = cid
 			s.chGrants[cid]++
+			if s.rec != nil {
+				s.rec.Record(s.cycles-1, obs.EvL2LC, gi, o, cid)
+			}
 		} else {
 			s.interArb[o].Update(cfg.LocalIndex(gi))
 			s.localPath++
@@ -321,6 +368,7 @@ func (s *Switch) Arbitrate(req []int) []topo.Grant {
 		s.outIn[o] = gi
 		grants = append(grants, topo.Grant{In: gi, Out: o})
 	}
+	s.grants = grants
 	return grants
 }
 

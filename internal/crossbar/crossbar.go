@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"github.com/reprolab/hirise/internal/arb"
+	"github.com/reprolab/hirise/internal/obs"
 	"github.com/reprolab/hirise/internal/topo"
 )
 
@@ -22,9 +23,12 @@ import (
 type Switch struct {
 	n      int
 	arbs   []arb.Arbiter
-	held   []int  // held[in] = output held by in, or -1
-	outIn  []int  // outIn[out] = input holding out, or -1
-	reqBuf []bool // scratch request mask, reused across outputs
+	held   []int        // held[in] = output held by in, or -1
+	outIn  []int        // outIn[out] = input holding out, or -1
+	reqBuf []bool       // scratch request mask, reused across outputs
+	grants []topo.Grant // Arbitrate's return buffer, valid until the next call
+
+	audit *obs.FairnessAudit // nil when observability is disabled
 }
 
 // New returns an N×N crossbar with LRG arbitration at every output, the
@@ -81,15 +85,25 @@ func NewWithArbiters(radix int, arbs []arb.Arbiter) (*Switch, error) {
 // Radix returns the port count.
 func (s *Switch) Radix() int { return s.n }
 
+// SetObserver attaches observability sinks (internal/obs). The flat
+// crossbar has no priority classes, so the observer's fairness audit
+// receives one class-0 observation per contender per output
+// arbitration round. Passing nil detaches and restores the
+// allocation-free disabled path.
+func (s *Switch) SetObserver(o *obs.Observer) { s.audit = o.Audit() }
+
 // Arbitrate runs one arbitration cycle. req[i] is the output input i
 // requests, or -1. Inputs already holding a connection and outputs busy
 // with one do not participate. It returns the connections formed this
-// cycle; each stays established until Release.
+// cycle; each stays established until Release. The returned slice is a
+// scratch buffer reused by the next Arbitrate call, so callers must
+// consume it before re-arbitrating (every simulator in this repository
+// does).
 func (s *Switch) Arbitrate(req []int) []topo.Grant {
 	if len(req) != s.n {
 		panic(fmt.Sprintf("crossbar: request vector length %d, want %d", len(req), s.n))
 	}
-	var grants []topo.Grant
+	grants := s.grants[:0]
 	for out := 0; out < s.n; out++ {
 		if s.outIn[out] >= 0 {
 			continue // output bus busy carrying flits; no priority lines free
@@ -104,6 +118,13 @@ func (s *Switch) Arbitrate(req []int) []topo.Grant {
 			continue
 		}
 		win := s.arbs[out].Grant(s.reqBuf)
+		if s.audit != nil {
+			for in := 0; in < s.n; in++ {
+				if s.reqBuf[in] {
+					s.audit.Observe(in, 0, in == win)
+				}
+			}
+		}
 		if win < 0 {
 			continue
 		}
@@ -112,6 +133,7 @@ func (s *Switch) Arbitrate(req []int) []topo.Grant {
 		s.outIn[out] = win
 		grants = append(grants, topo.Grant{In: win, Out: out})
 	}
+	s.grants = grants
 	return grants
 }
 

@@ -197,10 +197,9 @@ func TestRoundRobinCrossbar(t *testing.T) {
 		t.Fatal(err)
 	}
 	req := reqVec(4, map[int]int{0: 2, 1: 2})
-	g1 := s.Arbitrate(req)
-	s.Release(g1[0].In)
-	g2 := s.Arbitrate(req)
-	if g1[0].In == g2[0].In {
+	first := s.Arbitrate(req)[0].In // consume: Arbitrate reuses its return buffer
+	s.Release(first)
+	if second := s.Arbitrate(req)[0].In; first == second {
 		t.Fatal("round-robin crossbar did not rotate")
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"github.com/reprolab/hirise/internal/cache"
+	"github.com/reprolab/hirise/internal/obs"
 	"github.com/reprolab/hirise/internal/prng"
 	"github.com/reprolab/hirise/internal/sim"
 	"github.com/reprolab/hirise/internal/stats"
@@ -69,6 +70,12 @@ type Config struct {
 	// L1 and L2Bank override the Table III cache geometries in address
 	// mode.
 	L1, L2Bank cache.Config
+
+	// Obs, when non-nil, attaches observability sinks (internal/obs) to
+	// the system and its switch. Trace events are keyed by the switch
+	// cycle (the network clock); metrics cover the entire run including
+	// warmup. Results are unaffected. See sim.Config.Obs.
+	Obs *obs.Observer
 }
 
 // Defaults fills unset fields with Table III values.
@@ -223,6 +230,14 @@ type System struct {
 	netPackets int64
 	memAccess  int64
 	swCycle    int64
+	// Observability handles (nil when Config.Obs is nil; methods no-op
+	// on nil receivers, so the disabled path never allocates).
+	rec        *obs.Recorder
+	mInjected  *obs.Counter
+	mDelivered *obs.Counter
+	mWins      *obs.Counter
+	mMem       *obs.Counter
+	mNetLat    *obs.Histogram
 }
 
 // New builds a system over the given switch with the given per-core
@@ -234,6 +249,17 @@ func New(cfg Config, sw sim.Switch, benches []trace.Benchmark) (*System, error) 
 	}
 	root := prng.New(cfg.Seed)
 	s := &System{cfg: cfg, sw: sw, tiles: make([]*tile, cfg.Cores), req: make([]int, cfg.Cores)}
+	if cfg.Obs != nil {
+		if osw, ok := sw.(interface{ SetObserver(*obs.Observer) }); ok {
+			osw.SetObserver(cfg.Obs)
+		}
+	}
+	s.rec = cfg.Obs.Rec()
+	s.mInjected = cfg.Obs.Counter("manycore.packets.injected")
+	s.mDelivered = cfg.Obs.Counter("manycore.packets.delivered")
+	s.mWins = cfg.Obs.Counter("manycore.arb.wins")
+	s.mMem = cfg.Obs.Counter("manycore.mem_accesses")
+	s.mNetLat = cfg.Obs.Histogram("manycore.net_latency.cycles", 4, 4096)
 	// Calibrate one address profile per distinct benchmark (shared by
 	// its instances, memoized across systems — calibration is pure given
 	// the benchmark, cache geometry, and density).
@@ -409,15 +435,21 @@ func (s *System) switchCycle(coreCycle int64) {
 		t.sendMsg = t.outQ[0]
 		t.outQ = t.outQ[1:]
 		t.sendFlits = s.cfg.PacketFlits
+		s.mWins.Inc()
+		s.rec.Record(s.swCycle, obs.EvArbWin, g.In, g.Out, s.cfg.PacketFlits)
 	}
 	for _, id := range done {
 		t := s.tiles[id]
 		t.sending = false
 		s.sw.Release(id)
+		lat := s.swCycle - t.sendMsg.born
 		if s.measuring {
-			s.netLat.Add(float64(s.swCycle - t.sendMsg.born))
+			s.netLat.Add(float64(lat))
 			s.netPackets++
 		}
+		s.mDelivered.Inc()
+		s.mNetLat.Observe(float64(lat))
+		s.rec.Record(s.swCycle, obs.EvEject, id, t.sendMsg.dst, int(lat))
 		s.deliver(t.sendMsg, coreCycle)
 	}
 }
@@ -441,6 +473,7 @@ func (s *System) deliver(m message, coreCycle int64) {
 		if s.measuring {
 			s.memAccess++
 		}
+		s.mMem.Inc()
 	case respMem:
 		// Fill the bank, then forward to the core.
 		dst.bankQ = append(dst.bankQ, delayed{ready: coreCycle + int64(s.cfg.L2HitCycles), msg: m})
@@ -496,6 +529,8 @@ func (s *System) send(m message) {
 	src := sourcePort(m, s)
 	m.born = s.swCycle
 	s.tiles[src].outQ = append(s.tiles[src].outQ, m)
+	s.mInjected.Inc()
+	s.rec.Record(s.swCycle, obs.EvInject, src, m.dst, 0)
 }
 
 // sourcePort returns the tile injecting the message.

@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/reprolab/hirise/internal/stats"
+)
+
+// FairnessAudit accumulates per-(primary input, priority class)
+// grant/denial/starvation-streak counters from the arbitration layer.
+// It is fed by arb.CLRG and xpoint.CLRGColumn (class-aware) and by
+// internal/core and internal/crossbar for the non-CLRG schemes (which
+// report class 0): one Observe call per requesting contender per
+// arbitration round, with won marking the round's winner. A starvation
+// streak is the number of consecutive denied requests between wins; the
+// request that wins does not extend the streak it ends.
+//
+// All methods are no-ops on a nil receiver. An audit is confined to one
+// simulation goroutine.
+type FairnessAudit struct {
+	reqs, wins []int64 // per input
+	streak     []int64 // per input: current run of denials
+	maxStreak  []int64 // per input: longest run of denials
+	classReqs  []int64 // per class
+	classWins  []int64 // per class
+}
+
+// NewFairnessAudit returns an audit over the given number of primary
+// inputs and priority classes (use classes 1 for class-less schemes).
+func NewFairnessAudit(inputs, classes int) *FairnessAudit {
+	if inputs <= 0 || classes <= 0 {
+		panic(fmt.Sprintf("obs: invalid audit shape %d inputs x %d classes", inputs, classes))
+	}
+	return &FairnessAudit{
+		reqs: make([]int64, inputs), wins: make([]int64, inputs),
+		streak: make([]int64, inputs), maxStreak: make([]int64, inputs),
+		classReqs: make([]int64, classes), classWins: make([]int64, classes),
+	}
+}
+
+// Observe records that input, currently in class, contended in one
+// arbitration round and won or lost it.
+func (a *FairnessAudit) Observe(input, class int, won bool) {
+	if a == nil {
+		return
+	}
+	a.reqs[input]++
+	a.classReqs[class]++
+	if won {
+		a.wins[input]++
+		a.classWins[class]++
+		a.streak[input] = 0
+		return
+	}
+	a.streak[input]++
+	if a.streak[input] > a.maxStreak[input] {
+		a.maxStreak[input] = a.streak[input]
+	}
+}
+
+// InputFairness is one input's audit totals.
+type InputFairness struct {
+	Input int `json:"input"`
+	// Requests counts arbitration rounds the input contended in.
+	Requests int64 `json:"requests"`
+	// Wins counts rounds it won; Denials is Requests - Wins.
+	Wins    int64 `json:"wins"`
+	Denials int64 `json:"denials"`
+	// MaxStarvation is the longest run of consecutive denials.
+	MaxStarvation int64 `json:"max_starvation"`
+	// WinShare is this input's fraction of all wins.
+	WinShare float64 `json:"win_share"`
+}
+
+// ClassFairness is one priority class's audit totals (CLRG only; other
+// schemes report everything under class 0).
+type ClassFairness struct {
+	Class    int   `json:"class"`
+	Requests int64 `json:"requests"`
+	Wins     int64 `json:"wins"`
+	// WinShare is this class's fraction of all wins.
+	WinShare float64 `json:"win_share"`
+}
+
+// FairnessReport is a rendered snapshot of a FairnessAudit.
+type FairnessReport struct {
+	Inputs  []InputFairness `json:"inputs"`
+	Classes []ClassFairness `json:"classes"`
+	// TotalWins and TotalRequests aggregate over inputs.
+	TotalWins     int64 `json:"total_wins"`
+	TotalRequests int64 `json:"total_requests"`
+	// JainIndex is Jain's fairness index over per-input win counts
+	// restricted to inputs that requested at least once (1 = perfectly
+	// fair).
+	JainIndex float64 `json:"jain_index"`
+	// MaxStarvation is the longest denial run over all inputs.
+	MaxStarvation int64 `json:"max_starvation"`
+}
+
+// Report renders the audit's current counters. A nil audit reports
+// zero inputs.
+func (a *FairnessAudit) Report() FairnessReport {
+	var rep FairnessReport
+	if a == nil {
+		return rep
+	}
+	for _, w := range a.wins {
+		rep.TotalWins += w
+	}
+	var active []float64
+	for i := range a.reqs {
+		rep.TotalRequests += a.reqs[i]
+		inf := InputFairness{
+			Input: i, Requests: a.reqs[i], Wins: a.wins[i],
+			Denials: a.reqs[i] - a.wins[i], MaxStarvation: a.maxStreak[i],
+		}
+		if rep.TotalWins > 0 {
+			inf.WinShare = float64(a.wins[i]) / float64(rep.TotalWins)
+		}
+		if a.reqs[i] > 0 {
+			active = append(active, float64(a.wins[i]))
+		}
+		if a.maxStreak[i] > rep.MaxStarvation {
+			rep.MaxStarvation = a.maxStreak[i]
+		}
+		rep.Inputs = append(rep.Inputs, inf)
+	}
+	for c := range a.classReqs {
+		cf := ClassFairness{Class: c, Requests: a.classReqs[c], Wins: a.classWins[c]}
+		if rep.TotalWins > 0 {
+			cf.WinShare = float64(a.classWins[c]) / float64(rep.TotalWins)
+		}
+		rep.Classes = append(rep.Classes, cf)
+	}
+	rep.JainIndex = stats.JainIndex(active)
+	return rep
+}
+
+// WriteText renders the report as an aligned table for humans.
+func (r FairnessReport) WriteText(w io.Writer) error {
+	bw := &errWriter{w: w}
+	fmt.Fprintf(bw, "fairness: %d wins / %d requests, Jain index %.4f, max starvation streak %d\n",
+		r.TotalWins, r.TotalRequests, r.JainIndex, r.MaxStarvation)
+	fmt.Fprintf(bw, "%-6s %10s %10s %10s %10s %9s\n",
+		"input", "requests", "wins", "denials", "win-share", "max-starv")
+	for _, in := range r.Inputs {
+		if in.Requests == 0 {
+			continue
+		}
+		fmt.Fprintf(bw, "%-6d %10d %10d %10d %10.4f %9d\n",
+			in.Input, in.Requests, in.Wins, in.Denials, in.WinShare, in.MaxStarvation)
+	}
+	if len(r.Classes) > 1 {
+		fmt.Fprintf(bw, "%-6s %10s %10s %10s\n", "class", "requests", "wins", "win-share")
+		for _, c := range r.Classes {
+			fmt.Fprintf(bw, "%-6d %10d %10d %10.4f\n", c.Class, c.Requests, c.Wins, c.WinShare)
+		}
+	}
+	return bw.err
+}
+
+// WriteJSON renders the report as one indented JSON document.
+func (r FairnessReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// errWriter latches the first write error so report rendering can use
+// plain Fprintf calls.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return 0, e.err
+	}
+	n, err := e.w.Write(p)
+	e.err = err
+	return n, err
+}

@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNilSinksAreSafe(t *testing.T) {
+	// The entire disabled path: a nil Observer hands out nil handles and
+	// every method is a no-op. Any panic here breaks the simulators'
+	// unconditional instrumentation.
+	var o *Observer
+	o.Counter("x").Inc()
+	o.Counter("x").Add(3)
+	o.Gauge("g").Set(1.5)
+	o.Histogram("h", 1, 8).Observe(2)
+	o.Rec().Record(0, EvInject, 1, 2, 0)
+	o.Audit().Observe(0, 0, true)
+	if o.Counter("x").Value() != 0 || o.Gauge("g").Value() != 0 {
+		t.Fatal("nil handles should read zero")
+	}
+	if o.Rec().Events() != nil || o.Rec().Dropped() != 0 {
+		t.Fatal("nil recorder should be empty")
+	}
+	if rep := o.Audit().Report(); len(rep.Inputs) != 0 {
+		t.Fatal("nil audit should report nothing")
+	}
+	// Observer with nil fields behaves the same.
+	o2 := &Observer{}
+	o2.Counter("x").Inc()
+	o2.Rec().Record(0, EvEject, 0, 0, 0)
+	o2.Audit().Observe(0, 0, false)
+}
+
+func TestRegistryInternsHandles(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Error("counter handles not interned")
+	}
+	if r.Gauge("b") != r.Gauge("b") {
+		t.Error("gauge handles not interned")
+	}
+	if r.Histogram("c", 2, 4) != r.Histogram("c", 99, 99) {
+		t.Error("histogram handles not interned (shape of existing handle must win)")
+	}
+	r.Counter("a").Add(5)
+	if got := r.Counter("a").Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+}
+
+func TestHistogramMetricSemantics(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", 2, 4) // [0,8) + overflow
+	for _, x := range []float64{1, 3, 100, -5, math.Inf(1), math.NaN()} {
+		h.Observe(x)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5 (NaN excluded)", h.Count())
+	}
+	if h.nan != 1 {
+		t.Errorf("nan = %d, want 1", h.nan)
+	}
+	if h.overflow != 2 {
+		t.Errorf("overflow = %d, want 2 (100 and +Inf)", h.overflow)
+	}
+	if h.bins[0] != 2 { // 1 and the clamped -5
+		t.Errorf("bins[0] = %d, want 2", h.bins[0])
+	}
+	if h.min != -5 || !math.IsInf(h.max, 1) {
+		t.Errorf("min/max = %v/%v", h.min, h.max)
+	}
+}
+
+func TestRegistryJSONDeterministic(t *testing.T) {
+	// Two registries populated in opposite orders must serialize
+	// byte-identically: JSON maps sort keys.
+	build := func(reverse bool) string {
+		r := NewRegistry()
+		names := []string{"alpha", "beta", "gamma"}
+		if reverse {
+			names = []string{"gamma", "beta", "alpha"}
+		}
+		for _, n := range names {
+			r.Counter(n).Add(int64(len(n)))
+			r.Gauge(n + ".g").Set(float64(len(n)))
+			r.Histogram(n+".h", 1, 4).Observe(float64(len(n) % 4))
+		}
+		var b bytes.Buffer
+		if err := r.WriteJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if build(false) != build(true) {
+		t.Fatal("registry JSON depends on registration order")
+	}
+}
+
+func TestRecorderBounded(t *testing.T) {
+	r := NewRecorder(3)
+	for i := 0; i < 5; i++ {
+		r.Record(int64(i), EvInject, i, 0, 0)
+	}
+	if len(r.Events()) != 3 {
+		t.Errorf("%d events kept, want 3", len(r.Events()))
+	}
+	if r.Dropped() != 2 {
+		t.Errorf("%d dropped, want 2", r.Dropped())
+	}
+	var b bytes.Buffer
+	if err := WriteJSONL(&b, []*Recorder{r}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"meta":"truncated","dropped":2`) {
+		t.Errorf("truncation not reported:\n%s", b.String())
+	}
+}
+
+func sampleRecorders() []*Recorder {
+	r0 := NewRecorder(0)
+	r0.Record(0, EvInject, 3, 7, 0)
+	r0.Record(0, EvVCAlloc, 3, 7, 1)
+	r0.Record(2, EvArbWin, 3, 7, 4)
+	r0.Record(5, EvArbLose, 4, 7, 0)
+	r0.Record(6, EvL2LC, 3, 7, 12)
+	r0.Record(7, EvEject, 3, 7, 7)
+	r1 := NewRecorder(0)
+	r1.Record(1, EvDrop, 0, 5, 0)
+	return []*Recorder{r0, nil, r1}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteJSONL(&b, sampleRecorders()); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ValidateJSONL(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 7 {
+		t.Errorf("validated %d events, want 7", n)
+	}
+}
+
+func TestChromeTraceRoundTrip(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteChromeTrace(&b, sampleRecorders()); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ValidateChromeTrace(b.Bytes())
+	if err != nil {
+		t.Fatalf("%v\n%s", err, b.String())
+	}
+	if n != 7 {
+		t.Errorf("validated %d events, want 7", n)
+	}
+	// Empty runs still produce a valid document.
+	b.Reset()
+	if err := WriteChromeTrace(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := ValidateChromeTrace(b.Bytes()); err != nil || n != 0 {
+		t.Errorf("empty trace: n=%d err=%v", n, err)
+	}
+}
+
+func TestValidatorsRejectMalformed(t *testing.T) {
+	if _, err := ValidateChromeTrace([]byte(`{"foo":1}`)); err == nil {
+		t.Error("document without traceEvents accepted")
+	}
+	if _, err := ValidateChromeTrace([]byte(`{"traceEvents":[{"name":"x","ph":"q","ts":0,"pid":0,"tid":0}]}`)); err == nil {
+		t.Error("unknown phase accepted")
+	}
+	if _, err := ValidateJSONL(strings.NewReader(`{"run":0,"cycle":1,"ev":"warp","in":0,"out":0,"aux":0}`)); err == nil {
+		t.Error("unknown event kind accepted")
+	}
+	if _, err := ValidateJSONL(strings.NewReader(`not json`)); err == nil {
+		t.Error("non-JSON line accepted")
+	}
+}
+
+func TestFairnessAuditStreaks(t *testing.T) {
+	a := NewFairnessAudit(2, 3)
+	// Input 0: lose, lose, win, lose — max streak 2, current 1.
+	a.Observe(0, 0, false)
+	a.Observe(0, 1, false)
+	a.Observe(0, 1, true)
+	a.Observe(0, 0, false)
+	// Input 1: always wins.
+	a.Observe(1, 2, true)
+	a.Observe(1, 2, true)
+	rep := a.Report()
+	if rep.TotalRequests != 6 || rep.TotalWins != 3 {
+		t.Fatalf("totals %d/%d, want 6 requests 3 wins", rep.TotalRequests, rep.TotalWins)
+	}
+	in0 := rep.Inputs[0]
+	if in0.Wins != 1 || in0.Denials != 3 || in0.MaxStarvation != 2 {
+		t.Errorf("input 0: %+v", in0)
+	}
+	if rep.Inputs[1].MaxStarvation != 0 {
+		t.Errorf("input 1 should have no starvation: %+v", rep.Inputs[1])
+	}
+	if rep.MaxStarvation != 2 {
+		t.Errorf("report max starvation = %d, want 2", rep.MaxStarvation)
+	}
+	if c := rep.Classes[2]; c.Requests != 2 || c.Wins != 2 {
+		t.Errorf("class 2: %+v", c)
+	}
+	// Jain over win counts {1, 2}: (3)^2 / (2*(1+4)) = 0.9.
+	if math.Abs(rep.JainIndex-0.9) > 1e-12 {
+		t.Errorf("Jain = %v, want 0.9", rep.JainIndex)
+	}
+	var text, js bytes.Buffer
+	if err := rep.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "max starvation streak 2") {
+		t.Errorf("text report:\n%s", text.String())
+	}
+}
+
+func TestHeartbeatAndRuntimeMetrics(t *testing.T) {
+	stop := Heartbeat(&bytes.Buffer{}, 0, func() string { return "" })
+	stop() // interval <= 0: no-op, stop must still be callable
+	var b bytes.Buffer
+	if err := WriteRuntimeMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "/sched/gomaxprocs:threads") {
+		t.Error("runtime metrics snapshot missing standard metric")
+	}
+}

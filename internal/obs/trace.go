@@ -1,0 +1,283 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// EventKind identifies one step of a flit/packet lifecycle.
+type EventKind uint8
+
+// Lifecycle event kinds, in the order a packet experiences them.
+const (
+	// EvInject: a packet entered an input's source queue (Out = dest).
+	EvInject EventKind = iota
+	// EvDrop: an injection was discarded at a full source queue.
+	EvDrop
+	// EvVCAlloc: a packet moved from the source queue into a virtual
+	// channel (Aux = VC index).
+	EvVCAlloc
+	// EvArbWin: an input won arbitration and holds its output until the
+	// packet's last flit (Aux = data cycles the connection will carry).
+	EvArbWin
+	// EvArbLose: an input requested an output this cycle and lost.
+	EvArbLose
+	// EvL2LC: a granted connection traverses a layer-to-layer channel
+	// (Aux = global L2LC id).
+	EvL2LC
+	// EvEject: a packet's last flit left the switch (Aux = latency in
+	// cycles from injection).
+	EvEject
+
+	numEventKinds = iota
+)
+
+var eventKindNames = [numEventKinds]string{
+	"inject", "drop", "vc_alloc", "arb_win", "arb_lose", "l2lc", "eject",
+}
+
+// String returns the event kind's wire name.
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one lifecycle step, keyed by simulated switch cycle.
+type Event struct {
+	Cycle int64
+	Kind  EventKind
+	// In is the input port the event concerns.
+	In int
+	// Out is the output port involved, or -1.
+	Out int
+	// Aux carries per-kind detail (see the kind constants).
+	Aux int
+}
+
+// DefaultMaxEvents bounds a Recorder that was not given an explicit
+// capacity (~44 MB of events).
+const DefaultMaxEvents = 1 << 20
+
+// Recorder accumulates lifecycle events for one simulation run. It is
+// bounded: past the cap it counts dropped events instead of growing,
+// and every writer reports the truncation rather than hiding it. All
+// methods are no-ops on a nil receiver. A Recorder is confined to one
+// simulation goroutine; concurrent sweep points each use their own,
+// merged in index order by WriteJSONL/WriteChromeTrace.
+type Recorder struct {
+	events  []Event
+	max     int
+	dropped int64
+}
+
+// NewRecorder returns a recorder holding at most maxEvents events
+// (<= 0 selects DefaultMaxEvents).
+func NewRecorder(maxEvents int) *Recorder {
+	if maxEvents <= 0 {
+		maxEvents = DefaultMaxEvents
+	}
+	return &Recorder{max: maxEvents}
+}
+
+// Record appends one event, or counts it as dropped past the cap.
+func (r *Recorder) Record(cycle int64, kind EventKind, in, out, aux int) {
+	if r == nil {
+		return
+	}
+	if len(r.events) >= r.max {
+		r.dropped++
+		return
+	}
+	r.events = append(r.events, Event{Cycle: cycle, Kind: kind, In: in, Out: out, Aux: aux})
+}
+
+// Events returns the recorded events in record order (which is cycle
+// order: the simulator is sequential).
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	return r.events
+}
+
+// Dropped returns how many events were discarded at the cap.
+func (r *Recorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.dropped
+}
+
+// WriteJSONL writes the runs' events as JSON Lines, one event per line,
+// runs concatenated in index order. Each line carries the fields
+// run, cycle, ev, in, out, aux; a final meta line per truncated run
+// reports its drop count. Output is byte-deterministic for a
+// deterministic simulation at any worker count, because run order is
+// index order and each run's events were recorded sequentially.
+func WriteJSONL(w io.Writer, runs []*Recorder) error {
+	bw := bufio.NewWriter(w)
+	for run, r := range runs {
+		if r == nil {
+			continue
+		}
+		for _, e := range r.events {
+			fmt.Fprintf(bw, `{"run":%d,"cycle":%d,"ev":%q,"in":%d,"out":%d,"aux":%d}`+"\n",
+				run, e.Cycle, e.Kind.String(), e.In, e.Out, e.Aux)
+		}
+		if r.dropped > 0 {
+			fmt.Fprintf(bw, `{"run":%d,"meta":"truncated","dropped":%d}`+"\n", run, r.dropped)
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteChromeTrace writes the runs' events as Chrome trace-event JSON
+// (the format Perfetto and chrome://tracing load): a {"traceEvents":
+// [...]} document where one simulated cycle maps to one microsecond of
+// trace time, the run index is the pid, and the input port is the tid.
+// EvArbWin becomes a complete ("X") slice spanning the connection's
+// occupancy; every other kind becomes a thread-scoped instant ("i").
+// Like WriteJSONL, output is byte-deterministic at any worker count.
+func WriteChromeTrace(w io.Writer, runs []*Recorder) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprint(bw, `{"displayTimeUnit":"ms","traceEvents":[`)
+	first := true
+	emit := func(format string, args ...any) {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(bw, format, args...)
+	}
+	for run, r := range runs {
+		if r == nil {
+			continue
+		}
+		for _, e := range r.events {
+			switch e.Kind {
+			case EvArbWin:
+				// One arbitration cycle plus the data cycles of occupancy.
+				emit(`{"name":"conn->%d","ph":"X","ts":%d,"dur":%d,"pid":%d,"tid":%d,"args":{"out":%d,"data_cycles":%d}}`,
+					e.Out, e.Cycle, e.Aux+1, run, e.In, e.Out, e.Aux)
+			default:
+				emit(`{"name":%q,"ph":"i","ts":%d,"pid":%d,"tid":%d,"s":"t","args":{"out":%d,"aux":%d}}`,
+					e.Kind.String(), e.Cycle, run, e.In, e.Out, e.Aux)
+			}
+		}
+		if r.dropped > 0 {
+			emit(`{"name":"trace_truncated","ph":"i","ts":0,"pid":%d,"tid":0,"s":"p","args":{"dropped":%d}}`,
+				run, r.dropped)
+		}
+	}
+	fmt.Fprint(bw, "]}\n")
+	return bw.Flush()
+}
+
+// chromeEvent is the subset of the trace-event schema the validator
+// checks.
+type chromeEvent struct {
+	Name string           `json:"name"`
+	Ph   string           `json:"ph"`
+	Ts   *float64         `json:"ts"`
+	Pid  *int             `json:"pid"`
+	Tid  *int             `json:"tid"`
+	Dur  *float64         `json:"dur"`
+	S    string           `json:"s"`
+	Args *json.RawMessage `json:"args"`
+}
+
+// ValidateChromeTrace checks that data is a well-formed Chrome
+// trace-event JSON document as emitted by WriteChromeTrace: a
+// traceEvents array whose entries all carry name/ph/ts/pid/tid, with
+// ph limited to complete ("X", requiring a non-negative dur) and
+// instant ("i", requiring a scope) events. It returns the event count.
+func ValidateChromeTrace(data []byte) (int, error) {
+	var doc struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return 0, fmt.Errorf("obs: trace is not valid JSON: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return 0, fmt.Errorf("obs: trace has no traceEvents array")
+	}
+	for i, e := range doc.TraceEvents {
+		where := fmt.Sprintf("obs: traceEvents[%d]", i)
+		switch {
+		case e.Name == "":
+			return 0, fmt.Errorf("%s: missing name", where)
+		case e.Ts == nil || e.Pid == nil || e.Tid == nil:
+			return 0, fmt.Errorf("%s (%s): missing ts/pid/tid", where, e.Name)
+		case *e.Ts < 0:
+			return 0, fmt.Errorf("%s (%s): negative ts %v", where, e.Name, *e.Ts)
+		}
+		switch e.Ph {
+		case "X":
+			if e.Dur == nil || *e.Dur < 0 {
+				return 0, fmt.Errorf("%s (%s): X event needs dur >= 0", where, e.Name)
+			}
+		case "i":
+			if e.S == "" {
+				return 0, fmt.Errorf("%s (%s): instant event needs a scope", where, e.Name)
+			}
+		default:
+			return 0, fmt.Errorf("%s (%s): unexpected phase %q", where, e.Name, e.Ph)
+		}
+	}
+	return len(doc.TraceEvents), nil
+}
+
+// ValidateJSONL checks that every line of r is a well-formed lifecycle
+// event as emitted by WriteJSONL (or a truncation meta line) and
+// returns the event count.
+func ValidateJSONL(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	known := map[string]bool{}
+	for _, n := range eventKindNames {
+		known[n] = true
+	}
+	n, line := 0, 0
+	for sc.Scan() {
+		line++
+		var e struct {
+			Run   *int   `json:"run"`
+			Cycle *int64 `json:"cycle"`
+			Ev    string `json:"ev"`
+			In    *int   `json:"in"`
+			Out   *int   `json:"out"`
+			Aux   *int   `json:"aux"`
+			Meta  string `json:"meta"`
+			Drops *int64 `json:"dropped"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return 0, fmt.Errorf("obs: line %d is not valid JSON: %w", line, err)
+		}
+		if e.Run == nil || *e.Run < 0 {
+			return 0, fmt.Errorf("obs: line %d: missing run", line)
+		}
+		if e.Meta != "" {
+			if e.Meta != "truncated" || e.Drops == nil {
+				return 0, fmt.Errorf("obs: line %d: malformed meta line", line)
+			}
+			continue
+		}
+		switch {
+		case e.Cycle == nil || *e.Cycle < 0:
+			return 0, fmt.Errorf("obs: line %d: missing cycle", line)
+		case !known[e.Ev]:
+			return 0, fmt.Errorf("obs: line %d: unknown event kind %q", line, e.Ev)
+		case e.In == nil || e.Out == nil || e.Aux == nil:
+			return 0, fmt.Errorf("obs: line %d: missing in/out/aux", line)
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	return n, nil
+}

@@ -15,6 +15,7 @@ package sim
 import (
 	"fmt"
 
+	"github.com/reprolab/hirise/internal/obs"
 	"github.com/reprolab/hirise/internal/pool"
 	"github.com/reprolab/hirise/internal/prng"
 	"github.com/reprolab/hirise/internal/stats"
@@ -63,6 +64,16 @@ type Config struct {
 	Warmup, Measure int64
 	// Seed drives all stochastic choices.
 	Seed uint64
+	// Obs, when non-nil, attaches observability sinks (internal/obs):
+	// the trace recorder sees every flit lifecycle event, the metrics
+	// registry accumulates sim.* counters and the latency histogram, and
+	// the fairness audit is handed to the switch if it implements
+	// SetObserver. Unlike Result, which covers only the measurement
+	// window, obs sinks cover the entire run including warmup — they
+	// observe the simulation, not the experiment. A nil Obs (the
+	// default) is free: no hook allocates or branches beyond a nil
+	// check. Results and stdout are byte-identical either way.
+	Obs *obs.Observer
 }
 
 // Defaults fills unset fields with the paper's parameters. Zero means
@@ -161,6 +172,24 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	n := cfg.Switch.Radix()
+	if cfg.Obs != nil {
+		if sw, ok := cfg.Switch.(interface{ SetObserver(*obs.Observer) }); ok {
+			sw.SetObserver(cfg.Obs)
+		}
+	}
+	// All handles below are nil when cfg.Obs is nil (or lacks the sink);
+	// their methods no-op on nil receivers, so the disabled path costs
+	// one nil check per hook and never allocates.
+	rec := cfg.Obs.Rec()
+	mInjected := cfg.Obs.Counter("sim.packets.injected")
+	mDelivered := cfg.Obs.Counter("sim.packets.delivered")
+	mDropped := cfg.Obs.Counter("sim.packets.dropped")
+	mFlits := cfg.Obs.Counter("sim.flits.delivered")
+	mWins := cfg.Obs.Counter("sim.arb.wins")
+	mLosses := cfg.Obs.Counter("sim.arb.losses")
+	mLatency := cfg.Obs.Histogram("sim.latency.cycles", 4, 4096)
+	cfg.Obs.Gauge("sim.offered.load").Set(cfg.Load)
+
 	root := prng.New(cfg.Seed)
 	ports := make([]*port, n)
 	for i := range ports {
@@ -196,14 +225,18 @@ func Run(cfg Config) (Result, error) {
 				continue
 			}
 			pkt := p.vc[p.connVC]
+			lat := cycle - pkt.birth
 			if measuring {
-				lat := float64(cycle - pkt.birth)
-				hist.Add(lat)
-				perLat.Add(in, lat)
+				hist.Add(float64(lat))
+				perLat.Add(in, float64(lat))
 				perPkt[in]++
 				delivered++
 				flits += int64(cfg.PacketFlits)
 			}
+			mDelivered.Inc()
+			mFlits.Add(int64(cfg.PacketFlits))
+			mLatency.Observe(float64(lat))
+			rec.Record(cycle, obs.EvEject, in, pkt.dest, int(lat))
 			p.vcOk[p.connVC] = false
 			p.connected = false
 			releases = append(releases, in)
@@ -233,6 +266,18 @@ func Run(cfg Config) (Result, error) {
 			p := ports[g.In]
 			p.connected = true
 			p.remaining = cfg.PacketFlits
+			mWins.Inc()
+			rec.Record(cycle, obs.EvArbWin, g.In, g.Out, cfg.PacketFlits)
+		}
+		if cfg.Obs != nil {
+			// A requesting input left unconnected lost its arbitration
+			// round (to a contender, a busy output, or a busy channel).
+			for in, p := range ports {
+				if req[in] >= 0 && !p.connected {
+					mLosses.Inc()
+					rec.Record(cycle, obs.EvArbLose, in, req[in], 0)
+				}
+			}
 		}
 
 		// 4. Release the connections that finished this cycle.
@@ -247,11 +292,15 @@ func Run(cfg Config) (Result, error) {
 					if measuring {
 						dropped++
 					}
+					mDropped.Inc()
+					rec.Record(cycle, obs.EvDrop, in, dest, 0)
 				} else {
 					p.srcQ = append(p.srcQ, packet{birth: cycle, dest: dest})
 					if measuring {
 						injected++
 					}
+					mInjected.Inc()
+					rec.Record(cycle, obs.EvInject, in, dest, 0)
 				}
 			}
 			for v := 0; v < cfg.VCs && len(p.srcQ) > 0; v++ {
@@ -259,6 +308,7 @@ func Run(cfg Config) (Result, error) {
 					p.vc[v] = p.srcQ[0]
 					p.srcQ = p.srcQ[1:]
 					p.vcOk[v] = true
+					rec.Record(cycle, obs.EvVCAlloc, in, p.vc[v].dest, v)
 				}
 			}
 		}
@@ -306,6 +356,20 @@ func SaturationThroughput(cfg Config) (float64, error) {
 // shared neither between concurrent points nor across sequential ones.
 // The first error by point index wins, mirroring serial execution.
 func LoadSweep(base Config, newSwitch func() Switch, newTraffic func() Traffic, loads []float64, workers int) ([]Result, error) {
+	return LoadSweepObserved(base, newSwitch, newTraffic, loads, workers, nil)
+}
+
+// LoadSweepObserved is LoadSweep with per-point observability: when
+// obsFor is non-nil it is called once per point, before the point runs,
+// and must return the observer for that point (or nil to leave the
+// point unobserved). Each point needs its own observer because points
+// run concurrently and obs sinks are single-writer; callers merge the
+// per-point sinks in point order afterwards (obs.WriteJSONL and friends
+// take the slice), which keeps every serialized trace byte-identical at
+// any worker count. obsFor itself may be called from worker goroutines
+// and must be safe for concurrent use; returning independent,
+// preallocated observers from a slice is the intended pattern.
+func LoadSweepObserved(base Config, newSwitch func() Switch, newTraffic func() Traffic, loads []float64, workers int, obsFor func(i int) *obs.Observer) ([]Result, error) {
 	out := make([]Result, len(loads))
 	errs := make([]error, len(loads))
 	pool.Do(len(loads), workers, func(i int) {
@@ -313,6 +377,9 @@ func LoadSweep(base Config, newSwitch func() Switch, newTraffic func() Traffic, 
 		cfg.Switch = newSwitch()
 		if newTraffic != nil {
 			cfg.Traffic = newTraffic()
+		}
+		if obsFor != nil {
+			cfg.Obs = obsFor(i)
 		}
 		cfg.Load = loads[i]
 		cfg.Seed = pool.SeedFor(base.Seed, uint64(i))

@@ -114,17 +114,29 @@ func NewHistogram(binWidth float64, nbins int) *Histogram {
 	return &Histogram{binWidth: binWidth, bins: make([]int64, nbins)}
 }
 
-// Add records one observation. Negative values clamp to bin 0.
+// Add records one observation. Negative values (including -Inf) clamp
+// to bin 0; values at or above the histogram's upper bound (including
+// +Inf) land in the overflow bucket; NaN observations are discarded
+// entirely — they carry no ordering information to bin and would
+// otherwise poison the running mean. (Converting NaN or ±Inf to int is
+// platform-defined in Go — on amd64 it yields the most negative int —
+// so the pre-conversion guards here are what keep Add panic-free.)
 func (h *Histogram) Add(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
 	h.sum.Add(x)
 	if x < 0 {
 		h.bins[0]++
 		return
 	}
-	i := int(x / h.binWidth)
-	if i >= len(h.bins) {
+	if x >= h.binWidth*float64(len(h.bins)) {
 		h.overflow++
 		return
+	}
+	i := int(x / h.binWidth)
+	if i >= len(h.bins) { // float rounding at the upper edge
+		i = len(h.bins) - 1
 	}
 	h.bins[i]++
 }
@@ -135,14 +147,15 @@ func (h *Histogram) N() int64 { return h.sum.N() }
 // Mean returns the exact sample mean (not binned).
 func (h *Histogram) Mean() float64 { return h.sum.Mean() }
 
-// Quantile returns an approximation of the q-th quantile (q in [0,1]).
-// Values in the overflow bucket report as the histogram's upper bound.
+// Quantile returns an approximation of the q-th quantile. q is clamped
+// to [0,1], with NaN treated as 0; an empty histogram returns 0. Values
+// in the overflow bucket report as the histogram's upper bound.
 func (h *Histogram) Quantile(q float64) float64 {
 	n := h.sum.N()
 	if n == 0 {
 		return 0
 	}
-	if q < 0 {
+	if !(q > 0) { // negative or NaN
 		q = 0
 	}
 	if q > 1 {
@@ -178,7 +191,8 @@ func (t *Throughput) Events() int64 { return t.events }
 // Cycles returns the window length.
 func (t *Throughput) Cycles() int64 { return t.cycles }
 
-// Rate returns events per cycle over the window.
+// Rate returns events per cycle over the window, or 0 when no cycles
+// have elapsed (an empty window offers no rate, not a division error).
 func (t *Throughput) Rate() float64 {
 	if t.cycles == 0 {
 		return 0

@@ -206,3 +206,80 @@ func TestMedian(t *testing.T) {
 		t.Error("Median mutated its input")
 	}
 }
+
+func TestHistogramNonFiniteObservations(t *testing.T) {
+	// NaN and ±Inf must not panic (int(NaN) is the most negative int on
+	// amd64, a guaranteed out-of-range bin index without the guards) and
+	// must follow the documented semantics: NaN discarded, +Inf to
+	// overflow, -Inf to bin 0.
+	h := NewHistogram(2, 4)
+	h.Add(math.NaN())
+	if h.N() != 0 {
+		t.Errorf("NaN counted: N = %d", h.N())
+	}
+	h.Add(math.Inf(1))
+	if h.N() != 1 || h.overflow != 1 {
+		t.Errorf("+Inf: N=%d overflow=%d, want 1/1", h.N(), h.overflow)
+	}
+	h.Add(math.Inf(-1))
+	if h.bins[0] != 1 {
+		t.Errorf("-Inf should clamp to bin 0, bins[0]=%d", h.bins[0])
+	}
+	// Upper-edge value: exactly at the bound is overflow, just below is
+	// the last bin even if x/binWidth rounds up.
+	h2 := NewHistogram(2, 4)
+	h2.Add(8)
+	if h2.overflow != 1 {
+		t.Errorf("at-bound value should overflow, overflow=%d", h2.overflow)
+	}
+	h2.Add(math.Nextafter(8, 0))
+	if h2.bins[3] != 1 {
+		t.Errorf("just-below-bound value should land in last bin, bins=%v", h2.bins)
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	h := NewHistogram(2, 4)
+	if q := h.Quantile(0.5); q != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", q)
+	}
+	if q := h.Quantile(math.NaN()); q != 0 {
+		t.Errorf("empty histogram NaN quantile = %v, want 0", q)
+	}
+	h.Add(1)
+	h.Add(3)
+	h.Add(5)
+	lo, hi := h.Quantile(0), h.Quantile(1)
+	if q := h.Quantile(-1); q != lo {
+		t.Errorf("q<0 should clamp to 0: %v vs %v", q, lo)
+	}
+	if q := h.Quantile(2); q != hi {
+		t.Errorf("q>1 should clamp to 1: %v vs %v", q, hi)
+	}
+	if q := h.Quantile(math.NaN()); q != lo {
+		t.Errorf("NaN q should clamp to 0: %v vs %v", q, lo)
+	}
+}
+
+func TestThroughputZeroCycles(t *testing.T) {
+	var tp Throughput
+	tp.Record(10)
+	if r := tp.Rate(); r != 0 {
+		t.Errorf("zero-cycle window rate = %v, want 0", r)
+	}
+	tp.Advance(5)
+	if r := tp.Rate(); !almost(r, 2, 1e-12) {
+		t.Errorf("rate = %v, want 2", r)
+	}
+}
+
+func TestSummaryEmptyMinMax(t *testing.T) {
+	var s Summary
+	if s.Min() != 0 || s.Max() != 0 {
+		t.Fatalf("empty summary min/max = %v/%v, want 0/0", s.Min(), s.Max())
+	}
+	s.Add(-3)
+	if s.Min() != -3 || s.Max() != -3 {
+		t.Fatalf("single observation min/max = %v/%v", s.Min(), s.Max())
+	}
+}

@@ -1,0 +1,191 @@
+package trace
+
+// This file solves the catalog's per-benchmark MPKI values from paper
+// Table VI. The paper prints only per-mix *average* MPKIs; per-benchmark
+// values must be reconstructed. The solver starts from publicly known
+// SPEC2006 miss-rate folklore (the priors) and finds the minimum
+// relative adjustment that makes every mix average exact — a
+// generalized least-norm problem solved with Lagrange multipliers:
+// minimize Σ((x_j - p_j)/p_j)² subject to A·x = targets, where
+// A[m][j] is benchmark j's instance share of mix m.
+//
+// The catalog in trace.go pins the solution; TestCalibrationMatchesCatalog
+// fails if solver and catalog ever drift apart.
+
+// Calibration is the solved Table VI MPKI reconstruction.
+type Calibration struct {
+	// Names lists the benchmarks in first-appearance order over the
+	// mixes (the order cmd/probe prints).
+	Names []string
+	// Priors and Solved map benchmark name to its folklore prior and
+	// its solved MPKI.
+	Priors, Solved map[string]float64
+	// Targets and MixAvg are the paper's per-mix average MPKIs and the
+	// averages the solution actually achieves (equal up to float error).
+	Targets, MixAvg []float64
+}
+
+// calPart is one benchmark's instance count within a mix, as printed in
+// Table VI.
+type calPart struct {
+	bench string
+	count int
+}
+
+// calibrationPriors returns the SPEC2006 miss-rate folklore the solver
+// adjusts. Values are approximate L1+L2 MPKIs from public
+// characterization studies.
+func calibrationPriors() map[string]float64 {
+	return map[string]float64{
+		"milc": 45, "applu": 20, "astar": 15, "sjeng": 1.5, "tonto": 3, "hmmer": 3,
+		"sjas": 40, "gcc": 9, "sjbb": 45, "gromacs": 5, "xalan": 30,
+		"libquantum": 60, "barnes": 10, "tpcw": 55, "povray": 2,
+		"swim": 55, "leslie": 35, "omnet": 40, "art": 50,
+		"mcf": 110, "ocean": 40, "lbm": 60, "deal": 12, "sap": 45,
+		"namd": 3, "Gems": 75, "soplex": 50,
+	}
+}
+
+// calibrationMixes returns Table VI's instance counts exactly as
+// printed. Note Mix7: the printed counts sum to 63 (sap appears 10
+// times), and the calibration divides by 64 cores regardless, matching
+// how the paper's averages were evidently computed. This deliberately
+// differs from TableVIMixes, which gives sap an 11th instance so the
+// simulated system fills all 64 cores — using the runnable mixes here
+// would shift the solution away from the pinned catalog.
+func calibrationMixes() [][]calPart {
+	return [][]calPart{
+		{{"milc", 11}, {"applu", 11}, {"astar", 10}, {"sjeng", 11}, {"tonto", 11}, {"hmmer", 10}},
+		{{"sjas", 11}, {"gcc", 11}, {"sjbb", 11}, {"gromacs", 11}, {"sjeng", 10}, {"xalan", 10}},
+		{{"milc", 11}, {"libquantum", 10}, {"astar", 11}, {"barnes", 11}, {"tpcw", 11}, {"povray", 10}},
+		{{"astar", 11}, {"swim", 11}, {"leslie", 10}, {"omnet", 10}, {"sjas", 11}, {"art", 11}},
+		{{"mcf", 11}, {"ocean", 10}, {"gromacs", 10}, {"lbm", 11}, {"deal", 11}, {"sap", 11}},
+		{{"mcf", 10}, {"namd", 11}, {"hmmer", 11}, {"tpcw", 11}, {"omnet", 10}, {"swim", 11}},
+		{{"Gems", 10}, {"sjbb", 11}, {"sjas", 11}, {"mcf", 10}, {"xalan", 11}, {"sap", 10}},
+		{{"milc", 11}, {"tpcw", 10}, {"Gems", 11}, {"mcf", 11}, {"sjas", 11}, {"soplex", 10}},
+	}
+}
+
+// calibrationTargets returns Table VI's per-mix average MPKIs.
+func calibrationTargets() []float64 {
+	return []float64{15.0, 21.3, 33.3, 38.4, 52.2, 58.4, 66.9, 76.0}
+}
+
+// CalibrateTableVI reconstructs the per-benchmark MPKIs behind Table
+// VI's mix averages. The computation is pure and deterministic; the
+// catalog records its output.
+func CalibrateTableVI() Calibration {
+	prior := calibrationPriors()
+	mixes := calibrationMixes()
+	targets := calibrationTargets()
+
+	var names []string
+	idx := map[string]int{}
+	for _, m := range mixes {
+		for _, p := range m {
+			if _, seen := idx[p.bench]; !seen {
+				idx[p.bench] = len(names)
+				names = append(names, p.bench)
+			}
+		}
+	}
+	nb, nm := len(names), len(mixes)
+
+	// A x = targets with A[m][j] = count/64.
+	A := make([][]float64, nm)
+	for m := range A {
+		A[m] = make([]float64, nb)
+		for _, p := range mixes[m] {
+			A[m][idx[p.bench]] = float64(p.count) / 64
+		}
+	}
+	p := make([]float64, nb)
+	for j, n := range names {
+		p[j] = prior[n]
+	}
+	// Residual r = targets - A·p.
+	r := make([]float64, nm)
+	for m := range r {
+		r[m] = targets[m]
+		for j := range p {
+			r[m] -= A[m][j] * p[j]
+		}
+	}
+	// The stationarity condition gives x = p + W⁻¹AᵀΛ with
+	// W⁻¹ = diag(p_j²); Λ solves (A W⁻¹ Aᵀ) Λ = r.
+	M := make([][]float64, nm)
+	for i := range M {
+		M[i] = make([]float64, nm)
+		for j := range M[i] {
+			for k := 0; k < nb; k++ {
+				M[i][j] += A[i][k] * p[k] * p[k] * A[j][k]
+			}
+		}
+	}
+	lam := solveLinear(M, r)
+	x := make([]float64, nb)
+	for j := range x {
+		x[j] = p[j]
+		for m := 0; m < nm; m++ {
+			x[j] += p[j] * p[j] * A[m][j] * lam[m]
+		}
+	}
+
+	cal := Calibration{
+		Names:   names,
+		Priors:  map[string]float64{},
+		Solved:  map[string]float64{},
+		Targets: targets,
+		MixAvg:  make([]float64, nm),
+	}
+	for j, n := range names {
+		cal.Priors[n] = p[j]
+		cal.Solved[n] = x[j]
+	}
+	for m := range mixes {
+		for j := range x {
+			cal.MixAvg[m] += A[m][j] * x[j]
+		}
+	}
+	return cal
+}
+
+// solveLinear performs Gaussian elimination with partial pivoting on
+// M y = r, returning y. M and r are not modified.
+func solveLinear(M [][]float64, r []float64) []float64 {
+	n := len(M)
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = append(append([]float64{}, M[i]...), r[i])
+	}
+	abs := func(v float64) float64 {
+		if v < 0 {
+			return -v
+		}
+		return v
+	}
+	for c := 0; c < n; c++ {
+		piv := c
+		for i := c + 1; i < n; i++ {
+			if abs(a[i][c]) > abs(a[piv][c]) {
+				piv = i
+			}
+		}
+		a[c], a[piv] = a[piv], a[c]
+		for i := c + 1; i < n; i++ {
+			f := a[i][c] / a[c][c]
+			for j := c; j <= n; j++ {
+				a[i][j] -= f * a[c][j]
+			}
+		}
+	}
+	y := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		y[i] = a[i][n]
+		for j := i + 1; j < n; j++ {
+			y[i] -= a[i][j] * y[j]
+		}
+		y[i] /= a[i][i]
+	}
+	return y
+}

@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+// TestCalibrationMatchesCatalog pins the solver to the catalog: the
+// catalog's NetMPKI values are the (rounded) solver output, so any
+// change to the priors, the mix table, or the algebra shows up here.
+func TestCalibrationMatchesCatalog(t *testing.T) {
+	cal := CalibrateTableVI()
+	if len(cal.Names) != len(catalog) {
+		t.Fatalf("solver covers %d benchmarks, catalog has %d", len(cal.Names), len(catalog))
+	}
+	for _, b := range catalog {
+		solved, ok := cal.Solved[b.Name]
+		if !ok {
+			t.Errorf("catalog benchmark %q missing from solution", b.Name)
+			continue
+		}
+		// Catalog values are the solution rounded to 2 decimals.
+		if math.Abs(solved-b.NetMPKI) > 0.005 {
+			t.Errorf("%s: solved %.4f, catalog pins %.2f", b.Name, solved, b.NetMPKI)
+		}
+	}
+}
+
+// TestCalibrationHitsTargets verifies the constraint actually holds:
+// each printed-count mix average equals the paper's Table VI value.
+func TestCalibrationHitsTargets(t *testing.T) {
+	cal := CalibrateTableVI()
+	if len(cal.MixAvg) != len(cal.Targets) {
+		t.Fatalf("%d mix averages vs %d targets", len(cal.MixAvg), len(cal.Targets))
+	}
+	for m := range cal.Targets {
+		if math.Abs(cal.MixAvg[m]-cal.Targets[m]) > 1e-9 {
+			t.Errorf("mix%d: average %.6f, target %.1f", m+1, cal.MixAvg[m], cal.Targets[m])
+		}
+	}
+}
+
+// TestCalibrationStaysNearPriors guards the "minimum relative
+// adjustment" property: no benchmark moves by more than 60% of its
+// prior (the largest real adjustment is mcf at ~55%).
+func TestCalibrationStaysNearPriors(t *testing.T) {
+	cal := CalibrateTableVI()
+	for _, n := range cal.Names {
+		rel := math.Abs(cal.Solved[n]-cal.Priors[n]) / cal.Priors[n]
+		if rel > 0.60 {
+			t.Errorf("%s: moved %.0f%% from prior %.1f to %.2f", n, rel*100, cal.Priors[n], cal.Solved[n])
+		}
+		if cal.Solved[n] <= 0 {
+			t.Errorf("%s: non-positive solved MPKI %.4f", n, cal.Solved[n])
+		}
+	}
+}

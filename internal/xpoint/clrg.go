@@ -1,5 +1,7 @@
 package xpoint
 
+import "github.com/reprolab/hirise/internal/obs"
+
 // CLRGColumn is the bit-level inter-layer sub-block cross-point
 // arrangement of paper Fig 7: one cross-point per contending line (the
 // incoming L2LCs plus the local intermediate output), thermometer class
@@ -14,6 +16,7 @@ type CLRGColumn struct {
 	pri      [][]bool // LRG matrix over lines
 	wires    []bool   // classes*lines priority wires, true = precharged
 	connect  []bool
+	audit    *obs.FairnessAudit
 }
 
 // NewCLRGColumn returns a sub-block column over the given number of
@@ -42,6 +45,14 @@ func NewCLRGColumn(lines, inputs, classes int) *CLRGColumn {
 
 // Class returns the current class of a primary input (0 highest).
 func (c *CLRGColumn) Class(input int) int { return int(c.counters[input]) }
+
+// SetAudit attaches a fairness audit: every Arbitrate call then records
+// one observation per requesting line — (primary input, its class at
+// sense time, whether it latched the connectivity bit). The counters
+// mirror arb.CLRG's audit exactly, which the differential tests use to
+// show the bit-level circuit and the behavioural model starve and
+// favour the same inputs. A nil audit disables auditing.
+func (c *CLRGColumn) SetAudit(a *obs.FairnessAudit) { c.audit = a }
 
 // PriorityLinesUsed returns how many output-bus wires the arbitration
 // borrows: one group of `lines` wires per class (Fig 7 uses wires 0-38
@@ -97,6 +108,14 @@ func (c *CLRGColumn) Arbitrate(req []bool, inputOf []int) int {
 				panic("xpoint: two CLRG connectivity bits latched")
 			}
 			winner = i
+		}
+	}
+	if c.audit != nil {
+		for i := 0; i < c.lines; i++ {
+			if req[i] {
+				in := inputOf[i]
+				c.audit.Observe(in, int(c.counters[in]), i == winner)
+			}
 		}
 	}
 	if winner < 0 {

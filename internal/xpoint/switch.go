@@ -3,6 +3,7 @@ package xpoint
 import (
 	"fmt"
 
+	"github.com/reprolab/hirise/internal/obs"
 	"github.com/reprolab/hirise/internal/topo"
 )
 
@@ -106,6 +107,17 @@ func NewSwitch(cfg topo.Config) (*Switch, error) {
 
 // Radix returns the port count.
 func (s *Switch) Radix() int { return s.cfg.Radix }
+
+// SetObserver attaches observability sinks. For a CLRG switch the
+// observer's fairness audit is fed by every sub-block column, giving
+// the same per-(input, class) counters as the behavioural model's
+// audit. Passing nil detaches.
+func (s *Switch) SetObserver(o *obs.Observer) {
+	audit := o.Audit()
+	for _, col := range s.subCLRG {
+		col.SetAudit(audit)
+	}
+}
 
 func (s *Switch) lineFor(d, src, ch int) int {
 	sidx := src
