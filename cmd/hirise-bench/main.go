@@ -22,22 +22,37 @@
 // JSON array (stable field layout, byte-deterministic) regardless of
 // -format; -cpuprofile/-memprofile/-exectrace/-runmetrics profile the
 // bench process itself, and -heartbeat prints progress to stderr.
+//
+// -store DIR caches each experiment's rendered output in a
+// content-addressed result store: reruns with the same id, fidelity,
+// model version, and format replay from the cache byte-identically
+// instead of resimulating.
+//
+// SIGINT/SIGTERM cancels the run: simulations stop within one sweep
+// point, the experiments that already finished are still flushed in id
+// order, and partially-written -json and profile side files are
+// removed before the process exits non-zero.
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"github.com/reprolab/hirise"
 	"github.com/reprolab/hirise/internal/pool"
+	"github.com/reprolab/hirise/internal/store"
 )
 
 func main() {
@@ -52,7 +67,9 @@ func main() {
 		plotIt   = flag.Bool("plot", false, "draw figure experiments as ASCII charts (text format only)")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
 			"max concurrent experiments and simulations per experiment; 1 forces serial. Output is byte-identical at any value")
-		jsonOut = flag.String("json", "", "also write the tables as one JSON array to this file, regardless of -format")
+		jsonOut  = flag.String("json", "", "also write the tables as one JSON array to this file, regardless of -format")
+		storeDir = flag.String("store", "",
+			"cache rendered experiment results in this directory (content-addressed by id, fidelity, model version, and format)")
 
 		// Host-side profiling of the bench process itself.
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -115,6 +132,19 @@ func main() {
 		os.Exit(2)
 	}
 
+	var st *store.Store
+	if *storeDir != "" {
+		if st, err = store.Open(*storeDir, store.Options{}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	// SIGINT/SIGTERM cancels ctx; the simulators poll it between cycles
+	// and the pool skips pending sweep points.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	stopProfiles, err := hirise.StartProfiles(hirise.ProfileConfig{
 		CPUProfile: *cpuprofile, MemProfile: *memprofile,
 		ExecTrace: *exectrace, RuntimeMetrics: *runmetrics,
@@ -135,7 +165,7 @@ func main() {
 		jsonW = jsonF
 	}
 
-	err = runExperiments(os.Stdout, os.Stderr, jsonW, ids, opts, *format, *plotIt, *heartbeat)
+	err = runExperiments(ctx, st, os.Stdout, os.Stderr, jsonW, ids, opts, *format, *plotIt, *heartbeat)
 	if jsonF != nil {
 		if cerr := jsonF.Close(); cerr != nil && err == nil {
 			err = cerr
@@ -144,9 +174,32 @@ func main() {
 	if perr := stopProfiles(); perr != nil && err == nil {
 		err = perr
 	}
+	if errors.Is(err, context.Canceled) {
+		// Completed experiments were already flushed in id order; the
+		// side files stop mid-write on cancellation, so remove them
+		// rather than leave truncated artifacts behind.
+		removePartials(os.Stderr, *jsonOut, *cpuprofile, *memprofile, *exectrace, *runmetrics)
+		fmt.Fprintln(os.Stderr, "hirise-bench: interrupted")
+		os.Exit(1)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+}
+
+// removePartials deletes the side files an interrupted run may have
+// left half-written (missing files are fine).
+func removePartials(errw io.Writer, paths ...string) {
+	for _, p := range paths {
+		if p == "" {
+			continue
+		}
+		if err := os.Remove(p); err == nil {
+			fmt.Fprintf(errw, "removed partial %s\n", p)
+		} else if !errors.Is(err, os.ErrNotExist) {
+			fmt.Fprintf(errw, "removing partial %s: %v\n", p, err)
+		}
 	}
 }
 
@@ -194,12 +247,13 @@ func resolveIDs(spec string, valid []string) ([]string, error) {
 // outputs preceding the first failing id have been written (matching
 // what a serial run would have printed) and that id's error is
 // returned.
-func runExperiments(w, errw, jsonW io.Writer, ids []string, opts hirise.ExperimentOpts, format string, plotIt bool, hb time.Duration) error {
+func runExperiments(ctx context.Context, st *store.Store, w, errw, jsonW io.Writer, ids []string, opts hirise.ExperimentOpts, format string, plotIt bool, hb time.Duration) error {
 	type rendered struct {
-		out []byte
-		tb  *hirise.ExperimentTable
-		dur time.Duration
-		err error
+		out    []byte
+		tb     *hirise.ExperimentTable
+		dur    time.Duration
+		cached bool
+		err    error
 	}
 	done := make([]chan rendered, len(ids))
 	for i := range done {
@@ -213,9 +267,9 @@ func runExperiments(w, errw, jsonW io.Writer, ids []string, opts hirise.Experime
 	go pool.Do(len(ids), opts.Workers, func(i int) {
 		start := time.Now()
 		var buf bytes.Buffer
-		tb, err := renderOne(&buf, ids[i], opts, format, plotIt)
+		tb, cached, err := renderOne(ctx, st, &buf, ids[i], opts, format, plotIt)
 		completed.Add(1)
-		done[i] <- rendered{out: buf.Bytes(), tb: tb, dur: time.Since(start), err: err}
+		done[i] <- rendered{out: buf.Bytes(), tb: tb, dur: time.Since(start), cached: cached, err: err}
 	})
 	tables := make([]*hirise.ExperimentTable, 0, len(ids))
 	for i := range ids {
@@ -225,7 +279,11 @@ func runExperiments(w, errw, jsonW io.Writer, ids []string, opts hirise.Experime
 		}
 		w.Write(r.out)
 		tables = append(tables, r.tb)
-		fmt.Fprintf(errw, "(%s took %.1fs)\n", ids[i], r.dur.Seconds())
+		note := ""
+		if r.cached {
+			note = ", cached"
+		}
+		fmt.Fprintf(errw, "(%s took %.1fs%s)\n", ids[i], r.dur.Seconds(), note)
 	}
 	if jsonW != nil {
 		enc := json.NewEncoder(jsonW)
@@ -235,8 +293,54 @@ func runExperiments(w, errw, jsonW io.Writer, ids []string, opts hirise.Experime
 	return nil
 }
 
-func renderOne(buf *bytes.Buffer, id string, opts hirise.ExperimentOpts, format string, plotIt bool) (*hirise.ExperimentTable, error) {
-	tb, err := hirise.RunExperiment(id, opts)
+// cachedRender is the store envelope for one rendered experiment: the
+// exact output bytes plus the table itself, so -json replay needs no
+// resimulation either.
+type cachedRender struct {
+	Out   []byte                  `json:"out"`
+	Table *hirise.ExperimentTable `json:"table"`
+}
+
+// renderOne renders one experiment, through the store when one is
+// configured. The key covers everything that shapes the output —
+// experiment id, fidelity (hirise.ExperimentCacheKey), model version,
+// format, and plotting — and deliberately not Workers, since output is
+// byte-identical at any parallelism.
+func renderOne(ctx context.Context, st *store.Store, buf *bytes.Buffer, id string, opts hirise.ExperimentOpts, format string, plotIt bool) (*hirise.ExperimentTable, bool, error) {
+	if st == nil {
+		tb, err := renderFresh(ctx, buf, id, opts, format, plotIt)
+		return tb, false, err
+	}
+	key, err := st.KeyOf("bench", struct {
+		ID     string                    `json:"id"`
+		Opts   hirise.ExperimentCacheKey `json:"opts"`
+		Format string                    `json:"format"`
+		Plot   bool                      `json:"plot"`
+	}{id, opts.CacheKey(), format, plotIt})
+	if err != nil {
+		return nil, false, err
+	}
+	data, hit, err := st.GetOrCompute(ctx, key, func(cctx context.Context) ([]byte, error) {
+		var b bytes.Buffer
+		tb, err := renderFresh(cctx, &b, id, opts, format, plotIt)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(cachedRender{Out: b.Bytes(), Table: tb})
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	var env cachedRender
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, false, fmt.Errorf("%s: decoding stored result: %w", id, err)
+	}
+	buf.Write(env.Out)
+	return env.Table, hit, nil
+}
+
+func renderFresh(ctx context.Context, buf *bytes.Buffer, id string, opts hirise.ExperimentOpts, format string, plotIt bool) (*hirise.ExperimentTable, error) {
+	tb, err := hirise.RunExperimentCtx(ctx, id, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
@@ -11,6 +12,7 @@ import (
 	"testing"
 
 	"github.com/reprolab/hirise"
+	"github.com/reprolab/hirise/internal/store"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite golden files")
@@ -69,7 +71,7 @@ func fastOpts(workers int) hirise.ExperimentOpts {
 func TestJSONGoldenFile(t *testing.T) {
 	ids := []string{"fig9a", "fig12"}
 	var out, timings, js bytes.Buffer
-	if err := runExperiments(&out, &timings, &js, ids, fastOpts(2), "text", false, 0); err != nil {
+	if err := runExperiments(context.Background(), nil, &out, &timings, &js, ids, fastOpts(2), "text", false, 0); err != nil {
 		t.Fatal(err)
 	}
 	got := js.Bytes()
@@ -92,6 +94,40 @@ func TestJSONGoldenFile(t *testing.T) {
 	}
 }
 
+// TestStoreReplayIsByteIdentical checks the -store contract: a second
+// identical run replays from the cache, and both stdout and the -json
+// side output are byte-identical to an uncached run.
+func TestStoreReplayIsByteIdentical(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []string{"fig9a", "fig12"}
+	render := func(s *store.Store) (stdout, js []byte, timings string) {
+		t.Helper()
+		var out, tl, j bytes.Buffer
+		if err := runExperiments(context.Background(), s, &out, &tl, &j, ids, fastOpts(2), "text", false, 0); err != nil {
+			t.Fatal(err)
+		}
+		return out.Bytes(), j.Bytes(), tl.String()
+	}
+	uncachedOut, uncachedJS, _ := render(nil)
+	firstOut, firstJS, firstTL := render(st)
+	if strings.Contains(firstTL, "cached") {
+		t.Fatalf("first store run claims cache hits:\n%s", firstTL)
+	}
+	secondOut, secondJS, secondTL := render(st)
+	if got := strings.Count(secondTL, "cached"); got != len(ids) {
+		t.Fatalf("second run: %d cached markers for %d ids:\n%s", got, len(ids), secondTL)
+	}
+	if !bytes.Equal(firstOut, secondOut) || !bytes.Equal(uncachedOut, secondOut) {
+		t.Error("stdout differs between uncached, computed, and replayed runs")
+	}
+	if !bytes.Equal(firstJS, secondJS) || !bytes.Equal(uncachedJS, secondJS) {
+		t.Error("-json output differs between uncached, computed, and replayed runs")
+	}
+}
+
 // TestRunExperimentsWorkerCountInvariance checks the CLI's end-to-end
 // guarantee: the bytes written to stdout for a multi-experiment run are
 // identical at every -parallel value, in every output format.
@@ -100,7 +136,7 @@ func TestRunExperimentsWorkerCountInvariance(t *testing.T) {
 	render := func(workers int, format string) []byte {
 		t.Helper()
 		var out, timings bytes.Buffer
-		if err := runExperiments(&out, &timings, nil, ids, fastOpts(workers), format, format == "text", 0); err != nil {
+		if err := runExperiments(context.Background(), nil, &out, &timings, nil, ids, fastOpts(workers), format, format == "text", 0); err != nil {
 			t.Fatalf("%s workers=%d: %v", format, workers, err)
 		}
 		if got := strings.Count(timings.String(), "took"); got != len(ids) {

@@ -1,0 +1,104 @@
+// Command hirise-served runs the experiment job service: an HTTP API
+// over the deterministic simulation engine, backed by the
+// content-addressed result store.
+//
+// Usage:
+//
+//	hirise-served -addr :8080 -store /var/cache/hirise
+//
+// Submit jobs with POST /jobs, watch them with GET /jobs/{id} and the
+// NDJSON stream at GET /jobs/{id}/events, fetch bodies from GET
+// /jobs/{id}/result, and cancel with DELETE /jobs/{id}. Identical
+// submissions are served from the store byte-identically; concurrent
+// identical submissions share one computation. /healthz and /metrics
+// expose liveness and counters.
+//
+// SIGINT/SIGTERM starts a graceful drain: the listener stops accepting
+// requests, queued and running jobs finish (or, past -drain-timeout,
+// are cancelled at the simulators' next cycle check), then the process
+// exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"github.com/reprolab/hirise/internal/serve"
+	"github.com/reprolab/hirise/internal/store"
+	"github.com/reprolab/hirise/internal/version"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
+		storeDir = flag.String("store", "", "result store directory (empty = in-memory cache only)")
+		queue    = flag.Int("queue", 64, "max queued jobs before submissions get 429")
+		workers  = flag.Int("workers", 1, "jobs executed concurrently")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
+			"max concurrent simulations per job; output is byte-identical at any value")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second,
+			"how long a shutdown waits for in-flight jobs before cancelling them")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "hirise-served: unexpected arguments %q\n", flag.Args())
+		os.Exit(2)
+	}
+
+	st, err := store.Open(*storeDir, store.Options{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hirise-served: open store: %v\n", err)
+		os.Exit(1)
+	}
+	srv, err := serve.New(serve.Config{
+		Store:      st,
+		QueueDepth: *queue,
+		Workers:    *workers,
+		SimWorkers: *parallel,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hirise-served: %v\n", err)
+		os.Exit(1)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "hirise-served: listening on %s (store %q, model %s)\n",
+		*addr, *storeDir, version.Model)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		stop() // a second signal kills the process immediately
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "hirise-served: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Fprintln(os.Stderr, "hirise-served: draining...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Stop the listener first so no new jobs arrive, then drain workers.
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "hirise-served: http shutdown: %v\n", err)
+	}
+	if err := srv.Drain(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "hirise-served: drain timed out, jobs cancelled: %v\n", err)
+		os.Exit(1)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "hirise-served: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "hirise-served: drained cleanly")
+}

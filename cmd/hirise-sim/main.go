@@ -14,18 +14,34 @@
 //	hirise-sim -traffic hotspot -load 0.05 -trace-chrome trace.json -fairness fairness.txt
 //	hirise-sim -sweep 0.01:0.3:0.01 -metrics metrics.json -heartbeat 10s
 //	hirise-sim -sweep 0.01:0.5:0.005 -cpuprofile cpu.pprof -runmetrics rt.json
+//
+// -store DIR caches each run's stdout in a content-addressed result
+// store keyed by the full configuration, the loads, and the model
+// version, so repeating a run replays it byte-identically without
+// simulating. Observability sinks record switch internals, so runs with
+// any obs flag bypass the store.
+//
+// SIGINT/SIGTERM cancels the run within one sweep point (or a few
+// thousand cycles of a single run) and removes partially-written
+// profile side files before exiting non-zero.
 package main
 
 import (
+	"bytes"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"syscall"
 
 	"github.com/reprolab/hirise"
+	"github.com/reprolab/hirise/internal/store"
 )
 
 func fail(format string, args ...any) {
@@ -71,6 +87,8 @@ func main() {
 		perInput = flag.Bool("perinput", false, "print per-input latency and throughput")
 		sweep    = flag.String("sweep", "", "sweep loads lo:hi:step (packets/cycle/input) instead of a single run")
 		workers  = flag.Int("parallel", 0, "concurrent sweep points (0 = all CPUs, 1 = serial); results are identical at any value")
+		storeDir = flag.String("store", "",
+			"cache stdout in this content-addressed result store; repeated runs replay byte-identically (bypassed when any obs flag is set)")
 
 		// Observability: switch-internals sinks, written to side files.
 		traceJSONL  = flag.String("trace-jsonl", "", "write flit lifecycle events as JSON Lines to this file")
@@ -88,6 +106,11 @@ func main() {
 	)
 	flag.Parse()
 
+	// SIGINT/SIGTERM cancels ctx; the simulator polls it between cycles
+	// and the sweep pool skips pending points.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	stopProfiles, err := hirise.StartProfiles(hirise.ProfileConfig{
 		CPUProfile: *cpuprofile, MemProfile: *memprofile,
 		ExecTrace: *exectrace, RuntimeMetrics: *runmetrics,
@@ -95,11 +118,6 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
-	defer func() {
-		if err := stopProfiles(); err != nil {
-			fail("%v", err)
-		}
-	}()
 
 	cfg := hirise.Config{
 		Radix: *radix, Layers: *layers, Channels: *channels, Classes: *classes,
@@ -254,16 +272,21 @@ func main() {
 		}
 	}
 
+	makeTraffic() // reject unknown patterns before anything runs
+
+	var loads []float64
 	if *sweep != "" {
 		lo, hi, step, err := parseSweep(*sweep)
 		if err != nil {
 			fail("%v", err)
 		}
-		makeTraffic() // reject unknown patterns before fanning out
-		var loads []float64
 		for load := lo; load <= hi+1e-12; load += step {
 			loads = append(loads, load)
 		}
+	}
+
+	// runSweep simulates every load and prints the sweep table to w.
+	runSweep := func(ctx context.Context, w io.Writer) error {
 		observers := make([]*hirise.Observer, len(loads))
 		var obsFor func(i int) *hirise.Observer
 		if newObserver() != nil {
@@ -283,64 +306,154 @@ func main() {
 		results, err := hirise.LoadSweepObserved(hirise.SimConfig{
 			PacketFlits: *flits, VCs: *vcs,
 			Warmup: *warmup, Measure: *measure, Seed: *seed,
+			Ctx: ctx,
 		}, countedMakeSwitch, makeTraffic, loads, *workers, obsFor)
 		stopHB()
 		if err != nil {
-			fail("%v", err)
+			return err
 		}
 		if obsFor != nil {
 			writeObsOutputs(observers, loads)
 		}
-		fmt.Printf("%-14s %-12s %-12s %-10s %-8s %s\n",
+		fmt.Fprintf(w, "%-14s %-12s %-12s %-10s %-8s %s\n",
 			"load(pkt/cyc)", "load(pkt/ns)", "tput(pkt/ns)", "lat(ns)", "p99(cyc)", "state")
 		for i, res := range results {
 			state := "ok"
 			if res.Saturated() {
 				state = "saturated"
 			}
-			fmt.Printf("%-14.4f %-12.4f %-12.2f %-10.2f %-8.0f %s\n",
+			fmt.Fprintf(w, "%-14.4f %-12.4f %-12.2f %-10.2f %-8.0f %s\n",
 				loads[i], loads[i]*cost.FreqGHz, res.AcceptedPackets*cost.FreqGHz,
 				res.AvgLatency*cost.CycleNS(), res.P99Latency, state)
 		}
-		return
+		return nil
 	}
 
-	sw := makeSwitch()
-	traf := makeTraffic()
-	observer := newObserver()
+	// runSingle simulates one load and prints the report to w.
+	runSingle := func(ctx context.Context, w io.Writer) error {
+		sw := makeSwitch()
+		traf := makeTraffic()
+		observer := newObserver()
 
-	stopHB := hirise.Heartbeat(os.Stderr, *heartbeat, func() string { return "simulating" })
-	res, err := hirise.Simulate(hirise.SimConfig{
-		Switch: sw, Traffic: traf, Load: *load,
-		PacketFlits: *flits, VCs: *vcs,
-		Warmup: *warmup, Measure: *measure, Seed: *seed,
-		Obs: observer,
-	})
-	stopHB()
+		stopHB := hirise.Heartbeat(os.Stderr, *heartbeat, func() string { return "simulating" })
+		res, err := hirise.Simulate(hirise.SimConfig{
+			Switch: sw, Traffic: traf, Load: *load,
+			PacketFlits: *flits, VCs: *vcs,
+			Warmup: *warmup, Measure: *measure, Seed: *seed,
+			Obs: observer, Ctx: ctx,
+		})
+		stopHB()
+		if err != nil {
+			return err
+		}
+		if observer != nil {
+			writeObsOutputs([]*hirise.Observer{observer}, nil)
+		}
+
+		fmt.Fprintf(w, "design      %s (%s)\n", *design, cfg)
+		fmt.Fprintf(w, "physical    %.3f mm2, %.2f GHz, %.0f pJ/transaction, %d TSVs\n",
+			cost.AreaMM2, cost.FreqGHz, cost.EnergyPJ, cost.TSVs)
+		fmt.Fprintf(w, "traffic     %s @ %.4f packets/cycle/input (%.4f packets/ns/input)\n",
+			*pattern, *load, *load*cost.FreqGHz)
+		fmt.Fprintf(w, "accepted    %.3f packets/cycle = %.2f packets/ns = %.2f Tbps\n",
+			res.AcceptedPackets, res.AcceptedPackets*cost.FreqGHz,
+			hirise.Tbps(res.AcceptedFlits, cost, tech))
+		fmt.Fprintf(w, "latency     avg %.1f cycles (%.2f ns), p50 %.0f, p99 %.0f\n",
+			res.AvgLatency, res.AvgLatency*cost.CycleNS(), res.P50Latency, res.P99Latency)
+		fmt.Fprintf(w, "packets     injected %d, delivered %d, dropped-at-source %d%s\n",
+			res.Injected, res.Delivered, res.DroppedInjections,
+			map[bool]string{true: "  (saturated)", false: ""}[res.Saturated()])
+		if *perInput {
+			fmt.Fprintln(w, "\ninput  latency(cycles)  packets/cycle")
+			for i := range res.PerInputLatency {
+				fmt.Fprintf(w, "%5d  %15.1f  %13.5f\n", i, res.PerInputLatency[i], res.PerInputPackets[i])
+			}
+		}
+		return nil
+	}
+
+	runOutput := runSingle
+	if *sweep != "" {
+		runOutput = runSweep
+	}
+
+	obsActive := newObserver() != nil
+	switch {
+	case *storeDir != "" && obsActive:
+		fmt.Fprintln(os.Stderr, "note: observability flags record switch internals, bypassing -store")
+		fallthrough
+	case *storeDir == "":
+		err = runOutput(ctx, os.Stdout)
+	default:
+		var st *store.Store
+		if st, err = store.Open(*storeDir, store.Options{}); err != nil {
+			fail("%v", err)
+		}
+		key, kerr := st.KeyOf("sim", struct {
+			Design, Scheme, Alloc, Traffic   string
+			Radix, Layers, Channels, Classes int
+			Target, VCs, Flits               int
+			Burst, Load                      float64
+			Loads                            []float64
+			PerInput                         bool
+			Warmup, Measure                  int64
+			Seed                             uint64
+		}{
+			strings.ToLower(*design), strings.ToLower(*scheme), strings.ToLower(*alloc), strings.ToLower(*pattern),
+			*radix, *layers, *channels, *classes,
+			*target, *vcs, *flits,
+			*burst, *load,
+			loads,
+			*perInput,
+			*warmup, *measure,
+			*seed,
+		})
+		if kerr != nil {
+			fail("%v", kerr)
+		}
+		var data []byte
+		var hit bool
+		data, hit, err = st.GetOrCompute(ctx, key, func(cctx context.Context) ([]byte, error) {
+			var b bytes.Buffer
+			if rerr := runOutput(cctx, &b); rerr != nil {
+				return nil, rerr
+			}
+			return b.Bytes(), nil
+		})
+		if err == nil {
+			os.Stdout.Write(data)
+			if hit {
+				fmt.Fprintln(os.Stderr, "(served from store)")
+			}
+		}
+	}
+
+	if perr := stopProfiles(); perr != nil && err == nil {
+		err = perr
+	}
+	if errors.Is(err, context.Canceled) {
+		// CPU profiles and execution traces stream during the run, so an
+		// interrupted run leaves them truncated — remove them. Obs side
+		// files are only written after a successful run, so none exist.
+		removePartials(os.Stderr, *cpuprofile, *memprofile, *exectrace, *runmetrics)
+		fail("hirise-sim: interrupted")
+	}
 	if err != nil {
 		fail("%v", err)
 	}
-	if observer != nil {
-		writeObsOutputs([]*hirise.Observer{observer}, nil)
-	}
+}
 
-	fmt.Printf("design      %s (%s)\n", *design, cfg)
-	fmt.Printf("physical    %.3f mm2, %.2f GHz, %.0f pJ/transaction, %d TSVs\n",
-		cost.AreaMM2, cost.FreqGHz, cost.EnergyPJ, cost.TSVs)
-	fmt.Printf("traffic     %s @ %.4f packets/cycle/input (%.4f packets/ns/input)\n",
-		*pattern, *load, *load*cost.FreqGHz)
-	fmt.Printf("accepted    %.3f packets/cycle = %.2f packets/ns = %.2f Tbps\n",
-		res.AcceptedPackets, res.AcceptedPackets*cost.FreqGHz,
-		hirise.Tbps(res.AcceptedFlits, cost, tech))
-	fmt.Printf("latency     avg %.1f cycles (%.2f ns), p50 %.0f, p99 %.0f\n",
-		res.AvgLatency, res.AvgLatency*cost.CycleNS(), res.P50Latency, res.P99Latency)
-	fmt.Printf("packets     injected %d, delivered %d, dropped-at-source %d%s\n",
-		res.Injected, res.Delivered, res.DroppedInjections,
-		map[bool]string{true: "  (saturated)", false: ""}[res.Saturated()])
-	if *perInput {
-		fmt.Println("\ninput  latency(cycles)  packets/cycle")
-		for i := range res.PerInputLatency {
-			fmt.Printf("%5d  %15.1f  %13.5f\n", i, res.PerInputLatency[i], res.PerInputPackets[i])
+// removePartials deletes the side files an interrupted run may have
+// left half-written (missing files are fine).
+func removePartials(errw io.Writer, paths ...string) {
+	for _, p := range paths {
+		if p == "" {
+			continue
+		}
+		if err := os.Remove(p); err == nil {
+			fmt.Fprintf(errw, "removed partial %s\n", p)
+		} else if !errors.Is(err, os.ErrNotExist) {
+			fmt.Fprintf(errw, "removing partial %s: %v\n", p, err)
 		}
 	}
 }

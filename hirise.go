@@ -25,6 +25,7 @@
 package hirise
 
 import (
+	"context"
 	"io"
 	"time"
 
@@ -40,7 +41,16 @@ import (
 	"github.com/reprolab/hirise/internal/topo"
 	"github.com/reprolab/hirise/internal/trace"
 	"github.com/reprolab/hirise/internal/traffic"
+	"github.com/reprolab/hirise/internal/version"
 )
+
+// ModelVersion fingerprints the behavioural and cost models. It is
+// folded into every content-addressed result-store key (internal/store,
+// cmd/hirise-served, the CLIs' -store flag), so bumping it invalidates
+// all cached results at once. Bump it on any change that alters
+// simulation output; refactors that keep outputs byte-identical must
+// not bump it.
+const ModelVersion = version.Model
 
 // Configuration types.
 type (
@@ -341,6 +351,10 @@ type (
 	ExperimentTable = experiments.Table
 	// ExperimentOpts tunes experiment fidelity.
 	ExperimentOpts = experiments.Opts
+	// ExperimentCacheKey is the part of ExperimentOpts that determines
+	// an experiment's output — what result caches hash, excluding
+	// scheduling knobs like Workers.
+	ExperimentCacheKey = experiments.CacheKey
 )
 
 // Experiments lists the available experiment IDs (one per paper table and
@@ -354,6 +368,13 @@ func RunExperiment(id string, opts ExperimentOpts) (*ExperimentTable, error) {
 		return nil, err
 	}
 	return r(opts), nil
+}
+
+// RunExperimentCtx is RunExperiment under a cancellable context: the
+// sweep stops within one simulation point of ctx's cancellation and the
+// partial table is discarded.
+func RunExperimentCtx(ctx context.Context, id string, opts ExperimentOpts) (*ExperimentTable, error) {
+	return experiments.RunCtx(ctx, id, opts)
 }
 
 // DefaultExperimentOpts returns publication fidelity; QuickExperimentOpts

@@ -37,6 +37,7 @@ func AblateClasses(o Opts) *Table {
 			return sw
 		}
 		sat, err := sim.Run(sim.Config{
+			Ctx:     o.Ctx,
 			Switch:  mk(),
 			Traffic: traffic.Hotspot{Target: 63},
 			Load:    1.0,
@@ -49,6 +50,7 @@ func AblateClasses(o Opts) *Table {
 		// latency fairness between the hot output's own layer and the
 		// remote layers.
 		part, err := sim.Run(sim.Config{
+			Ctx:     o.Ctx,
 			Switch:  mk(),
 			Traffic: traffic.Hotspot{Target: 63},
 			Load:    0.95 * 0.2 / 64,
@@ -113,6 +115,7 @@ func AblateAlloc(o Opts) *Table {
 				panic(err)
 			}
 			flits, err := sim.SaturationThroughput(sim.Config{
+				Ctx:     o.Ctx,
 				Switch:  sw,
 				Traffic: pat.make(cfg),
 				Warmup:  o.Warmup, Measure: o.Measure,
@@ -147,6 +150,7 @@ func AblateVCs(o Opts) *Table {
 	o.sweep(len(vcs), func(i int) {
 		d := designHiRise("", 4, topo.CLRG)
 		flits, err := sim.SaturationThroughput(sim.Config{
+			Ctx:     o.Ctx,
 			Switch:  d.NewSwitch(),
 			Traffic: traffic.Uniform{Radix: 64},
 			VCs:     vcs[i],
@@ -156,6 +160,7 @@ func AblateVCs(o Opts) *Table {
 			panic(err)
 		}
 		low, err := sim.Run(sim.Config{
+			Ctx:     o.Ctx,
 			Switch:  d.NewSwitch(),
 			Traffic: traffic.Uniform{Radix: 64},
 			VCs:     vcs[i],
@@ -200,6 +205,7 @@ func Locality(o Opts) *Table {
 	o.sweep(len(designs)*len(fracs), func(k int) {
 		di, fi := k/len(fracs), k%len(fracs)
 		flits, err := sim.SaturationThroughput(sim.Config{
+			Ctx:    o.Ctx,
 			Switch: designs[di].NewSwitch(),
 			Traffic: traffic.LayerMix{
 				Cfg:       designHiRise("", 4, topo.CLRG).Cfg,
@@ -262,6 +268,7 @@ func AblateQoS(o Opts) *Table {
 		panic(err)
 	}
 	res, err := sim.Run(sim.Config{
+		Ctx:     o.Ctx,
 		Switch:  sw,
 		Traffic: traffic.Hotspot{Target: 63},
 		Load:    1.0,
@@ -311,6 +318,7 @@ func AblateISLIP(o Opts) *Table {
 			panic(err)
 		}
 		res, err := sim.Run(sim.Config{
+			Ctx:     o.Ctx,
 			Switch:  sw,
 			Traffic: traffic.Adversarial(),
 			Load:    1.0,
@@ -358,6 +366,7 @@ func AblateBursty(o Opts) *Table {
 	o.sweep(len(designs), func(di int) {
 		d := designs[di]
 		res, err := sim.Run(sim.Config{
+			Ctx:     o.Ctx,
 			Switch:  d.NewSwitch(),
 			Traffic: traffic.NewBursty(64, 16),
 			Load:    0.3,

@@ -58,6 +58,7 @@ func AblatePacketLength(o Opts) *Table {
 		n := lengths[i]
 		d := designHiRise("", 4, topo.CLRG)
 		sat, err := sim.SaturationThroughput(sim.Config{
+			Ctx:     o.Ctx,
 			Switch:  d.NewSwitch(),
 			Traffic: traffic.Uniform{Radix: 64},
 			// Keep buffering per VC matched to the packet.
@@ -68,6 +69,7 @@ func AblatePacketLength(o Opts) *Table {
 			panic(err)
 		}
 		low, err := sim.Run(sim.Config{
+			Ctx:         o.Ctx,
 			Switch:      d.NewSwitch(),
 			Traffic:     traffic.Uniform{Radix: 64},
 			PacketFlits: n,

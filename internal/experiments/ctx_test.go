@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestRunCtxCancelDiscardsPartialTable: a cancelled experiment returns
+// the ctx error and no table — callers never see partially-filled
+// results.
+func TestRunCtxCancelDiscardsPartialTable(t *testing.T) {
+	o := QuickOpts()
+	o.Warmup, o.Measure = 10_000_000, 2_000_000_000 // far too long to finish
+	o.Workers = 2
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(30*time.Millisecond, cancel)
+	start := time.Now()
+	tb, err := RunCtx(ctx, "table1", o)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if tb != nil {
+		t.Fatalf("cancelled run returned a table: %+v", tb)
+	}
+	if d := time.Since(start); d > 10*time.Second {
+		t.Fatalf("cancelled experiment took %v to abort", d)
+	}
+}
+
+// TestRunCtxBackgroundMatchesRun: threading a live ctx through must not
+// change results.
+func TestRunCtxBackgroundMatchesRun(t *testing.T) {
+	o := QuickOpts()
+	o.Warmup, o.Measure = 500, 2000
+	o.Workers = 2
+	r, err := Get("fig9a") // analytic: fast and exactly reproducible
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := r(o)
+	viaCtx, err := RunCtx(context.Background(), "fig9a", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != viaCtx.String() {
+		t.Fatalf("RunCtx output diverged from direct run:\n%s\nvs\n%s", plain, viaCtx)
+	}
+}
+
+// TestProgressCalledPerTask: Opts.Progress fires once per completed
+// simulation task, the hook the job server's progress events rely on.
+func TestProgressCalledPerTask(t *testing.T) {
+	o := QuickOpts()
+	o.Warmup, o.Measure = 200, 500
+	o.Workers = 1
+	var calls int
+	o.Progress = func() { calls++ }
+	if _, err := RunCtx(context.Background(), "fig9a", o); err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("Progress never called")
+	}
+}

@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -35,6 +36,18 @@ type Opts struct {
 	// an experiment: 0 selects runtime.GOMAXPROCS(0), 1 forces serial
 	// execution. Output is byte-identical at every value.
 	Workers int
+	// Ctx, when non-nil, makes the experiment cancellable: pending sweep
+	// points are skipped, in-flight simulations abort at their next
+	// cycle-level check, and the runner returns quickly with a partial
+	// (garbage) table. Callers MUST check Ctx.Err() after the runner
+	// returns and discard the table if it is non-nil — RunCtx does this.
+	// Ctx and Progress never influence results, so both are excluded
+	// from CacheKey.
+	Ctx context.Context
+	// Progress, when non-nil, is called once after every completed
+	// simulation task inside the experiment's sweeps. It runs on worker
+	// goroutines and must be safe for concurrent use; it must not block.
+	Progress func()
 }
 
 // DefaultOpts returns the fidelity used for the published EXPERIMENTS.md
@@ -69,6 +82,45 @@ func (o Opts) norm() Opts {
 		o.Tech = d.Tech
 	}
 	return o
+}
+
+// CacheKey is the canonical cacheable identity of an experiment run:
+// exactly the Opts fields that influence results, normalized so that
+// explicitly-default and unset options collide. Workers is excluded
+// (output is byte-identical at every worker count — that is the pool's
+// contract), as are Ctx and Progress (control plumbing, not physics).
+// internal/store hashes this struct, together with the experiment ID and
+// the model-version fingerprint, into the result key.
+type CacheKey struct {
+	Warmup  int64
+	Measure int64
+	Seed    uint64
+	Tech    phys.Tech
+}
+
+// CacheKey returns the run's cacheable identity (see type CacheKey).
+func (o Opts) CacheKey() CacheKey {
+	o = o.norm()
+	return CacheKey{Warmup: o.Warmup, Measure: o.Measure, Seed: o.Seed, Tech: o.Tech}
+}
+
+// RunCtx runs the registered experiment id at the given fidelity under
+// ctx. It is the cancellation-correct entry point: a cancelled ctx makes
+// the runner unwind quickly (skipped sweep points, aborted simulations)
+// and RunCtx then discards the partial table and returns the ctx error.
+func RunCtx(ctx context.Context, id string, o Opts) (*Table, error) {
+	r, err := Get(id)
+	if err != nil {
+		return nil, err
+	}
+	if ctx != nil {
+		o.Ctx = ctx
+	}
+	t := r(o)
+	if o.Ctx != nil && o.Ctx.Err() != nil {
+		return nil, o.Ctx.Err()
+	}
+	return t, nil
 }
 
 // Table is a rendered experiment result.
@@ -221,7 +273,22 @@ func (d Design) ConfigString() string {
 // sweep runs fn(i) for i in [0,n) through the bounded worker pool at the
 // options' worker count and waits. fn must write only index-owned state;
 // per-task PRNG streams come from o.seedFor, never from scheduling.
-func (o Opts) sweep(n int, fn func(i int)) { pool.Do(n, o.Workers, fn) }
+//
+// With a non-nil o.Ctx the sweep is cancellable: cancelled runs skip
+// pending tasks, and panics raised by in-flight tasks that were aborted
+// by the same cancellation (simulations return their ctx error, which
+// runners re-panic) are suppressed by the pool — the caller's post-run
+// Ctx.Err() check is the authoritative failure signal.
+func (o Opts) sweep(n int, fn func(i int)) {
+	task := fn
+	if o.Progress != nil {
+		task = func(i int) {
+			defer o.Progress()
+			fn(i)
+		}
+	}
+	pool.DoCtx(o.Ctx, n, o.Workers, task)
+}
 
 // seedFor derives the PRNG seed of one simulation task from the base
 // seed and the task's stable coordinates: the experiment ID, the point

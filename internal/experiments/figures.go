@@ -127,6 +127,7 @@ func Fig10(o Opts) *Table {
 		d := designs[di]
 		cost := d.Cost(o.Tech)
 		res, err := sim.Run(sim.Config{
+			Ctx:     o.Ctx,
 			Switch:  d.NewSwitch(),
 			Traffic: traffic.Uniform{Radix: d.Cfg.Radix},
 			Load:    loads[li] / cost.FreqGHz,
@@ -195,6 +196,7 @@ func Fig11a(o Opts) *Table {
 	lat := make([][]float64, len(designs))
 	o.sweep(len(designs), func(di int) {
 		res, err := sim.Run(sim.Config{
+			Ctx:     o.Ctx,
 			Switch:  designs[di].NewSwitch(),
 			Traffic: traffic.Hotspot{Target: 63},
 			Load:    load,
@@ -252,6 +254,7 @@ func Fig11b(o Opts) *Table {
 		d := designs[di]
 		cost := d.Cost(o.Tech)
 		res, err := sim.Run(sim.Config{
+			Ctx:     o.Ctx,
 			Switch:  d.NewSwitch(),
 			Traffic: traffic.Uniform{Radix: 64},
 			Load:    loads[li] / cost.FreqGHz,
@@ -299,6 +302,7 @@ func Fig11c(o Opts) *Table {
 		d := designs[di]
 		cost := d.Cost(o.Tech)
 		res, err := sim.Run(sim.Config{
+			Ctx:     o.Ctx,
 			Switch:  d.NewSwitch(),
 			Traffic: traffic.Adversarial(),
 			Load:    1.0,

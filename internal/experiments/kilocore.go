@@ -92,13 +92,15 @@ func Kilocore(o Opts) *Table {
 		if err != nil {
 			panic(err)
 		}
-		low := n.Run(0.01)
+		// Cancellation aborts mid-run with a zero Result; the partial
+		// table is discarded by the caller's post-run ctx check.
+		low, _ := n.RunCtx(o.Ctx, 0.01)
 		cfg.Seed = o.seedFor("kilocore", i, 1)
 		n2, err := noc.New(cfg)
 		if err != nil {
 			panic(err)
 		}
-		sat := n2.Run(1.0)
+		sat, _ := n2.RunCtx(o.Ctx, 1.0)
 		results[i] = out{low: low, sat: sat}
 	})
 

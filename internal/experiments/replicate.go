@@ -41,6 +41,7 @@ func TableIVReplicated(o Opts) *Table {
 		di, rep := k/replicates, k%replicates
 		d := designs[di]
 		flits, err := sim.SaturationThroughput(sim.Config{
+			Ctx:     o.Ctx,
 			Switch:  d.NewSwitch(),
 			Traffic: traffic.Uniform{Radix: d.Cfg.Radix},
 			Warmup:  o.Warmup, Measure: o.Measure,

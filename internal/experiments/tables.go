@@ -15,6 +15,7 @@ import (
 func costRow(d Design, o Opts, seed uint64) []string {
 	cost := d.Cost(o.Tech)
 	flits, err := sim.SaturationThroughput(sim.Config{
+		Ctx:     o.Ctx,
 		Switch:  d.NewSwitch(),
 		Traffic: traffic.Uniform{Radix: d.Cfg.Radix},
 		Warmup:  o.Warmup, Measure: o.Measure, Seed: seed,
@@ -119,6 +120,7 @@ func CornerCase(o Opts) *Table {
 	designs := []Design{d2, hr}
 	o.sweep(2, func(i int) {
 		v, err := sim.SaturationThroughput(sim.Config{
+			Ctx:     o.Ctx,
 			Switch:  designs[i].NewSwitch(),
 			Traffic: pattern,
 			Warmup:  o.Warmup, Measure: o.Measure, Seed: o.seedFor("corner", i, 0),

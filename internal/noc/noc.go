@@ -13,6 +13,7 @@
 package noc
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/reprolab/hirise/internal/prng"
@@ -255,6 +256,21 @@ func (n *Network) pickRoute(idx int, pkt packet) int {
 // Run drives the network for the configured windows. Traffic is uniform
 // random over all cores at the given load (packets/cycle/core).
 func (n *Network) Run(load float64) Result {
+	res, _ := n.RunCtx(nil, load)
+	return res
+}
+
+// ctxCheckInterval is how often (in simulated cycles) a cancellable run
+// polls its context — same rationale as internal/sim: cheap enough to be
+// unmeasurable, frequent enough to stop a cancelled kilo-core run within
+// microseconds of wall time.
+const ctxCheckInterval = 1024
+
+// RunCtx is Run with cooperative cancellation: a non-nil ctx is polled
+// every ctxCheckInterval cycles and the run aborts with the ctx error,
+// returning a zero Result. A nil ctx never aborts and the simulated
+// behaviour is byte-identical to Run.
+func (n *Network) RunCtx(ctx context.Context, load float64) (Result, error) {
 	cfg := n.cfg
 	conc := n.topo.Concentration()
 	var injected, delivered, dropped int64
@@ -264,6 +280,9 @@ func (n *Network) Run(load float64) Result {
 		nodeIdx, port int
 	}
 	for cycle := int64(0); cycle < total; cycle++ {
+		if ctx != nil && cycle%ctxCheckInterval == 0 && ctx.Err() != nil {
+			return Result{}, fmt.Errorf("noc: run cancelled at cycle %d: %w", cycle, ctx.Err())
+		}
 		measuring := cycle >= cfg.Warmup
 
 		// Advance transmissions; completed packets move to the next hop
@@ -364,5 +383,5 @@ func (n *Network) Run(load float64) Result {
 		Injected:        injected,
 		Delivered:       delivered,
 		Dropped:         dropped,
-	}
+	}, nil
 }

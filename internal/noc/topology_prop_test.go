@@ -1,0 +1,201 @@
+package noc
+
+import (
+	"testing"
+
+	"github.com/reprolab/hirise/internal/crossbar"
+	"github.com/reprolab/hirise/internal/sim"
+)
+
+// Property tests over the Topology contract: for every (node, dest)
+// pair, RouteCandidates must yield ports whose links make strict
+// progress toward the destination under the topology's own distance
+// metric, and LinkDest must describe a consistent bidirectional wiring.
+// These are the invariants the deadlock argument (dimension-ordered
+// routing over an acyclic buffer graph) quietly depends on.
+
+// meshDist is the mesh's routing metric: Manhattan distance.
+func meshDist(m Mesh, a, b int) int {
+	ax, ay := a%m.W, a/m.W
+	bx, by := b%m.W, b/m.W
+	dx, dy := ax-bx, ay-by
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// fbflyDist is the flattened butterfly's routing metric: one hop per
+// differing dimension.
+func fbflyDist(f FlattenedButterfly, a, b int) int {
+	d := 0
+	if a%f.W != b%f.W {
+		d++
+	}
+	if a/f.W != b/f.W {
+		d++
+	}
+	return d
+}
+
+// checkCandidatesProgress asserts, for every (node, destination core)
+// pair, that RouteCandidates returns at least one port; that a packet
+// already at its destination node gets exactly the local delivery port;
+// and that every candidate link lands on a valid (node, input port)
+// strictly closer to the destination.
+func checkCandidatesProgress(t *testing.T, topo Topology, dist func(a, b int) int) {
+	t.Helper()
+	nodes, conc, radix := topo.Nodes(), topo.Concentration(), topo.Radix()
+	for node := 0; node < nodes; node++ {
+		for destCore := 0; destCore < nodes*conc; destCore++ {
+			dNode := destCore / conc
+			cands := topo.RouteCandidates(nil, node, destCore)
+			if len(cands) == 0 {
+				t.Fatalf("node %d -> core %d: no route candidates", node, destCore)
+			}
+			if node == dNode {
+				if len(cands) != 1 || cands[0] != destCore%conc {
+					t.Fatalf("node %d -> local core %d: candidates %v, want [%d]",
+						node, destCore, cands, destCore%conc)
+				}
+				continue
+			}
+			for _, out := range cands {
+				if out < conc || out >= radix {
+					t.Fatalf("node %d -> core %d: candidate %d is not a link port [%d,%d)",
+						node, destCore, out, conc, radix)
+				}
+				nb, in := topo.LinkDest(node, out)
+				if nb < 0 || nb >= nodes || nb == node {
+					t.Fatalf("node %d out %d: bad neighbour %d", node, out, nb)
+				}
+				if in < conc || in >= radix {
+					t.Fatalf("node %d out %d: bad input port %d", node, out, in)
+				}
+				if got, was := dist(nb, dNode), dist(node, dNode); got >= was {
+					t.Fatalf("node %d -> core %d via port %d: hop to %d is not closer (%d -> %d)",
+						node, destCore, out, nb, was, got)
+				}
+			}
+		}
+	}
+}
+
+func TestMeshCandidatesMakeProgress(t *testing.T) {
+	for _, m := range []Mesh{
+		{W: 1, H: 1, Conc: 2, Lanes: 1},
+		{W: 3, H: 3, Conc: 2, Lanes: 1},
+		{W: 4, H: 2, Conc: 1, Lanes: 3},
+		{W: 2, H: 5, Conc: 3, Lanes: 2},
+	} {
+		checkCandidatesProgress(t, m, func(a, b int) int { return meshDist(m, a, b) })
+	}
+}
+
+func TestFBflyCandidatesMakeProgress(t *testing.T) {
+	for _, f := range []FlattenedButterfly{
+		{W: 2, H: 1, Conc: 1, Lanes: 1},
+		{W: 3, H: 4, Conc: 2, Lanes: 2},
+		{W: 4, H: 4, Conc: 1, Lanes: 3},
+		{W: 5, H: 2, Conc: 3, Lanes: 1},
+	} {
+		checkCandidatesProgress(t, f, func(a, b int) int { return fbflyDist(f, a, b) })
+	}
+}
+
+// TestMeshLinkSymmetry: every in-grid mesh link is bidirectionally
+// consistent — following it and then the mirrored input port's reverse
+// link returns to the origin. Only ports whose direction stays on the
+// grid are checked; RouteCandidates never emits an off-grid direction,
+// which TestMeshCandidatesMakeProgress already enforces.
+func TestMeshLinkSymmetry(t *testing.T) {
+	for _, m := range []Mesh{
+		{W: 3, H: 3, Conc: 2, Lanes: 1},
+		{W: 4, H: 2, Conc: 1, Lanes: 2},
+	} {
+		for node := 0; node < m.Nodes(); node++ {
+			x, y := node%m.W, node/m.W
+			for out := m.Conc; out < m.Radix(); out++ {
+				dir := (out - m.Conc) / m.Lanes
+				switch {
+				case dir == east && x == m.W-1,
+					dir == west && x == 0,
+					dir == north && y == 0,
+					dir == south && y == m.H-1:
+					continue // off-grid: unreachable via RouteCandidates
+				}
+				nb, in := m.LinkDest(node, out)
+				back, backIn := m.LinkDest(nb, in)
+				if back != node || backIn != out {
+					t.Fatalf("mesh %+v link (%d,%d)->(%d,%d) not symmetric: reverse gives (%d,%d)",
+						m, node, out, nb, in, back, backIn)
+				}
+			}
+		}
+	}
+}
+
+// TestFBflyLinkCoverage: every node's link ports, followed through
+// LinkDest, reach exactly the other nodes of its row and column — the
+// defining wiring of the flattened butterfly.
+func TestFBflyLinkCoverage(t *testing.T) {
+	f := FlattenedButterfly{W: 4, H: 3, Conc: 2, Lanes: 2}
+	for node := 0; node < f.Nodes(); node++ {
+		x, y := node%f.W, node/f.W
+		reached := map[int]int{} // neighbour -> lane count
+		for out := f.Conc; out < f.Radix(); out++ {
+			nb, _ := f.LinkDest(node, out)
+			reached[nb]++
+		}
+		want := map[int]int{}
+		for tx := 0; tx < f.W; tx++ {
+			if tx != x {
+				want[y*f.W+tx] = f.Lanes
+			}
+		}
+		for ty := 0; ty < f.H; ty++ {
+			if ty != y {
+				want[ty*f.W+x] = f.Lanes
+			}
+		}
+		if len(reached) != len(want) {
+			t.Fatalf("node %d reaches %v, want %v", node, reached, want)
+		}
+		for nb, lanes := range want {
+			if reached[nb] != lanes {
+				t.Fatalf("node %d reaches %d via %d lanes, want %d", node, nb, reached[nb], lanes)
+			}
+		}
+	}
+}
+
+// TestTopologyValidateRejectsDegenerateShapes: every zero or negative
+// dimension is rejected by New rather than producing a wedged network.
+func TestTopologyValidateRejectsDegenerateShapes(t *testing.T) {
+	mk := func(topo Topology) Config {
+		return Config{
+			Topology:  topo,
+			NewSwitch: func() sim.Switch { return crossbar.New(8) },
+			Warmup:    100, Measure: 100, Seed: 1,
+		}
+	}
+	bad := []Topology{
+		Mesh{W: 0, H: 3, Conc: 2, Lanes: 1},
+		Mesh{W: 3, H: 0, Conc: 2, Lanes: 1},
+		Mesh{W: 3, H: 3, Conc: 0, Lanes: 1},
+		Mesh{W: 3, H: 3, Conc: 2, Lanes: 0},
+		Mesh{W: -1, H: 3, Conc: 2, Lanes: 1},
+		FlattenedButterfly{W: 1, H: 3, Conc: 2, Lanes: 1}, // no row links
+		FlattenedButterfly{W: 3, H: 0, Conc: 2, Lanes: 1},
+		FlattenedButterfly{W: 3, H: 3, Conc: 0, Lanes: 1},
+		FlattenedButterfly{W: 3, H: 3, Conc: 2, Lanes: -1},
+	}
+	for _, topo := range bad {
+		if _, err := New(mk(topo)); err == nil {
+			t.Errorf("degenerate topology %+v accepted", topo)
+		}
+	}
+}

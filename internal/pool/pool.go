@@ -13,6 +13,7 @@
 package pool
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -37,6 +38,25 @@ func Workers(n int) int {
 // re-panics with the value from the lowest-index panicking task, so the
 // surfaced failure does not depend on goroutine scheduling either.
 func Do(n, workers int, fn func(i int)) {
+	do(nil, n, workers, fn)
+}
+
+// DoCtx is Do with cooperative cancellation: once ctx is cancelled no
+// new task starts, already-running tasks finish (they observe the same
+// ctx through their own plumbing if they want to stop early), and the
+// ctx error is returned. Which tasks ran after a cancellation depends on
+// scheduling, so callers must treat any output produced under a non-nil
+// ctx error as garbage and discard it — determinism is a property of
+// completed runs only. A nil ctx behaves exactly like Do.
+func DoCtx(ctx context.Context, n, workers int, fn func(i int)) error {
+	do(ctx, n, workers, fn)
+	if ctx != nil && ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return nil
+}
+
+func do(ctx context.Context, n, workers int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
@@ -53,6 +73,7 @@ func Do(n, workers int, fn func(i int)) {
 		panicVal any
 	)
 	next.Store(-1)
+	cancelled := func() bool { return ctx != nil && ctx.Err() != nil }
 	runTask := func(i int) {
 		defer func() {
 			if r := recover(); r != nil {
@@ -69,7 +90,7 @@ func Do(n, workers int, fn func(i int)) {
 		// Serial fast path: no goroutine overhead for -parallel 1 runs,
 		// but the same run-everything-then-re-panic contract as the
 		// concurrent path so failure behaviour is worker-count-invariant.
-		for i := 0; i < n; i++ {
+		for i := 0; i < n && !cancelled(); i++ {
 			runTask(i)
 		}
 	} else {
@@ -77,7 +98,7 @@ func Do(n, workers int, fn func(i int)) {
 		for w := 0; w < workers; w++ {
 			go func() {
 				defer wg.Done()
-				for {
+				for !cancelled() {
 					i := int(next.Add(1))
 					if i >= n {
 						return
@@ -88,7 +109,10 @@ func Do(n, workers int, fn func(i int)) {
 		}
 		wg.Wait()
 	}
-	if panicIdx >= 0 {
+	if panicIdx >= 0 && !cancelled() {
+		// A cancelled run's panics are indistinguishable from tasks
+		// aborted mid-flight by the same cancellation; the ctx error the
+		// caller sees is the authoritative failure, so suppress them.
 		panic(panicVal)
 	}
 }
@@ -100,6 +124,15 @@ func Map[T any](n, workers int, fn func(i int) T) []T {
 	out := make([]T, n)
 	Do(n, workers, func(i int) { out[i] = fn(i) })
 	return out
+}
+
+// MapCtx is Map with cooperative cancellation (see DoCtx). On a non-nil
+// error the returned slice is partial — slots whose tasks never ran hold
+// zero values — and must be discarded.
+func MapCtx[T any](ctx context.Context, n, workers int, fn func(i int) T) ([]T, error) {
+	out := make([]T, n)
+	err := DoCtx(ctx, n, workers, func(i int) { out[i] = fn(i) })
+	return out, err
 }
 
 // splitmix64 is the finalizer of the splitmix64 generator, used here as

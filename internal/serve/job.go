@@ -1,0 +1,203 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/reprolab/hirise/internal/store"
+)
+
+// State is a job's lifecycle state.
+type State string
+
+// Job lifecycle: Queued -> Running -> one of Done / Failed / Cancelled.
+// A queued job that is cancelled skips Running entirely.
+const (
+	Queued    State = "queued"
+	Running   State = "running"
+	Done      State = "done"
+	Failed    State = "failed"
+	Cancelled State = "cancelled"
+)
+
+// Terminal reports whether no further transitions can happen.
+func (s State) Terminal() bool { return s == Done || s == Failed || s == Cancelled }
+
+// Event is one entry of a job's NDJSON progress stream.
+type Event struct {
+	// Seq orders events within one job, starting at 0.
+	Seq int `json:"seq"`
+	// Event names the transition or observation: "queued", "started",
+	// "progress", "done", "failed", "cancelled".
+	Event string `json:"event"`
+	// Time is the wall-clock timestamp (RFC3339, UTC).
+	Time string `json:"time"`
+	// Completed and Total report sweep progress on "progress" events
+	// (Total is 0 when the experiment's task count is not known up
+	// front).
+	Completed int64 `json:"completed,omitempty"`
+	Total     int   `json:"total,omitempty"`
+	// CacheHit is set on "done": true when the result was served from
+	// the store without re-simulation.
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// Error carries the failure message on "failed".
+	Error string `json:"error,omitempty"`
+}
+
+// job is one submitted computation.
+type job struct {
+	id  string
+	req Request
+	key store.Key
+
+	// ctx is cancelled by DELETE /jobs/{id} or server drain-timeout;
+	// the simulation layers poll it between cycles.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// progress counts completed simulation tasks (atomic; written from
+	// pool worker goroutines via Opts.Progress).
+	progress atomic.Int64
+	total    int // known task count (sweep point count), 0 if unknown
+
+	mu       sync.Mutex
+	state    State
+	events   []Event
+	changed  chan struct{} // closed and replaced on every update
+	result   []byte
+	cacheHit bool
+	err      error
+
+	created  time.Time
+	started  time.Time
+	finished time.Time
+}
+
+func newJob(id string, req Request, key store.Key, parent context.Context) *job {
+	ctx, cancel := context.WithCancel(parent)
+	j := &job{
+		id:      id,
+		req:     req,
+		key:     key,
+		ctx:     ctx,
+		cancel:  cancel,
+		state:   Queued,
+		changed: make(chan struct{}),
+		created: time.Now(),
+	}
+	j.appendEventLocked(Event{Event: "queued"})
+	return j
+}
+
+// appendEventLocked stamps and appends an event and wakes streamers.
+// Callers must hold j.mu — except the newJob constructor, which owns the
+// job exclusively.
+func (j *job) appendEventLocked(e Event) {
+	e.Seq = len(j.events)
+	e.Time = time.Now().UTC().Format(time.RFC3339Nano)
+	j.events = append(j.events, e)
+	close(j.changed)
+	j.changed = make(chan struct{})
+}
+
+// transition moves the job to a new state with its lifecycle event.
+// Transitions out of a terminal state are ignored (e.g. a worker
+// finishing a job that was already marked cancelled).
+func (j *job) transition(state State, e Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.state = state
+	switch state {
+	case Running:
+		j.started = time.Now()
+	case Done, Failed, Cancelled:
+		j.finished = time.Now()
+	}
+	j.appendEventLocked(e)
+}
+
+// finish records a terminal result.
+func (j *job) finish(result []byte, cacheHit bool, err error, cancelled bool) {
+	j.mu.Lock()
+	terminal := j.state.Terminal()
+	if !terminal {
+		j.result, j.cacheHit, j.err = result, cacheHit, err
+	}
+	j.mu.Unlock()
+	if terminal {
+		return
+	}
+	switch {
+	case cancelled:
+		j.transition(Cancelled, Event{Event: "cancelled"})
+	case err != nil:
+		j.transition(Failed, Event{Event: "failed", Error: err.Error()})
+	default:
+		j.transition(Done, Event{Event: "done", CacheHit: cacheHit})
+	}
+}
+
+// snapshot returns the state, the events at or after fromSeq, and the
+// change channel to wait on for more.
+func (j *job) snapshot(fromSeq int) (State, []Event, chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var tail []Event
+	if fromSeq < len(j.events) {
+		tail = append(tail, j.events[fromSeq:]...)
+	}
+	return j.state, tail, j.changed
+}
+
+// Status is the JSON shape of GET /jobs/{id}.
+type Status struct {
+	ID    string `json:"id"`
+	Kind  string `json:"kind"`
+	State State  `json:"state"`
+	// Experiment echoes the experiment ID for experiment jobs.
+	Experiment string `json:"experiment,omitempty"`
+	// Key is the content address of the job's result in the store.
+	Key string `json:"key"`
+	// CacheHit reports whether a finished job was served from the
+	// store without re-simulation.
+	CacheHit bool `json:"cache_hit"`
+	// Progress counts completed simulation tasks; Total is 0 when the
+	// task count is not known up front.
+	Progress int64  `json:"progress"`
+	Total    int    `json:"total,omitempty"`
+	Error    string `json:"error,omitempty"`
+	Created  string `json:"created"`
+	Started  string `json:"started,omitempty"`
+	Finished string `json:"finished,omitempty"`
+}
+
+func (j *job) status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:         j.id,
+		Kind:       j.req.Kind,
+		State:      j.state,
+		Experiment: j.req.Experiment,
+		Key:        j.key.String(),
+		CacheHit:   j.cacheHit,
+		Progress:   j.progress.Load(),
+		Total:      j.total,
+		Created:    j.created.UTC().Format(time.RFC3339Nano),
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if !j.started.IsZero() {
+		st.Started = j.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		st.Finished = j.finished.UTC().Format(time.RFC3339Nano)
+	}
+	return st
+}

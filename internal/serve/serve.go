@@ -1,0 +1,413 @@
+// Package serve is the experiment job service: a long-running HTTP API
+// over the deterministic simulation engine, backed by the
+// content-addressed result store. It turns the repository's CLIs'
+// one-shot runs into shared, cacheable, cancellable jobs:
+//
+//	POST   /jobs              submit an experiment or load sweep (429 under backpressure)
+//	GET    /jobs              list jobs
+//	GET    /jobs/{id}         job status (state, cache_hit, progress, result key)
+//	GET    /jobs/{id}/result  the result body once done
+//	GET    /jobs/{id}/events  NDJSON lifecycle + progress stream, live until terminal
+//	DELETE /jobs/{id}         cancel: pending jobs are dropped, running jobs abort
+//	                          at the simulators' next cycle-level ctx check
+//	GET    /healthz           liveness + queue depth
+//	GET    /metrics           server counters rendered from an obs registry
+//
+// Identical submissions share one computation (store singleflight) and
+// later ones are served byte-identical from cache; a DELETE or a
+// server-wide drain timeout cancels the job's context, which the pool /
+// sim / noc layers poll cooperatively, so cancelled work actually
+// releases its workers instead of simulating into the void.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/reprolab/hirise/internal/obs"
+	"github.com/reprolab/hirise/internal/store"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Store holds results; required. A memory-only store (dir "") works
+	// but loses the cache on restart.
+	Store *store.Store
+	// QueueDepth bounds the number of accepted-but-not-finished jobs;
+	// submissions beyond it get 429 (default 64).
+	QueueDepth int
+	// Workers is the number of jobs executed concurrently (default 1 —
+	// each job already parallelizes internally via SimWorkers).
+	Workers int
+	// SimWorkers bounds the per-job simulation parallelism, like the
+	// CLIs' -parallel flag (0 selects all CPUs).
+	SimWorkers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.Workers == 0 {
+		c.Workers = 1
+	}
+	return c
+}
+
+// Server is the job service. Create with New, expose via Handler, stop
+// with Drain.
+type Server struct {
+	cfg   Config
+	store *store.Store
+
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // submission order, for GET /jobs
+	queue    chan *job
+	draining bool
+	seq      int
+
+	running atomic.Int64
+	workers sync.WaitGroup
+
+	submitted, rejected, completed, failed, cancelled atomic.Int64
+}
+
+// New starts a Server's worker pool and returns it.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Store == nil {
+		return nil, errors.New("serve: Config.Store is required")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		store:      cfg.Store,
+		baseCtx:    ctx,
+		cancelBase: cancel,
+		jobs:       map[string]*job{},
+		queue:      make(chan *job, cfg.QueueDepth),
+	}
+	s.workers.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// worker executes queued jobs until the queue is closed by Drain.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for j := range s.queue {
+		s.run(j)
+	}
+}
+
+// run executes one job through the store.
+func (s *Server) run(j *job) {
+	if j.ctx.Err() != nil {
+		// Cancelled while queued.
+		j.finish(nil, false, j.ctx.Err(), true)
+		s.cancelled.Add(1)
+		return
+	}
+	s.running.Add(1)
+	defer s.running.Add(-1)
+	j.transition(Running, Event{Event: "started"})
+
+	data, hit, err := s.store.GetOrCompute(j.ctx, j.key, func(cctx context.Context) ([]byte, error) {
+		return s.compute(cctx, j)
+	})
+	cancelled := j.ctx.Err() != nil && errors.Is(err, context.Canceled)
+	j.finish(data, hit, err, cancelled)
+	switch {
+	case cancelled:
+		s.cancelled.Add(1)
+	case err != nil:
+		s.failed.Add(1)
+	default:
+		s.completed.Add(1)
+	}
+}
+
+// Drain stops the server gracefully: new submissions are rejected
+// immediately, queued and running jobs keep going, and Drain returns
+// when all of them have finished. If ctx expires first, every remaining
+// job is cancelled (they unwind at their next cycle-level check) and
+// Drain waits for the workers to exit before returning ctx's error.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.cancelBase() // cancels every job ctx
+		<-done
+	}
+	s.cancelBase()
+	return err
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if err := req.normalize(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	key, err := s.keyOf(req)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.rejected.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	s.seq++
+	j := newJob(fmt.Sprintf("j%06d", s.seq), req, key, s.baseCtx)
+	if req.Kind == "loadsweep" {
+		j.total = len(req.Loads)
+	}
+	select {
+	case s.queue <- j:
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+	default:
+		s.seq-- // job was never admitted
+		s.mu.Unlock()
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "job queue full (%d)", s.cfg.QueueDepth)
+		return
+	}
+	s.mu.Unlock()
+	s.submitted.Add(1)
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+func (s *Server) jobFor(w http.ResponseWriter, r *http.Request) *job {
+	s.mu.Lock()
+	j := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+	}
+	return j
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]Status, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].status())
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j := s.jobFor(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.status())
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFor(w, r)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	state, result := j.state, j.result
+	j.mu.Unlock()
+	if state != Done {
+		writeError(w, http.StatusConflict, "job %s is %s, result available once done", j.id, state)
+		return
+	}
+	w.Header().Set("Content-Type", contentType(j.req))
+	w.Header().Set("Content-Length", strconv.Itoa(len(result)))
+	w.Write(result)
+}
+
+// handleEvents streams the job's events as NDJSON: everything recorded
+// so far immediately, then live updates (including periodic progress
+// snapshots while the job runs) until the job reaches a terminal state
+// or the client disconnects.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFor(w, r)
+	if j == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	emit := func(e Event) bool {
+		if err := enc.Encode(e); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	next := 0
+	lastProgress := int64(-1)
+	ticker := time.NewTicker(200 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		state, events, changed := j.snapshot(next)
+		for _, e := range events {
+			if !emit(e) {
+				return
+			}
+			next++
+		}
+		if state.Terminal() {
+			return
+		}
+		if p := j.progress.Load(); state == Running && p != lastProgress {
+			lastProgress = p
+			// Progress snapshots are observations, not recorded events;
+			// they carry no sequence number of their own.
+			if !emit(Event{Seq: next, Event: "progress", Time: time.Now().UTC().Format(time.RFC3339Nano), Completed: p, Total: j.total}) {
+				return
+			}
+		}
+		select {
+		case <-changed:
+		case <-ticker.C:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFor(w, r)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	terminal := j.state.Terminal()
+	queued := j.state == Queued
+	j.mu.Unlock()
+	if terminal {
+		writeJSON(w, http.StatusOK, j.status())
+		return
+	}
+	j.cancel()
+	if queued {
+		// The worker may not reach this job for a while; settle its
+		// state now so clients see the cancellation immediately. run()
+		// still observes the cancelled ctx and skips it.
+		j.finish(nil, false, context.Canceled, true)
+		s.cancelled.Add(1)
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	queued := len(s.queue)
+	s.mu.Unlock()
+	status := http.StatusOK
+	state := "ok"
+	if draining {
+		status = http.StatusServiceUnavailable
+		state = "draining"
+	}
+	writeJSON(w, status, map[string]any{
+		"status":  state,
+		"queued":  queued,
+		"running": s.running.Load(),
+	})
+}
+
+// handleMetrics renders the server's counters through an obs metrics
+// registry — the same registry/serialization machinery the simulators
+// use, so the text format and ordering match the rest of the tooling.
+// The registry is rebuilt per scrape: obs registries are single-writer
+// by contract, so sharing one across request goroutines would race.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	reg := obs.NewRegistry()
+	reg.Counter("serve.jobs.submitted").Add(s.submitted.Load())
+	reg.Counter("serve.jobs.rejected").Add(s.rejected.Load())
+	reg.Counter("serve.jobs.completed").Add(s.completed.Load())
+	reg.Counter("serve.jobs.failed").Add(s.failed.Load())
+	reg.Counter("serve.jobs.cancelled").Add(s.cancelled.Load())
+	st := s.store.Stats()
+	reg.Counter("store.hits.memory").Add(st.MemHits)
+	reg.Counter("store.hits.disk").Add(st.DiskHits)
+	reg.Counter("store.misses").Add(st.Misses)
+	reg.Counter("store.inflight.shared").Add(st.Shared)
+	reg.Counter("store.corrupt").Add(st.Corrupt)
+	reg.Counter("store.write.errors").Add(st.WriteErrors)
+	s.mu.Lock()
+	reg.Gauge("serve.queue.depth").Set(float64(len(s.queue)))
+	s.mu.Unlock()
+	reg.Gauge("serve.jobs.running").Set(float64(s.running.Load()))
+
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	reg.WriteText(w)
+}

@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/reprolab/hirise/internal/crossbar"
+	"github.com/reprolab/hirise/internal/traffic"
+)
+
+func cancellableCfg(measure int64) Config {
+	return Config{
+		Switch:  crossbar.New(8),
+		Traffic: traffic.Uniform{Radix: 8},
+		Load:    0.1, Warmup: 100, Measure: measure, Seed: 1,
+	}
+}
+
+// TestRunCancelledContextAborts: a run whose ctx is cancelled stops at
+// the next cycle-level check and reports the cancellation instead of
+// simulating the remaining cycles.
+func TestRunCancelledContextAborts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg := cancellableCfg(2_000_000_000) // minutes of simulation if not aborted
+	cfg.Ctx = ctx
+	time.AfterFunc(20*time.Millisecond, cancel)
+	start := time.Now()
+	_, err := Run(cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("cancelled run took %v to abort", d)
+	}
+}
+
+// TestRunNilContextIsByteIdentical: adding the ctx hook must not
+// perturb results — a nil-Ctx run and a background-Ctx run of the same
+// config are identical.
+func TestRunNilContextIsByteIdentical(t *testing.T) {
+	a, err := Run(cancellableCfg(5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cancellableCfg(5000)
+	cfg.Ctx = context.Background()
+	cfg.Switch = crossbar.New(8) // fresh switch; the first run mutated its arbiters
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Injected != b.Injected || a.Delivered != b.Delivered ||
+		a.AvgLatency != b.AvgLatency || a.AcceptedFlits != b.AcceptedFlits {
+		t.Fatalf("ctx-carrying run diverged: %+v vs %+v", a, b)
+	}
+}
+
+// TestLoadSweepCancelledContext: a cancelled ctx stops the sweep —
+// pending points are skipped and the ctx error is returned.
+func TestLoadSweepCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	base := cancellableCfg(5000)
+	base.Switch, base.Traffic = nil, nil
+	base.Ctx = ctx
+	loads := []float64{0.05, 0.1, 0.15, 0.2}
+	_, err := LoadSweep(base,
+		func() Switch { return crossbar.New(8) },
+		func() Traffic { return traffic.Uniform{Radix: 8} },
+		loads, 2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -13,6 +13,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/reprolab/hirise/internal/obs"
@@ -64,6 +65,12 @@ type Config struct {
 	Warmup, Measure int64
 	// Seed drives all stochastic choices.
 	Seed uint64
+	// Ctx, when non-nil, makes the run cancellable: the main loop polls
+	// Ctx every ctxCheckInterval simulated cycles and Run returns the
+	// ctx error instead of a Result. The poll sits outside the per-port
+	// hot loops, so a nil Ctx (the default) costs one comparison per
+	// cycle and the simulated behaviour is byte-identical either way.
+	Ctx context.Context
 	// Obs, when non-nil, attaches observability sinks (internal/obs):
 	// the trace recorder sees every flit lifecycle event, the metrics
 	// registry accumulates sim.* counters and the latency histogram, and
@@ -148,6 +155,13 @@ type Result struct {
 // accepted.
 func (r Result) Saturated() bool { return r.DroppedInjections > 0 }
 
+// ctxCheckInterval is how often (in simulated cycles) a cancellable run
+// polls its context. Polling a cancel context takes a mutex, so the
+// interval trades shutdown latency (≤ interval cycles, microseconds of
+// wall time) against hot-loop overhead; 1024 makes the check unmeasurable
+// while still stopping a cancelled run long before one sweep point ends.
+const ctxCheckInterval = 1024
+
 type packet struct {
 	birth int64
 	dest  int
@@ -209,6 +223,9 @@ func Run(cfg Config) (Result, error) {
 
 	total := cfg.Warmup + cfg.Measure
 	for cycle := int64(0); cycle < total; cycle++ {
+		if cfg.Ctx != nil && cycle%ctxCheckInterval == 0 && cfg.Ctx.Err() != nil {
+			return Result{}, fmt.Errorf("sim: run cancelled at cycle %d: %w", cycle, cfg.Ctx.Err())
+		}
 		measuring := cycle >= cfg.Warmup
 
 		// 1. Advance active transmissions; deliveries complete here but
@@ -369,10 +386,14 @@ func LoadSweep(base Config, newSwitch func() Switch, newTraffic func() Traffic, 
 // any worker count. obsFor itself may be called from worker goroutines
 // and must be safe for concurrent use; returning independent,
 // preallocated observers from a slice is the intended pattern.
+// A non-nil base.Ctx makes the sweep cancellable: pending points are
+// skipped and in-flight points abort at their next cycle-level check, so
+// the whole sweep unwinds within roughly one check interval. The ctx
+// error is returned and any partial results are discarded.
 func LoadSweepObserved(base Config, newSwitch func() Switch, newTraffic func() Traffic, loads []float64, workers int, obsFor func(i int) *obs.Observer) ([]Result, error) {
 	out := make([]Result, len(loads))
 	errs := make([]error, len(loads))
-	pool.Do(len(loads), workers, func(i int) {
+	pool.DoCtx(base.Ctx, len(loads), workers, func(i int) {
 		cfg := base
 		cfg.Switch = newSwitch()
 		if newTraffic != nil {
@@ -385,6 +406,9 @@ func LoadSweepObserved(base Config, newSwitch func() Switch, newTraffic func() T
 		cfg.Seed = pool.SeedFor(base.Seed, uint64(i))
 		out[i], errs[i] = Run(cfg)
 	})
+	if base.Ctx != nil && base.Ctx.Err() != nil {
+		return nil, base.Ctx.Err()
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

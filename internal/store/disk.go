@@ -1,0 +1,110 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Disk entry format (everything big-endian):
+//
+//	offset  size  field
+//	0       8     magic "HRSTORE1"
+//	8       8     payload length N
+//	16      N     payload
+//	16+N    32    SHA-256 of payload
+//
+// The trailing digest makes truncation, bit rot, and torn writes all
+// detectable with one pass; entries are immutable once renamed into
+// place, so a valid read is valid forever.
+var diskMagic = [8]byte{'H', 'R', 'S', 'T', 'O', 'R', 'E', '1'}
+
+const diskOverhead = 8 + 8 + sha256.Size
+
+func (s *Store) initDir() error {
+	return os.MkdirAll(s.dir, 0o755)
+}
+
+// path shards entries over 256 subdirectories by the first key byte so
+// huge sweeps don't pile tens of thousands of files into one directory.
+func (s *Store) path(key Key) string {
+	h := key.String()
+	return filepath.Join(s.dir, h[:2], h+".res")
+}
+
+// diskGet loads and validates the entry. Every failure mode — missing,
+// truncated, wrong magic, wrong length, wrong digest — is a miss;
+// invalid files are deleted (best-effort) so they are rebuilt cleanly.
+func (s *Store) diskGet(key Key) ([]byte, bool) {
+	if s.dir == "" {
+		return nil, false
+	}
+	p := s.path(key)
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		return nil, false
+	}
+	data, err := decodeEntry(raw)
+	if err != nil {
+		s.corrupt.Add(1)
+		os.Remove(p)
+		return nil, false
+	}
+	return data, true
+}
+
+func decodeEntry(raw []byte) ([]byte, error) {
+	if len(raw) < diskOverhead {
+		return nil, fmt.Errorf("store: entry too short (%d bytes)", len(raw))
+	}
+	if !bytes.Equal(raw[:8], diskMagic[:]) {
+		return nil, fmt.Errorf("store: bad magic %q", raw[:8])
+	}
+	n := binary.BigEndian.Uint64(raw[8:16])
+	if n != uint64(len(raw)-diskOverhead) {
+		return nil, fmt.Errorf("store: length header %d, have %d payload bytes", n, len(raw)-diskOverhead)
+	}
+	payload := raw[16 : 16+n]
+	sum := sha256.Sum256(payload)
+	if !bytes.Equal(sum[:], raw[16+n:]) {
+		return nil, fmt.Errorf("store: payload digest mismatch")
+	}
+	return payload, nil
+}
+
+// diskPut writes the entry atomically: encode to a temp file in the
+// destination directory, then rename into place. Readers therefore see
+// either no file or a complete one; a crash mid-write leaves only a
+// temp file that never matches a key.
+func (s *Store) diskPut(key Key, data []byte) error {
+	if s.dir == "" {
+		return nil
+	}
+	p := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), "tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+
+	var hdr [16]byte
+	copy(hdr[:8], diskMagic[:])
+	binary.BigEndian.PutUint64(hdr[8:], uint64(len(data)))
+	sum := sha256.Sum256(data)
+	for _, chunk := range [][]byte{hdr[:], data, sum[:]} {
+		if _, err := tmp.Write(chunk); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), p)
+}

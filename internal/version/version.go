@@ -1,0 +1,17 @@
+// Package version pins the behavioural fingerprint of the simulation
+// models. The fingerprint participates in every internal/store cache
+// key, so bumping it invalidates all previously cached results at once
+// — stale entries simply stop being found, they never need explicit
+// eviction.
+package version
+
+// Model identifies the current behaviour of the simulators and cost
+// models. Bump it whenever a change alters any simulated or computed
+// result (arbitration order, seed derivation, traffic generation,
+// physical calibration, result serialization, ...). Refactors that keep
+// outputs byte-identical must NOT bump it, so caches survive them.
+//
+// History:
+//
+//	model-3  first cached release (PR 3): store/serve subsystem landed
+const Model = "model-3"
