@@ -28,6 +28,12 @@
 // model version, and format replay from the cache byte-identically
 // instead of resimulating.
 //
+// -perf FILE runs the arbitration hot-kernel microbenchmarks (switch
+// arbitration loops, bit-level cross-point columns, end-to-end uniform
+// simulations) and writes the measurements as JSON; -perf-baseline
+// embeds a previous run for before/after comparison. The schema is
+// documented in EXPERIMENTS.md.
+//
 // SIGINT/SIGTERM cancels the run: simulations stop within one sweep
 // point, the experiments that already finished are still flushed in id
 // order, and partially-written -json and profile side files are
@@ -71,6 +77,11 @@ func main() {
 		storeDir = flag.String("store", "",
 			"cache rendered experiment results in this directory (content-addressed by id, fidelity, model version, and format)")
 
+		perfOut = flag.String("perf", "",
+			"run the arbitration hot-kernel microbenchmarks and write them as JSON to this file (schema in EXPERIMENTS.md), then exit")
+		perfBase = flag.String("perf-baseline", "",
+			"embed a previous -perf run from this file as the baseline for before/after comparison")
+
 		// Host-side profiling of the bench process itself.
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
@@ -85,6 +96,17 @@ func main() {
 			fmt.Println(id)
 		}
 		return
+	}
+	if *perfOut != "" {
+		if err := runPerf(*perfOut, *perfBase); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *perfBase != "" {
+		fmt.Fprintln(os.Stderr, "-perf-baseline requires -perf")
+		os.Exit(2)
 	}
 	if *run == "" {
 		flag.Usage()

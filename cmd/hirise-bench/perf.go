@@ -1,0 +1,246 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"github.com/reprolab/hirise/internal/bitvec"
+	"github.com/reprolab/hirise/internal/core"
+	"github.com/reprolab/hirise/internal/crossbar"
+	"github.com/reprolab/hirise/internal/prng"
+	"github.com/reprolab/hirise/internal/sim"
+	"github.com/reprolab/hirise/internal/topo"
+	"github.com/reprolab/hirise/internal/traffic"
+	"github.com/reprolab/hirise/internal/xpoint"
+)
+
+// perfSchema identifies the BENCH_PR4.json layout; bump on breaking
+// changes. The format is documented in EXPERIMENTS.md.
+const perfSchema = "hirise-bench-perf/v1"
+
+// perfResult is one microbenchmark measurement.
+type perfResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// perfFile is the -perf output document. Baseline, when present, is a
+// previous run (passed via -perf-baseline) echoed verbatim so one file
+// carries the before/after pair.
+type perfFile struct {
+	Schema     string       `json:"schema"`
+	Benchmarks []perfResult `json:"benchmarks"`
+	Baseline   []perfResult `json:"baseline,omitempty"`
+}
+
+// perfSuite lists the hot-kernel microbenchmarks -perf runs: the two
+// switch models' arbitration hot loops at radix 64 and 128, the
+// bit-level cross-point columns, and the end-to-end uniform-traffic
+// simulations. These are the same workloads as the testing benchmarks
+// in internal/core, internal/crossbar, internal/xpoint, and
+// internal/sim, so numbers are comparable with `go test -bench`.
+func perfSuite() []struct {
+	name string
+	fn   func(b *testing.B)
+} {
+	return []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"core/ArbitrateHotLoop/radix=64", perfCore(64)},
+		{"core/ArbitrateHotLoop/radix=128", perfCore(128)},
+		{"crossbar/ArbitrateHotLoop/radix=64", perfCrossbar(64)},
+		{"crossbar/ArbitrateHotLoop/radix=128", perfCrossbar(128)},
+		{"xpoint/ColumnArbitrate/n=64", perfColumn(64)},
+		{"xpoint/ColumnArbitrate/n=128", perfColumn(128)},
+		{"xpoint/CLRGColumnArbitrate/n=13", perfCLRGColumn()},
+		{"sim/Uniform2D/radix=64", perfSim(func() sim.Switch { return crossbar.New(64) })},
+		{"sim/UniformHiRiseCLRG/radix=64", perfSim(func() sim.Switch {
+			sw, err := core.New(topo.Default64())
+			if err != nil {
+				panic(err)
+			}
+			return sw
+		})},
+	}
+}
+
+// perfCore benchmarks 16 Hi-Rise arbitration cycles per op under
+// rotating contention (every input requests a random output; grants
+// release every 4 cycles), mirroring internal/core's hot-loop bench.
+func perfCore(radix int) func(b *testing.B) {
+	return func(b *testing.B) {
+		cfg := topo.Default64()
+		cfg.Radix = radix
+		sw, err := core.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		workload := perfArbWorkload(sw, radix)
+		workload(64) // warm up: grow the grants buffer once
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			workload(16)
+		}
+	}
+}
+
+// perfCrossbar benchmarks one fully-loaded 2D arbitration cycle per op
+// with immediate release, mirroring internal/crossbar's hot-loop bench
+// (note the unit difference: one cycle per op, not 16).
+func perfCrossbar(radix int) func(b *testing.B) {
+	return func(b *testing.B) {
+		sw := crossbar.New(radix)
+		src := prng.New(7)
+		req := make([]int, radix)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j := range req {
+				req[j] = src.Intn(radix)
+			}
+			for _, g := range sw.Arbitrate(req) {
+				sw.Release(g.In)
+			}
+		}
+	}
+}
+
+type perfSwitch interface {
+	Arbitrate(req []int) []topo.Grant
+	Release(in int)
+}
+
+func perfArbWorkload(sw perfSwitch, radix int) func(cycles int) {
+	src := prng.New(7)
+	req := make([]int, radix)
+	holding := make([]int, 0, radix)
+	return func(cycles int) {
+		for c := 0; c < cycles; c++ {
+			for i := range req {
+				req[i] = src.Intn(radix)
+			}
+			for _, g := range sw.Arbitrate(req) {
+				holding = append(holding, g.In)
+			}
+			if c%4 == 3 {
+				for _, in := range holding {
+					sw.Release(in)
+				}
+				holding = holding[:0]
+			}
+		}
+	}
+}
+
+func perfColumn(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		c := xpoint.NewColumn(n)
+		r := bitvec.New(n)
+		for i := 0; i < n; i += 2 {
+			r.Set(i)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Arbitrate(r)
+		}
+	}
+}
+
+func perfCLRGColumn() func(b *testing.B) {
+	return func(b *testing.B) {
+		c := xpoint.NewCLRGColumn(13, 64, 3)
+		r := bitvec.New(13)
+		inputOf := make([]int, 13)
+		for i := 0; i < 13; i++ {
+			if i%2 == 0 {
+				r.Set(i)
+			}
+			inputOf[i] = i * 4
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Arbitrate(r, inputOf)
+		}
+	}
+}
+
+// perfSim benchmarks one full simulation per op: 500 warmup + 2000
+// measured cycles of uniform traffic at 20% load, matching the sim
+// package's end-to-end benchmarks.
+func perfSim(mk func() sim.Switch) func(b *testing.B) {
+	return func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Run(sim.Config{
+				Switch:  mk(),
+				Traffic: traffic.Uniform{Radix: 64},
+				Load:    0.2, Warmup: 500, Measure: 2000,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// runPerf executes the microbenchmark suite, prints a summary table to
+// stdout (with speedups when a baseline is given), and writes the JSON
+// document to outPath. baselinePath, when non-empty, names a previous
+// -perf output whose benchmarks are embedded as the baseline.
+func runPerf(outPath, baselinePath string) error {
+	var baseline []perfResult
+	if baselinePath != "" {
+		raw, err := os.ReadFile(baselinePath)
+		if err != nil {
+			return fmt.Errorf("perf baseline: %w", err)
+		}
+		var prev perfFile
+		if err := json.Unmarshal(raw, &prev); err != nil {
+			return fmt.Errorf("perf baseline %s: %w", baselinePath, err)
+		}
+		if prev.Schema != perfSchema {
+			return fmt.Errorf("perf baseline %s: schema %q, want %q", baselinePath, prev.Schema, perfSchema)
+		}
+		baseline = prev.Benchmarks
+	}
+	baseNs := make(map[string]float64, len(baseline))
+	for _, r := range baseline {
+		baseNs[r.Name] = r.NsPerOp
+	}
+
+	doc := perfFile{Schema: perfSchema, Baseline: baseline}
+	fmt.Printf("%-40s %15s %12s %10s\n", "benchmark", "ns/op", "allocs/op", "vs base")
+	for _, bench := range perfSuite() {
+		res := testing.Benchmark(bench.fn)
+		pr := perfResult{
+			Name:        bench.name,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			Iterations:  res.N,
+		}
+		doc.Benchmarks = append(doc.Benchmarks, pr)
+		speedup := "-"
+		if prev, ok := baseNs[pr.Name]; ok && pr.NsPerOp > 0 {
+			speedup = fmt.Sprintf("%.2fx", prev/pr.NsPerOp)
+		}
+		fmt.Printf("%-40s %15.1f %12d %10s\n", pr.Name, pr.NsPerOp, pr.AllocsPerOp, speedup)
+	}
+
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(outPath, out, 0o644); err != nil {
+		return fmt.Errorf("perf output: %w", err)
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
+}

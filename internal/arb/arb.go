@@ -17,6 +17,12 @@
 // back-propagated), which is the property that prevents starvation.
 package arb
 
+import (
+	"math/bits"
+
+	"github.com/reprolab/hirise/internal/bitvec"
+)
+
 // Arbiter selects one winner among n requestors for a single resource.
 // Grant must not mutate arbiter state; Update commits the priority change
 // for a winner.
@@ -28,6 +34,22 @@ type Arbiter interface {
 	Grant(req []bool) int
 	// Update records that winner was granted, adjusting priorities.
 	Update(winner int)
+}
+
+// BitArbiter is an Arbiter whose grant path accepts the word-parallel
+// bitset request view directly. Every arbiter in this package
+// implements it except QoS (whose adapter needs the mask at Update
+// time); the switch models arbitrate exclusively through GrantBits, so
+// no per-cycle []bool materialization happens on the hot path. Like
+// Grant, GrantBits must leave arbitration state observably unchanged
+// (internal scratch may be reused). req must span WordsFor(N()) words
+// with no bits at or beyond N() set.
+type BitArbiter interface {
+	Arbiter
+	// GrantBits returns the winning requestor index among the set bits
+	// of req, or -1 if none is set. It grants exactly the requestor
+	// Grant would on the equivalent []bool mask.
+	GrantBits(req bitvec.Vec) int
 }
 
 // LRG is least-recently-granted arbitration: the winner of each grant
@@ -78,6 +100,24 @@ func (l *LRG) Grant(req []bool) int {
 	return -1
 }
 
+// GrantBits returns the highest-priority requestor among the set bits
+// of req, or -1. The winner is the set bit with the minimum priority
+// position, found by iterating only the set bits — one
+// TrailingZeros64 step per requestor instead of an order-list scan.
+func (l *LRG) GrantBits(req bitvec.Vec) int {
+	best, bestPos := -1, len(l.order)
+	for w, word := range req {
+		for word != 0 {
+			i := w<<6 | bits.TrailingZeros64(word)
+			word &= word - 1
+			if p := l.pos[i]; p < bestPos {
+				bestPos, best = p, i
+			}
+		}
+	}
+	return best
+}
+
 // Update moves winner to the lowest priority position.
 func (l *LRG) Update(winner int) {
 	i := l.pos[winner]
@@ -114,6 +154,32 @@ func (r *RoundRobin) Grant(req []bool) int {
 	return -1
 }
 
+// GrantBits returns the next requestor in cyclic order among the set
+// bits of req, or -1: the lowest set bit at or after next, wrapping.
+func (r *RoundRobin) GrantBits(req bitvec.Vec) int {
+	if len(req) == 0 {
+		return -1
+	}
+	sw, sb := r.next>>6, uint(r.next&63)
+	if w := req[sw] & (^uint64(0) << sb); w != 0 {
+		return sw<<6 | bits.TrailingZeros64(w)
+	}
+	for k := sw + 1; k < len(req); k++ {
+		if req[k] != 0 {
+			return k<<6 | bits.TrailingZeros64(req[k])
+		}
+	}
+	for k := 0; k < sw; k++ {
+		if req[k] != 0 {
+			return k<<6 | bits.TrailingZeros64(req[k])
+		}
+	}
+	if w := req[sw] &^ (^uint64(0) << sb); w != 0 {
+		return sw<<6 | bits.TrailingZeros64(w)
+	}
+	return -1
+}
+
 // Update advances the scan position past the winner.
 func (r *RoundRobin) Update(winner int) { r.next = (winner + 1) % r.n }
 
@@ -136,6 +202,9 @@ func (f *Fixed) Grant(req []bool) int {
 	}
 	return -1
 }
+
+// GrantBits returns the lowest set bit of req, or -1.
+func (f *Fixed) GrantBits(req bitvec.Vec) int { return req.First() }
 
 // Update is a no-op for fixed priority.
 func (f *Fixed) Update(int) {}

@@ -1,6 +1,11 @@
 package arb
 
-import "github.com/reprolab/hirise/internal/obs"
+import (
+	"math/bits"
+
+	"github.com/reprolab/hirise/internal/bitvec"
+	"github.com/reprolab/hirise/internal/obs"
+)
 
 // CLRG implements the paper's Class-based Least Recently Granted
 // arbitration for one inter-layer sub-block (one final output).
@@ -16,9 +21,10 @@ import "github.com/reprolab/hirise/internal/obs"
 // §IV-B1).
 type CLRG struct {
 	lrg      *LRG
-	counters []uint8 // one per primary input
-	maxClass uint8   // counters saturate at this value (classes-1)
-	masked   []bool  // scratch: best-class request mask, reused per Grant
+	counters []uint8    // one per primary input
+	maxClass uint8      // counters saturate at this value (classes-1)
+	masked   bitvec.Vec // scratch: best-class request mask, reused per Grant
+	reqBits  bitvec.Vec // adapter scratch for the []bool Grant
 	audit    *obs.FairnessAudit
 }
 
@@ -46,7 +52,8 @@ func newCLRG(lrg *LRG, inputs, classes int) *CLRG {
 		lrg:      lrg,
 		counters: make([]uint8, inputs),
 		maxClass: uint8(classes - 1),
-		masked:   make([]bool, lrg.N()),
+		masked:   bitvec.New(lrg.N()),
+		reqBits:  bitvec.New(lrg.N()),
 	}
 }
 
@@ -70,25 +77,56 @@ func (c *CLRG) Class(input int) int { return int(c.counters[input]) }
 // an attached audit records each contender's outcome (Grant is called
 // once per sub-block arbitration round, so audit counts are per-round).
 func (c *CLRG) Grant(req []bool, inputOf []int) int {
-	best := int(c.maxClass) + 1
-	for line, r := range req {
+	// Early return on an idle round, before the bitset conversion and
+	// the masked-scratch rebuild: sub-blocks with nothing requesting are
+	// the common case in a large switch under light load.
+	any := false
+	for _, r := range req {
 		if r {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return -1
+	}
+	c.reqBits.FromBools(req)
+	return c.GrantBits(c.reqBits, inputOf)
+}
+
+// GrantBits is Grant on the bitset request view. An idle round returns
+// -1 before touching the masked scratch or the audit.
+func (c *CLRG) GrantBits(req bitvec.Vec, inputOf []int) int {
+	if req.None() {
+		return -1
+	}
+	best := int(c.maxClass) + 1
+	for w, word := range req {
+		for word != 0 {
+			line := w<<6 | bits.TrailingZeros64(word)
+			word &= word - 1
 			if cl := int(c.counters[inputOf[line]]); cl < best {
 				best = cl
 			}
 		}
 	}
-	if best > int(c.maxClass) {
-		return -1
-	}
 	// Inhibit every line outside the best class, then LRG tie-break.
-	for line, r := range req {
-		c.masked[line] = r && int(c.counters[inputOf[line]]) == best
+	c.masked.Zero()
+	for w, word := range req {
+		for word != 0 {
+			line := w<<6 | bits.TrailingZeros64(word)
+			word &= word - 1
+			if int(c.counters[inputOf[line]]) == best {
+				c.masked.Set(line)
+			}
+		}
 	}
-	win := c.lrg.Grant(c.masked)
+	win := c.lrg.GrantBits(c.masked)
 	if c.audit != nil {
-		for line, r := range req {
-			if r {
+		for w, word := range req {
+			for word != 0 {
+				line := w<<6 | bits.TrailingZeros64(word)
+				word &= word - 1
 				in := inputOf[line]
 				c.audit.Observe(in, int(c.counters[in]), line == win)
 			}
@@ -142,6 +180,9 @@ func (w *WLRG) Lines() int { return w.lrg.N() }
 
 // Grant returns the highest-priority requesting line, or -1.
 func (w *WLRG) Grant(req []bool) int { return w.lrg.Grant(req) }
+
+// GrantBits is Grant on the bitset request view.
+func (w *WLRG) GrantBits(req bitvec.Vec) int { return w.lrg.GrantBits(req) }
 
 // Update commits a win by line whose current weight (requestor count at
 // its local switch, >= 1) is weight. The LRG priority drops only after

@@ -4,6 +4,8 @@ import (
 	"testing"
 	"testing/quick"
 
+	"github.com/reprolab/hirise/internal/bitvec"
+	"github.com/reprolab/hirise/internal/obs"
 	"github.com/reprolab/hirise/internal/prng"
 )
 
@@ -106,6 +108,49 @@ func TestCLRGNoRequestors(t *testing.T) {
 	c := NewCLRG(3, 4, 3)
 	if w := c.Grant(req(3), []int{0, 1, 2}); w != -1 {
 		t.Fatalf("winner %d, want -1", w)
+	}
+}
+
+// TestCLRGEmptyRoundLeavesStateUntouched pins the empty-request fast
+// path: an idle round must return -1 before touching the masked scratch
+// or the audit, through both the []bool and the bitset entry points.
+func TestCLRGEmptyRoundLeavesStateUntouched(t *testing.T) {
+	c := NewCLRG(3, 4, 3)
+	audit := obs.NewFairnessAudit(4, 3)
+	c.SetAudit(audit)
+	inputOf := []int{0, 1, 2}
+	// Dirty the masked scratch with a real round first.
+	if w := c.Grant(req(3, 1, 2), inputOf); w != 1 {
+		t.Fatalf("winner %d, want 1", w)
+	}
+	saved := append(bitvec.Vec(nil), c.masked...)
+	if w := c.Grant(req(3), inputOf); w != -1 {
+		t.Fatalf("[]bool idle round granted %d", w)
+	}
+	if w := c.GrantBits(bitvec.New(3), inputOf); w != -1 {
+		t.Fatalf("bitset idle round granted %d", w)
+	}
+	if !c.masked.Equal(saved) {
+		t.Error("idle round touched the masked scratch")
+	}
+	if rep := audit.Report(); rep.TotalRequests != 2 {
+		t.Errorf("audit saw %d observations, want 2 (idle rounds must not audit)", rep.TotalRequests)
+	}
+}
+
+// TestWLRGNoRequestors pins WLRG's empty-request path on both entry
+// points; a later contested round still sees the untouched initial
+// priority order.
+func TestWLRGNoRequestors(t *testing.T) {
+	w := NewWLRG(4)
+	if g := w.Grant(req(4)); g != -1 {
+		t.Fatalf("[]bool idle round granted %d", g)
+	}
+	if g := w.GrantBits(bitvec.New(4)); g != -1 {
+		t.Fatalf("bitset idle round granted %d", g)
+	}
+	if g := w.Grant(req(4, 2, 3)); g != 2 {
+		t.Fatalf("winner %d, want 2", g)
 	}
 }
 

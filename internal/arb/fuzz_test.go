@@ -3,6 +3,7 @@ package arb
 import (
 	"testing"
 
+	"github.com/reprolab/hirise/internal/bitvec"
 	"github.com/reprolab/hirise/internal/prng"
 )
 
@@ -29,6 +30,93 @@ func FuzzListMatrixEquivalence(f *testing.F) {
 				matrix.Update(a)
 			}
 			if !matrix.WellFormed() {
+				t.Fatal("matrix lost total order")
+			}
+		}
+	})
+}
+
+// boolMatrix is the pre-bitset Matrix implementation, kept verbatim as
+// a test-only reference: a nested [][]bool beats table, a per-requestor
+// inhibition scan, and an ascending winner search. The word-parallel
+// Matrix must agree with it on every request pattern and update
+// sequence.
+type boolMatrix struct {
+	n     int
+	beats [][]bool
+}
+
+func newBoolMatrix(n int) *boolMatrix {
+	m := &boolMatrix{n: n, beats: make([][]bool, n)}
+	for i := range m.beats {
+		m.beats[i] = make([]bool, n)
+		for j := i + 1; j < n; j++ {
+			m.beats[i][j] = true
+		}
+	}
+	return m
+}
+
+func (m *boolMatrix) grant(req []bool) int {
+	for i := 0; i < m.n; i++ {
+		if !req[i] {
+			continue
+		}
+		inhibited := false
+		for j := 0; j < m.n; j++ {
+			if j != i && req[j] && m.beats[j][i] {
+				inhibited = true
+				break
+			}
+		}
+		if !inhibited {
+			return i
+		}
+	}
+	return -1
+}
+
+func (m *boolMatrix) update(winner int) {
+	for j := 0; j < m.n; j++ {
+		m.beats[winner][j] = false
+		if j != winner {
+			m.beats[j][winner] = true
+		}
+	}
+}
+
+// FuzzBitsetMatrixEquivalence pins the word-parallel Matrix kernel to
+// the legacy bool-slice formulation: identical grants on every request
+// pattern, through both entry points, across arbitrary update
+// sequences. Seeds cover the one-word fast path (N=64, N=13) and the
+// multi-word path (N up to 130).
+func FuzzBitsetMatrixEquivalence(f *testing.F) {
+	f.Add(uint64(1), uint8(63), []byte{0xAA, 0x0F, 0x33})     // 64 lines: one full word
+	f.Add(uint64(7), uint8(12), []byte{0x01, 0xFF, 0x80})     // 13 lines: sub-block shape
+	f.Add(uint64(9), uint8(129), []byte{0xC3, 0x3C, 0x55, 0}) // 130 lines: three words
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw uint8, stream []byte) {
+		n := 1 + int(nRaw)%130
+		fast, ref := NewMatrix(n), newBoolMatrix(n)
+		req := make([]bool, n)
+		reqBits := bitvec.New(n)
+		src := prng.New(seed)
+		for _, b := range stream {
+			for i := range req {
+				req[i] = (b>>(uint(i)%8))&1 == 1 && src.Bernoulli(0.8)
+			}
+			reqBits.FromBools(req)
+			a, c := fast.GrantBits(reqBits), ref.grant(req)
+			if a != c {
+				t.Fatalf("bitset %d vs bool %d on %v", a, c, req)
+			}
+			if b2 := fast.Grant(req); b2 != a {
+				t.Fatalf("Grant %d disagrees with GrantBits %d", b2, a)
+			}
+			if a >= 0 {
+				fast.Update(a)
+				ref.update(a)
+			}
+			if !fast.WellFormed() {
 				t.Fatal("matrix lost total order")
 			}
 		}

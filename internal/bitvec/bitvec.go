@@ -1,0 +1,227 @@
+// Package bitvec provides the word-parallel bitset kernel behind every
+// arbitration hot path in this repository. A Vec packs one bit per
+// requestor into []uint64 words, so the request-vector operations the
+// switch models run every simulated cycle — clear, set, mask, first-set
+// — cost one machine-word operation per 64 requestors instead of one
+// bool operation per requestor. This is the software analogue of the
+// Swizzle-Switch arbiter's bit-parallelism (paper §II-A): the hardware
+// evaluates all priority lines at once, and the model evaluates a word
+// of them at once.
+//
+// Every mutating operation preserves the invariant that bits at or
+// beyond the vector's logical length are zero, provided callers only
+// Set bits below it (SetFirstN masks the tail explicitly). Binary
+// operations require equal word counts and panic otherwise via the
+// runtime's bounds checks.
+//
+// Hot loops iterate set bits without closures:
+//
+//	for w, word := range v {
+//		for word != 0 {
+//			i := w<<6 | bits.TrailingZeros64(word)
+//			word &= word - 1
+//			... use i ...
+//		}
+//	}
+//
+// Single-word vectors (N ≤ 64, every radix-64 column and every
+// sub-block in the paper's configurations) take explicit len==1 fast
+// paths that collapse each operation to one untaken-branch word op.
+package bitvec
+
+import "math/bits"
+
+// Vec is a little-endian bitset: bit i lives in word i/64 at position
+// i%64.
+type Vec []uint64
+
+// WordsFor returns the number of 64-bit words needed for n bits.
+func WordsFor(n int) int { return (n + 63) >> 6 }
+
+// New returns a zeroed vector with capacity for n bits.
+func New(n int) Vec { return make(Vec, WordsFor(n)) }
+
+// Set sets bit i.
+func (v Vec) Set(i int) { v[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear clears bit i.
+func (v Vec) Clear(i int) { v[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Get reports whether bit i is set.
+func (v Vec) Get(i int) bool { return v[i>>6]>>(uint(i)&63)&1 != 0 }
+
+// SetTo sets bit i to b.
+func (v Vec) SetTo(i int, b bool) {
+	if b {
+		v.Set(i)
+	} else {
+		v.Clear(i)
+	}
+}
+
+// Zero clears every bit.
+func (v Vec) Zero() {
+	if len(v) == 1 {
+		v[0] = 0
+		return
+	}
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// SetFirstN sets bits [0, n) and clears the rest. n must fit in v.
+func (v Vec) SetFirstN(n int) {
+	if len(v) == 1 {
+		v[0] = tailMask(n)
+		return
+	}
+	full := n >> 6
+	for i := 0; i < full; i++ {
+		v[i] = ^uint64(0)
+	}
+	if full < len(v) {
+		v[full] = tailMask(n & 63)
+		for i := full + 1; i < len(v); i++ {
+			v[i] = 0
+		}
+	}
+}
+
+// tailMask returns a mask of the low n bits, n in [0, 64].
+func tailMask(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(n) - 1
+}
+
+// Any reports whether any bit is set.
+func (v Vec) Any() bool {
+	if len(v) == 1 {
+		return v[0] != 0
+	}
+	for _, w := range v {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// None reports whether no bit is set.
+func (v Vec) None() bool { return !v.Any() }
+
+// Count returns the number of set bits.
+func (v Vec) Count() int {
+	if len(v) == 1 {
+		return bits.OnesCount64(v[0])
+	}
+	n := 0
+	for _, w := range v {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// First returns the index of the lowest set bit, or -1.
+func (v Vec) First() int {
+	if len(v) == 1 {
+		if v[0] == 0 {
+			return -1
+		}
+		return bits.TrailingZeros64(v[0])
+	}
+	for i, w := range v {
+		if w != 0 {
+			return i<<6 | bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// Or sets v to v | b. b must have the same word count.
+func (v Vec) Or(b Vec) {
+	if len(v) == 1 {
+		v[0] |= b[0]
+		return
+	}
+	for i, w := range b {
+		v[i] |= w
+	}
+}
+
+// And sets v to v & b. b must have the same word count.
+func (v Vec) And(b Vec) {
+	if len(v) == 1 {
+		v[0] &= b[0]
+		return
+	}
+	for i, w := range b {
+		v[i] &= w
+	}
+}
+
+// AndNot sets v to v &^ b. b must have the same word count.
+func (v Vec) AndNot(b Vec) {
+	if len(v) == 1 {
+		v[0] &^= b[0]
+		return
+	}
+	for i, w := range b {
+		v[i] &^= w
+	}
+}
+
+// Copy overwrites v with b. b must have the same word count.
+func (v Vec) Copy(b Vec) {
+	if len(v) == 1 {
+		v[0] = b[0]
+		return
+	}
+	copy(v, b)
+}
+
+// Equal reports whether v and b hold identical bits. b must have the
+// same word count.
+func (v Vec) Equal(b Vec) bool {
+	if len(v) == 1 {
+		return v[0] == b[0]
+	}
+	for i, w := range v {
+		if w != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FromBools overwrites v with the bits of req; words beyond len(req)
+// are cleared. len(req) must fit in v.
+func (v Vec) FromBools(req []bool) {
+	v.Zero()
+	for i, r := range req {
+		if r {
+			v.Set(i)
+		}
+	}
+}
+
+// FillBools writes bits [0, len(dst)) of v into dst.
+func (v Vec) FillBools(dst []bool) {
+	for i := range dst {
+		dst[i] = v.Get(i)
+	}
+}
+
+// ForEach calls fn for every set bit in ascending order. Hot paths
+// should inline the word loop instead (see the package comment); this
+// helper is for tests and cold call sites.
+func (v Vec) ForEach(fn func(i int)) {
+	for w, word := range v {
+		for word != 0 {
+			fn(w<<6 | bits.TrailingZeros64(word))
+			word &= word - 1
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package bitvec
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/reprolab/hirise/internal/prng"
+)
+
+// refBits is the []bool reference model every Vec operation is checked
+// against.
+type refBits []bool
+
+func (r refBits) toVec() Vec {
+	v := New(len(r))
+	v.FromBools(r)
+	return v
+}
+
+func (r refBits) first() int {
+	for i, b := range r {
+		if b {
+			return i
+		}
+	}
+	return -1
+}
+
+func (r refBits) count() int {
+	n := 0
+	for _, b := range r {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// randomRef returns a random bool slice of length n with the given set
+// density.
+func randomRef(src *prng.Source, n int, p float64) refBits {
+	r := make(refBits, n)
+	for i := range r {
+		r[i] = src.Bernoulli(p)
+	}
+	return r
+}
+
+// TestVecMatchesBoolReference drives every operation against the bool
+// model across sizes spanning the single-word fast path (N ≤ 64), the
+// exact word boundary, and multi-word vectors.
+func TestVecMatchesBoolReference(t *testing.T) {
+	src := prng.New(42)
+	for _, n := range []int{1, 13, 31, 63, 64, 65, 127, 128, 130, 200} {
+		for trial := 0; trial < 50; trial++ {
+			a := randomRef(src, n, 0.4)
+			b := randomRef(src, n, 0.4)
+			va, vb := a.toVec(), b.toVec()
+
+			for i := 0; i < n; i++ {
+				if va.Get(i) != a[i] {
+					t.Fatalf("n=%d Get(%d)=%v want %v", n, i, va.Get(i), a[i])
+				}
+			}
+			if va.Count() != a.count() {
+				t.Fatalf("n=%d Count()=%d want %d", n, va.Count(), a.count())
+			}
+			if va.First() != a.first() {
+				t.Fatalf("n=%d First()=%d want %d", n, va.First(), a.first())
+			}
+			if va.Any() != (a.count() > 0) || va.None() != (a.count() == 0) {
+				t.Fatalf("n=%d Any/None disagree with count %d", n, a.count())
+			}
+
+			check := func(op string, got Vec, want func(x, y bool) bool) {
+				t.Helper()
+				for i := 0; i < n; i++ {
+					if got.Get(i) != want(a[i], b[i]) {
+						t.Fatalf("n=%d %s bit %d: got %v", n, op, i, got.Get(i))
+					}
+				}
+			}
+			or := a.toVec()
+			or.Or(vb)
+			check("or", or, func(x, y bool) bool { return x || y })
+			and := a.toVec()
+			and.And(vb)
+			check("and", and, func(x, y bool) bool { return x && y })
+			andNot := a.toVec()
+			andNot.AndNot(vb)
+			check("andnot", andNot, func(x, y bool) bool { return x && !y })
+
+			cp := New(n)
+			cp.Copy(va)
+			if !cp.Equal(va) {
+				t.Fatalf("n=%d Copy not Equal", n)
+			}
+			if cp.Equal(vb) != eqRef(a, b) {
+				t.Fatalf("n=%d Equal disagrees with reference", n)
+			}
+
+			var seen []int
+			va.ForEach(func(i int) { seen = append(seen, i) })
+			want := setIndices(a)
+			if len(seen) != len(want) {
+				t.Fatalf("n=%d ForEach visited %v want %v", n, seen, want)
+			}
+			for i := range want {
+				if seen[i] != want[i] {
+					t.Fatalf("n=%d ForEach order %v want %v", n, seen, want)
+				}
+			}
+
+			dst := make([]bool, n)
+			va.FillBools(dst)
+			for i := range dst {
+				if dst[i] != a[i] {
+					t.Fatalf("n=%d FillBools bit %d", n, i)
+				}
+			}
+		}
+	}
+}
+
+func eqRef(a, b refBits) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func setIndices(r refBits) []int {
+	var idx []int
+	for i, b := range r {
+		if b {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// TestSetClearTo checks single-bit mutation at word boundaries and that
+// tail bits beyond the logical length stay zero under SetFirstN.
+func TestSetClearTo(t *testing.T) {
+	for _, n := range []int{1, 64, 65, 129} {
+		v := New(n)
+		for _, i := range []int{0, n / 2, n - 1} {
+			v.Set(i)
+			if !v.Get(i) {
+				t.Fatalf("n=%d Set(%d) lost", n, i)
+			}
+			v.Clear(i)
+			if v.Get(i) {
+				t.Fatalf("n=%d Clear(%d) stuck", n, i)
+			}
+			v.SetTo(i, true)
+			if !v.Get(i) {
+				t.Fatalf("n=%d SetTo(%d,true) lost", n, i)
+			}
+			v.SetTo(i, false)
+			if v.Get(i) {
+				t.Fatalf("n=%d SetTo(%d,false) stuck", n, i)
+			}
+		}
+	}
+}
+
+func TestSetFirstN(t *testing.T) {
+	for _, n := range []int{0, 1, 13, 63, 64, 65, 128, 130} {
+		v := make(Vec, WordsFor(n)+1) // one spare word to catch overruns
+		for i := range v {
+			v[i] = ^uint64(0)
+		}
+		v.SetFirstN(n)
+		if got := v.Count(); got != n {
+			t.Fatalf("SetFirstN(%d) set %d bits", n, got)
+		}
+		for i := 0; i < n; i++ {
+			if !v.Get(i) {
+				t.Fatalf("SetFirstN(%d) missed bit %d", n, i)
+			}
+		}
+	}
+}
+
+func TestZeroAndWordsFor(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 1, 64: 1, 65: 2, 128: 2, 129: 3}
+	for n, want := range cases {
+		if got := WordsFor(n); got != want {
+			t.Errorf("WordsFor(%d)=%d want %d", n, got, want)
+		}
+	}
+	v := New(130)
+	v.SetFirstN(130)
+	v.Zero()
+	if v.Any() {
+		t.Fatal("Zero left bits set")
+	}
+}
+
+// TestFromBoolsRoundTrip is the property the arbiter adapters rely on:
+// converting any request mask to a Vec and back is the identity.
+func TestFromBoolsRoundTrip(t *testing.T) {
+	if err := quick.Check(func(seed uint64, nRaw uint8) bool {
+		src := prng.New(seed)
+		n := 1 + int(nRaw)%130
+		ref := randomRef(src, n, 0.5)
+		v := New(n)
+		v.FromBools(ref)
+		out := make([]bool, n)
+		v.FillBools(out)
+		for i := range ref {
+			if out[i] != ref[i] {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

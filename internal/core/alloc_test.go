@@ -48,25 +48,32 @@ func newArbWorkload(sw arbSwitch, src *prng.Source) func(cycles int) {
 // and every request mask are preallocated scratch; a regression here
 // shows up as garbage-collector pressure in every sweep.
 func TestArbitrateZeroAllocs(t *testing.T) {
-	for _, scheme := range []topo.Scheme{topo.L2LLRG, topo.WLRG, topo.CLRG} {
-		cfg := topo.Default64()
-		cfg.Scheme = scheme
-		sw, err := New(cfg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		workload := newArbWorkload(sw, prng.New(7))
-		workload(64) // warm up: grow the grants buffer once
-		if avg := testing.AllocsPerRun(50, func() {
-			workload(16)
-		}); avg != 0 {
-			t.Errorf("%v: %v allocs per 16 arbitration cycles, want 0", scheme, avg)
+	// Radix 128 exercises the multi-word bitset paths: every request
+	// vector and priority row spans two uint64 words.
+	for _, radix := range []int{64, 128} {
+		for _, scheme := range []topo.Scheme{topo.L2LLRG, topo.WLRG, topo.CLRG} {
+			cfg := topo.Default64()
+			cfg.Radix = radix
+			cfg.Scheme = scheme
+			sw, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			workload := newArbWorkload(sw, prng.New(7))
+			workload(64) // warm up: grow the grants buffer once
+			if avg := testing.AllocsPerRun(50, func() {
+				workload(16)
+			}); avg != 0 {
+				t.Errorf("radix %d %v: %v allocs per 16 arbitration cycles, want 0", radix, scheme, avg)
+			}
 		}
 	}
 }
 
-func BenchmarkArbitrateHotLoop(b *testing.B) {
-	sw, err := New(topo.Default64())
+func benchArbitrate(b *testing.B, radix int) {
+	cfg := topo.Default64()
+	cfg.Radix = radix
+	sw, err := New(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -78,3 +85,6 @@ func BenchmarkArbitrateHotLoop(b *testing.B) {
 		workload(16)
 	}
 }
+
+func BenchmarkArbitrateHotLoop(b *testing.B)    { benchArbitrate(b, 64) }
+func BenchmarkArbitrateHotLoop128(b *testing.B) { benchArbitrate(b, 128) }

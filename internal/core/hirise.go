@@ -20,8 +20,10 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"github.com/reprolab/hirise/internal/arb"
+	"github.com/reprolab/hirise/internal/bitvec"
 	"github.com/reprolab/hirise/internal/obs"
 	"github.com/reprolab/hirise/internal/topo"
 )
@@ -31,9 +33,9 @@ type Switch struct {
 	cfg   topo.Config
 	ports int // inputs (= outputs) per layer
 
-	interArb []arb.Arbiter // per final output: the intermediate-output port arbiter (over local inputs)
-	chArb    []arb.Arbiter // per L2LC: the local-switch channel port arbiter (over local inputs)
-	subs     []subBlock    // per final output: inter-layer sub-block arbiter
+	interArb []arb.BitArbiter // per final output: the intermediate-output port arbiter (over local inputs)
+	chArb    []arb.BitArbiter // per L2LC: the local-switch channel port arbiter (over local inputs)
+	subs     []subBlock       // per final output: inter-layer sub-block arbiter
 
 	heldOut  []int  // per input: final output held, or -1
 	heldCh   []int  // per input: L2LC held, or -1
@@ -50,23 +52,36 @@ type Switch struct {
 	audit  *obs.FairnessAudit // phase-2 audit for the non-CLRG schemes
 	cycles int64              // Arbitrate calls, the switch-local cycle count
 
-	// Scratch buffers, reused every cycle.
+	// Geometry lookup tables, precomputed at construction. The topo
+	// helpers divide by PortsPerLayer on every call; the hot loop
+	// resolves layer, local index, and channel ids by indexing instead.
+	layerOf  []int // per global port: owning layer
+	localIdx []int // per global port: index within its layer
+	localMod []int // per global port: LocalIndex % Channels (binned channel choice)
+	cidBase  []int // per src*Layers+dst: first L2LC id of the group
+	cidLine  []int // per L2LC id: sub-block line index on its destination layer
+	cidSrc   []int // per L2LC id: source layer
+
+	// Scratch buffers, reused every cycle. The request masks are
+	// word-parallel bitsets (internal/bitvec): clearing and granting
+	// cost one machine-word operation per 64 local inputs, mirroring
+	// the bit-parallel priority lines of the hardware arbiter.
 	grants     []topo.Grant // Arbitrate's return buffer, valid until the next call
-	intermReq  [][]bool     // per output: local-input request mask
-	chReq      [][]bool     // per L2LC: local-input request mask
-	destReq    [][]bool     // per (layer, dest layer): mask for priority-based allocation
+	intermReq  []bitvec.Vec // per output: local-input request mask
+	chReq      []bitvec.Vec // per L2LC: local-input request mask
+	destReq    []bitvec.Vec // per (layer, dest layer): mask for priority-based allocation
 	intermWin  []int        // per output: local winner (local index), -1 if none
 	chWin      []int        // per L2LC: local winner (local index), -1 if none
 	chWeight   []int        // per L2LC: requestor count this cycle (WLRG)
-	lineReq    []bool
-	lineInput  []int
+	outLineReq []bitvec.Vec // per output: sub-block line request mask
+	lineInput  []int        // per output*lines+line: requesting global input
 	lineWeight []int
 	lineCh     []int // global L2LC id per line, -1 for the intermediate line
 }
 
 type subBlock struct {
 	scheme topo.Scheme
-	plain  arb.Arbiter // L-2-L LRG baseline or the iSLIP-1 round-robin analog
+	plain  arb.BitArbiter // L-2-L LRG baseline or the iSLIP-1 round-robin analog
 	wlrg   *arb.WLRG
 	clrg   *arb.CLRG
 }
@@ -85,8 +100,8 @@ func New(cfg topo.Config) (*Switch, error) {
 	s := &Switch{
 		cfg:        cfg,
 		ports:      ports,
-		interArb:   make([]arb.Arbiter, n),
-		chArb:      make([]arb.Arbiter, cfg.NumL2LC()),
+		interArb:   make([]arb.BitArbiter, n),
+		chArb:      make([]arb.BitArbiter, cfg.NumL2LC()),
 		subs:       make([]subBlock, n),
 		heldOut:    make([]int, n),
 		heldCh:     make([]int, n),
@@ -95,18 +110,42 @@ func New(cfg topo.Config) (*Switch, error) {
 		chFailed:   make([]bool, cfg.NumL2LC()),
 		chGrants:   make([]int64, cfg.NumL2LC()),
 		outGrants:  make([]int64, n),
-		intermReq:  make([][]bool, n),
-		chReq:      make([][]bool, cfg.NumL2LC()),
-		destReq:    make([][]bool, cfg.Layers*cfg.Layers),
+		intermReq:  make([]bitvec.Vec, n),
+		chReq:      make([]bitvec.Vec, cfg.NumL2LC()),
+		destReq:    make([]bitvec.Vec, cfg.Layers*cfg.Layers),
 		intermWin:  make([]int, n),
 		chWin:      make([]int, cfg.NumL2LC()),
 		chWeight:   make([]int, cfg.NumL2LC()),
-		lineReq:    make([]bool, lines),
-		lineInput:  make([]int, lines),
-		lineWeight: make([]int, lines),
-		lineCh:     make([]int, lines),
+		outLineReq: make([]bitvec.Vec, n),
+		lineInput:  make([]int, n*lines),
+		lineWeight: make([]int, n*lines),
+		lineCh:     make([]int, n*lines),
+		layerOf:    make([]int, n),
+		localIdx:   make([]int, n),
+		localMod:   make([]int, n),
+		cidBase:    make([]int, cfg.Layers*cfg.Layers),
+		cidLine:    make([]int, cfg.NumL2LC()),
+		cidSrc:     make([]int, cfg.NumL2LC()),
 	}
-	newLocal := func() arb.Arbiter {
+	for p := 0; p < n; p++ {
+		s.layerOf[p] = cfg.LayerOf(p)
+		s.localIdx[p] = cfg.LocalIndex(p)
+		s.localMod[p] = cfg.LocalIndex(p) % cfg.Channels
+	}
+	for l := 0; l < cfg.Layers; l++ {
+		for d := 0; d < cfg.Layers; d++ {
+			if d == l {
+				continue
+			}
+			s.cidBase[l*cfg.Layers+d] = cfg.L2LCID(l, d, 0)
+			for ch := 0; ch < cfg.Channels; ch++ {
+				cid := cfg.L2LCID(l, d, ch)
+				s.cidLine[cid] = s.lineFor(d, l, ch)
+				s.cidSrc[cid] = l
+			}
+		}
+	}
+	newLocal := func() arb.BitArbiter {
 		if cfg.Scheme == topo.ISLIP1 {
 			return arb.NewRoundRobin(ports)
 		}
@@ -114,7 +153,8 @@ func New(cfg topo.Config) (*Switch, error) {
 	}
 	for o := range s.interArb {
 		s.interArb[o] = newLocal()
-		s.intermReq[o] = make([]bool, ports)
+		s.intermReq[o] = bitvec.New(ports)
+		s.outLineReq[o] = bitvec.New(lines)
 		s.subs[o] = newSubBlock(cfg, lines)
 		s.heldOut[o] = -1
 		s.heldCh[o] = -1
@@ -122,10 +162,10 @@ func New(cfg topo.Config) (*Switch, error) {
 	}
 	for c := range s.chArb {
 		s.chArb[c] = newLocal()
-		s.chReq[c] = make([]bool, ports)
+		s.chReq[c] = bitvec.New(ports)
 	}
 	for d := range s.destReq {
-		s.destReq[d] = make([]bool, ports)
+		s.destReq[d] = bitvec.New(ports)
 	}
 	return s, nil
 }
@@ -201,43 +241,55 @@ func (s *Switch) Arbitrate(req []int) []topo.Grant {
 
 	// Phase 1a: build local-switch request masks.
 	for o := range s.intermReq {
-		clearBools(s.intermReq[o])
+		s.intermReq[o].Zero()
+		s.outLineReq[o].Zero()
 		s.intermWin[o] = -1
 	}
 	for c := range s.chReq {
-		clearBools(s.chReq[c])
+		s.chReq[c].Zero()
 		s.chWin[c] = -1
 		s.chWeight[c] = 0
 	}
 	if cfg.Alloc == topo.PriorityBased {
 		for d := range s.destReq {
-			clearBools(s.destReq[d])
+			s.destReq[d].Zero()
 		}
 	}
+	outputBinned := cfg.Alloc == topo.OutputBinned
 	for in, o := range req {
 		if o < 0 || s.heldOut[in] >= 0 || s.outIn[o] >= 0 {
 			continue
 		}
-		l, li := cfg.LayerOf(in), cfg.LocalIndex(in)
-		d := cfg.LayerOf(o)
+		l, li := s.layerOf[in], s.localIdx[in]
+		d := s.layerOf[o]
 		if d == l {
-			s.intermReq[o][li] = true
+			s.intermReq[o].Set(li)
 			continue
 		}
 		if cfg.Alloc == topo.PriorityBased {
-			s.destReq[l*cfg.Layers+d][li] = true
+			s.destReq[l*cfg.Layers+d].Set(li)
 			continue
 		}
-		cid := s.healthyChannel(l, d, cfg.ChannelFor(in, o))
-		if cid >= 0 && !s.chBusy[cid] {
-			s.chReq[cid][li] = true
+		ch := s.localMod[in]
+		if outputBinned {
+			ch = s.localMod[o]
+		}
+		cid := s.cidBase[l*cfg.Layers+d] + ch
+		if s.chFailed[cid] {
+			cid = s.healthyChannel(l, d, ch)
+			if cid < 0 {
+				continue
+			}
+		}
+		if !s.chBusy[cid] {
+			s.chReq[cid].Set(li)
 			s.chWeight[cid]++
 		}
 	}
 
 	// Phase 1b: local-switch arbitration.
 	for o := range s.intermReq {
-		s.intermWin[o] = s.interArb[o].Grant(s.intermReq[o])
+		s.intermWin[o] = s.interArb[o].GrantBits(s.intermReq[o])
 	}
 	if cfg.Alloc == topo.PriorityBased {
 		// Channels to a destination fill in priority order: each channel's
@@ -248,102 +300,99 @@ func (s *Switch) Arbitrate(req []int) []topo.Grant {
 					continue
 				}
 				remaining := s.destReq[l*cfg.Layers+d]
-				left := countBools(remaining)
+				left := remaining.Count()
 				for ch := 0; ch < cfg.Channels && left > 0; ch++ {
 					cid := cfg.L2LCID(l, d, ch)
 					if s.chBusy[cid] || s.chFailed[cid] {
 						continue
 					}
-					w := s.chArb[cid].Grant(remaining)
+					w := s.chArb[cid].GrantBits(remaining)
 					if w < 0 {
 						break
 					}
 					s.chWin[cid] = w
 					s.chWeight[cid] = left
-					remaining[w] = false
+					remaining.Clear(w)
 					left--
 				}
 			}
 		}
 	} else {
 		for c := range s.chReq {
-			s.chWin[c] = s.chArb[c].Grant(s.chReq[c])
+			s.chWin[c] = s.chArb[c].GrantBits(s.chReq[c])
 		}
 	}
 
-	// Phase 2: inter-layer sub-block arbitration per idle final output.
+	// Phase 2a: scatter channel winners to their target outputs'
+	// sub-block request vectors. Each channel winner targets exactly one
+	// output (the one its winning input requested), so this touches one
+	// entry per L2LC instead of scanning every (output, source layer,
+	// channel) triple; the per-output bitset is order-insensitive, so
+	// the grants are identical to the output-major scan.
 	grants := s.grants[:0]
+	lines := cfg.SubBlockInputs()
+	for cid, w := range s.chWin {
+		if w < 0 {
+			continue
+		}
+		gi := s.cidSrc[cid]*s.ports + w
+		o := req[gi]
+		line := s.cidLine[cid]
+		s.outLineReq[o].Set(line)
+		base := o * lines
+		s.lineInput[base+line] = gi
+		s.lineWeight[base+line] = s.chWeight[cid]
+		s.lineCh[base+line] = cid
+	}
+
+	// Phase 2b: inter-layer sub-block arbitration per idle final output.
 	for o := 0; o < cfg.Radix; o++ {
 		if s.outIn[o] >= 0 {
 			continue
 		}
-		d := cfg.LayerOf(o)
-		lines := cfg.SubBlockInputs()
-		any := false
-		for i := 0; i < lines; i++ {
-			s.lineReq[i] = false
-		}
-		for src := 0; src < cfg.Layers; src++ {
-			if src == d {
-				continue
-			}
-			for ch := 0; ch < cfg.Channels; ch++ {
-				cid := cfg.L2LCID(src, d, ch)
-				w := s.chWin[cid]
-				if w < 0 {
-					continue
-				}
-				gi := cfg.Port(src, w)
-				if req[gi] != o {
-					continue // channel winner targets another output on this layer
-				}
-				line := s.lineFor(d, src, ch)
-				s.lineReq[line] = true
-				s.lineInput[line] = gi
-				s.lineWeight[line] = s.chWeight[cid]
-				s.lineCh[line] = cid
-				any = true
-			}
-		}
+		lineReq := s.outLineReq[o]
+		base := o * lines
 		if w := s.intermWin[o]; w >= 0 {
 			line := lines - 1
-			s.lineReq[line] = true
-			s.lineInput[line] = cfg.Port(d, w)
-			s.lineWeight[line] = countBools(s.intermReq[o])
-			s.lineCh[line] = -1
-			any = true
+			lineReq.Set(line)
+			s.lineInput[base+line] = s.layerOf[o]*s.ports + w
+			s.lineWeight[base+line] = s.intermReq[o].Count()
+			s.lineCh[base+line] = -1
 		}
-		if !any {
+		if lineReq.None() {
 			continue
 		}
+		lineInput := s.lineInput[base : base+lines]
 
 		sb := &s.subs[o]
 		var win int
 		switch sb.scheme {
 		case topo.WLRG:
-			win = sb.wlrg.Grant(s.lineReq)
+			win = sb.wlrg.GrantBits(lineReq)
 		case topo.CLRG:
-			win = sb.clrg.Grant(s.lineReq, s.lineInput)
+			win = sb.clrg.GrantBits(lineReq, lineInput)
 		default:
-			win = sb.plain.Grant(s.lineReq)
+			win = sb.plain.GrantBits(lineReq)
 		}
 		if s.audit != nil {
 			// Class-less schemes audit here, one observation per
 			// contending line (CLRG audits inside arb.CLRG.Grant with
 			// the real class; these report class 0).
-			for line := 0; line < lines; line++ {
-				if s.lineReq[line] {
-					s.audit.Observe(s.lineInput[line], 0, line == win)
+			for w, word := range lineReq {
+				for word != 0 {
+					line := w<<6 | bits.TrailingZeros64(word)
+					word &= word - 1
+					s.audit.Observe(lineInput[line], 0, line == win)
 				}
 			}
 		}
 		if win < 0 {
 			continue
 		}
-		gi := s.lineInput[win]
+		gi := lineInput[win]
 		switch sb.scheme {
 		case topo.WLRG:
-			sb.wlrg.Update(win, s.lineWeight[win])
+			sb.wlrg.Update(win, s.lineWeight[base+win])
 		case topo.CLRG:
 			sb.clrg.Update(win, gi)
 		default:
@@ -351,8 +400,8 @@ func (s *Switch) Arbitrate(req []int) []topo.Grant {
 		}
 
 		// Back-propagate the local-switch priority update to the winner.
-		if cid := s.lineCh[win]; cid >= 0 {
-			s.chArb[cid].Update(cfg.LocalIndex(gi))
+		if cid := s.lineCh[base+win]; cid >= 0 {
+			s.chArb[cid].Update(s.localIdx[gi])
 			s.chBusy[cid] = true
 			s.heldCh[gi] = cid
 			s.chGrants[cid]++
@@ -360,7 +409,7 @@ func (s *Switch) Arbitrate(req []int) []topo.Grant {
 				s.rec.Record(s.cycles-1, obs.EvL2LC, gi, o, cid)
 			}
 		} else {
-			s.interArb[o].Update(cfg.LocalIndex(gi))
+			s.interArb[o].Update(s.localIdx[gi])
 			s.localPath++
 		}
 		s.outGrants[o]++
@@ -474,20 +523,4 @@ func (s *Switch) Class(out, in int) int {
 		panic("core: Class is only meaningful for CLRG")
 	}
 	return s.subs[out].clrg.Class(in)
-}
-
-func clearBools(b []bool) {
-	for i := range b {
-		b[i] = false
-	}
-}
-
-func countBools(b []bool) int {
-	n := 0
-	for _, v := range b {
-		if v {
-			n++
-		}
-	}
-	return n
 }

@@ -10,47 +10,53 @@ import (
 // baseline: with no observer attached, an arbitration cycle allocates
 // nothing (the grants return buffer and the request mask are reused).
 func TestArbitrateZeroAllocs(t *testing.T) {
-	sw := New(64)
-	src := prng.New(7)
-	req := make([]int, 64)
-	holding := make([]int, 0, 64)
-	cycle := func(c int) {
-		for i := range req {
-			req[i] = src.Intn(64)
-		}
-		for _, g := range sw.Arbitrate(req) {
-			holding = append(holding, g.In)
-		}
-		if c%4 == 3 {
-			for _, in := range holding {
-				sw.Release(in)
+	// Radix 128 exercises the two-word bitset request masks.
+	for _, radix := range []int{64, 128} {
+		sw := New(radix)
+		src := prng.New(7)
+		req := make([]int, radix)
+		holding := make([]int, 0, radix)
+		cycle := func(c int) {
+			for i := range req {
+				req[i] = src.Intn(radix)
 			}
-			holding = holding[:0]
+			for _, g := range sw.Arbitrate(req) {
+				holding = append(holding, g.In)
+			}
+			if c%4 == 3 {
+				for _, in := range holding {
+					sw.Release(in)
+				}
+				holding = holding[:0]
+			}
 		}
-	}
-	for c := 0; c < 64; c++ { // warm up: grow the grants buffer once
-		cycle(c)
-	}
-	if avg := testing.AllocsPerRun(50, func() {
-		for c := 0; c < 16; c++ {
+		for c := 0; c < 64; c++ { // warm up: grow the grants buffer once
 			cycle(c)
 		}
-	}); avg != 0 {
-		t.Errorf("%v allocs per 16 arbitration cycles, want 0", avg)
+		if avg := testing.AllocsPerRun(50, func() {
+			for c := 0; c < 16; c++ {
+				cycle(c)
+			}
+		}); avg != 0 {
+			t.Errorf("radix %d: %v allocs per 16 arbitration cycles, want 0", radix, avg)
+		}
 	}
 }
 
-func BenchmarkArbitrateHotLoop(b *testing.B) {
-	sw := New(64)
+func benchArbitrate(b *testing.B, radix int) {
+	sw := New(radix)
 	src := prng.New(7)
-	req := make([]int, 64)
+	req := make([]int, radix)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for j := range req {
-			req[j] = src.Intn(64)
+			req[j] = src.Intn(radix)
 		}
 		for _, g := range sw.Arbitrate(req) {
 			sw.Release(g.In)
 		}
 	}
 }
+
+func BenchmarkArbitrateHotLoop(b *testing.B)    { benchArbitrate(b, 64) }
+func BenchmarkArbitrateHotLoop128(b *testing.B) { benchArbitrate(b, 128) }

@@ -13,20 +13,24 @@ package crossbar
 
 import (
 	"fmt"
+	"math/bits"
 
 	"github.com/reprolab/hirise/internal/arb"
+	"github.com/reprolab/hirise/internal/bitvec"
 	"github.com/reprolab/hirise/internal/obs"
 	"github.com/reprolab/hirise/internal/topo"
 )
 
 // Switch is a flat N×N matrix crossbar with one arbiter per output.
 type Switch struct {
-	n      int
-	arbs   []arb.Arbiter
-	held   []int        // held[in] = output held by in, or -1
-	outIn  []int        // outIn[out] = input holding out, or -1
-	reqBuf []bool       // scratch request mask, reused across outputs
-	grants []topo.Grant // Arbitrate's return buffer, valid until the next call
+	n       int
+	arbs    []arb.Arbiter
+	bitArbs []arb.BitArbiter // bitArbs[o] non-nil when arbs[o] grants bitsets natively
+	held    []int            // held[in] = output held by in, or -1
+	outIn   []int            // outIn[out] = input holding out, or -1
+	reqMask []bitvec.Vec     // per output: request bitset, rebuilt each cycle
+	reqBuf  []bool           // scratch for arbiters without a bitset grant path
+	grants  []topo.Grant     // Arbitrate's return buffer, valid until the next call
 
 	audit *obs.FairnessAudit // nil when observability is disabled
 }
@@ -69,15 +73,21 @@ func NewWithArbiters(radix int, arbs []arb.Arbiter) (*Switch, error) {
 		}
 	}
 	s := &Switch{
-		n:      radix,
-		arbs:   arbs,
-		held:   make([]int, radix),
-		outIn:  make([]int, radix),
-		reqBuf: make([]bool, radix),
+		n:       radix,
+		arbs:    arbs,
+		bitArbs: make([]arb.BitArbiter, radix),
+		held:    make([]int, radix),
+		outIn:   make([]int, radix),
+		reqMask: make([]bitvec.Vec, radix),
+		reqBuf:  make([]bool, radix),
 	}
 	for i := range s.held {
 		s.held[i] = -1
 		s.outIn[i] = -1
+		s.reqMask[i] = bitvec.New(radix)
+		if ba, ok := arbs[i].(arb.BitArbiter); ok {
+			s.bitArbs[i] = ba
+		}
 	}
 	return s, nil
 }
@@ -103,24 +113,39 @@ func (s *Switch) Arbitrate(req []int) []topo.Grant {
 	if len(req) != s.n {
 		panic(fmt.Sprintf("crossbar: request vector length %d, want %d", len(req), s.n))
 	}
+	// One pass over the inputs builds every output's request bitset:
+	// each input requests at most one output, so a granted input can
+	// never reappear in a later output's mask and prebuilding is
+	// equivalent to the per-output scan it replaces.
+	for out := range s.reqMask {
+		s.reqMask[out].Zero()
+	}
+	for in, out := range req {
+		if out >= 0 && s.held[in] < 0 && s.outIn[out] < 0 {
+			s.reqMask[out].Set(in)
+		}
+	}
 	grants := s.grants[:0]
 	for out := 0; out < s.n; out++ {
 		if s.outIn[out] >= 0 {
 			continue // output bus busy carrying flits; no priority lines free
 		}
-		any := false
-		for in := 0; in < s.n; in++ {
-			r := req[in] == out && s.held[in] < 0
-			s.reqBuf[in] = r
-			any = any || r
-		}
-		if !any {
+		m := s.reqMask[out]
+		if m.None() {
 			continue
 		}
-		win := s.arbs[out].Grant(s.reqBuf)
+		var win int
+		if ba := s.bitArbs[out]; ba != nil {
+			win = ba.GrantBits(m)
+		} else {
+			m.FillBools(s.reqBuf)
+			win = s.arbs[out].Grant(s.reqBuf)
+		}
 		if s.audit != nil {
-			for in := 0; in < s.n; in++ {
-				if s.reqBuf[in] {
+			for w, word := range m {
+				for word != 0 {
+					in := w<<6 | bits.TrailingZeros64(word)
+					word &= word - 1
 					s.audit.Observe(in, 0, in == win)
 				}
 			}

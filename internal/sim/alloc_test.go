@@ -1,0 +1,48 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/reprolab/hirise/internal/crossbar"
+	"github.com/reprolab/hirise/internal/topo"
+	"github.com/reprolab/hirise/internal/traffic"
+)
+
+// TestRunSteadyStateAllocs pins the hot-loop property the simulator's
+// throughput depends on: with Obs disabled, every allocation happens
+// during setup (ports, VC buffers, the source-queue rings, histogram),
+// so simulating four times as many cycles must allocate no more than
+// simulating the baseline count. Checked for both switch models, which
+// also covers their own arbitration scratch reuse end to end.
+func TestRunSteadyStateAllocs(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func() Switch
+	}{
+		{"2D64", func() Switch { return crossbar.New(64) }},
+		{"HiRiseCLRG", func() Switch { return hirise(t, 4, topo.CLRG) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			allocs := func(cycles int64) float64 {
+				return testing.AllocsPerRun(3, func() {
+					if _, err := Run(Config{
+						Switch:  tc.mk(),
+						Traffic: traffic.Uniform{Radix: 64},
+						Load:    0.3, Warmup: 500, Measure: cycles, Seed: 7,
+					}); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+			short, long := allocs(2000), allocs(8000)
+			// Both runs pay identical setup; a small slack absorbs
+			// runtime-internal noise without masking a per-cycle leak,
+			// which would show up as thousands of extra allocations.
+			if long > short+2 {
+				t.Errorf("6000 extra cycles allocated %.0f extra times (%.0f -> %.0f); hot loop no longer allocation-free",
+					long-short, short, long)
+			}
+		})
+	}
+}

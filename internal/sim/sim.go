@@ -167,9 +167,39 @@ type packet struct {
 	dest  int
 }
 
+// fifo is a fixed-capacity ring buffer of packets. The source queue
+// needs bounded FIFO semantics only; a ring keeps the whole run on one
+// allocation, where a rolling slice (q = q[1:] plus append) re-allocates
+// every time the live window drifts off the end of its backing array.
+type fifo struct {
+	buf  []packet
+	head int
+	n    int
+}
+
+func (q *fifo) full() bool { return q.n == len(q.buf) }
+
+func (q *fifo) push(p packet) {
+	i := q.head + q.n
+	if i >= len(q.buf) {
+		i -= len(q.buf)
+	}
+	q.buf[i] = p
+	q.n++
+}
+
+func (q *fifo) pop() packet {
+	p := q.buf[q.head]
+	if q.head++; q.head == len(q.buf) {
+		q.head = 0
+	}
+	q.n--
+	return p
+}
+
 type port struct {
 	rng  *prng.Source
-	srcQ []packet // FIFO, bounded by SourceQueueCap
+	srcQ fifo     // FIFO, bounded by SourceQueueCap
 	vc   []packet // one packet per occupied VC
 	vcOk []bool
 	rr   int // round-robin VC pointer
@@ -205,10 +235,11 @@ func Run(cfg Config) (Result, error) {
 	cfg.Obs.Gauge("sim.offered.load").Set(cfg.Load)
 
 	root := prng.New(cfg.Seed)
-	ports := make([]*port, n)
+	ports := make([]port, n)
 	for i := range ports {
-		ports[i] = &port{
+		ports[i] = port{
 			rng:  root.Split(),
+			srcQ: fifo{buf: make([]packet, cfg.SourceQueueCap)},
 			vc:   make([]packet, cfg.VCs),
 			vcOk: make([]bool, cfg.VCs),
 		}
@@ -233,7 +264,8 @@ func Run(cfg Config) (Result, error) {
 		// the priority-bus reuse (arbitration cannot overlap data on the
 		// same output).
 		releases = releases[:0]
-		for in, p := range ports {
+		for in := range ports {
+			p := &ports[in]
 			if !p.connected {
 				continue
 			}
@@ -261,7 +293,8 @@ func Run(cfg Config) (Result, error) {
 
 		// 2. Build requests from unconnected inputs with waiting packets,
 		// selecting the candidate VC round-robin.
-		for in, p := range ports {
+		for in := range ports {
+			p := &ports[in]
 			req[in] = -1
 			if p.connected {
 				continue
@@ -280,7 +313,7 @@ func Run(cfg Config) (Result, error) {
 		// 3. Arbitrate and start new connections (flits flow on the
 		// following cycles).
 		for _, g := range cfg.Switch.Arbitrate(req) {
-			p := ports[g.In]
+			p := &ports[g.In]
 			p.connected = true
 			p.remaining = cfg.PacketFlits
 			mWins.Inc()
@@ -289,8 +322,8 @@ func Run(cfg Config) (Result, error) {
 		if cfg.Obs != nil {
 			// A requesting input left unconnected lost its arbitration
 			// round (to a contender, a busy output, or a busy channel).
-			for in, p := range ports {
-				if req[in] >= 0 && !p.connected {
+			for in := range ports {
+				if req[in] >= 0 && !ports[in].connected {
 					mLosses.Inc()
 					rec.Record(cycle, obs.EvArbLose, in, req[in], 0)
 				}
@@ -303,16 +336,17 @@ func Run(cfg Config) (Result, error) {
 		}
 
 		// 5. Inject new packets and refill VCs from the source queue.
-		for in, p := range ports {
+		for in := range ports {
+			p := &ports[in]
 			if dest, ok := cfg.Traffic.Next(in, cycle, cfg.Load, p.rng); ok {
-				if len(p.srcQ) >= cfg.SourceQueueCap {
+				if p.srcQ.full() {
 					if measuring {
 						dropped++
 					}
 					mDropped.Inc()
 					rec.Record(cycle, obs.EvDrop, in, dest, 0)
 				} else {
-					p.srcQ = append(p.srcQ, packet{birth: cycle, dest: dest})
+					p.srcQ.push(packet{birth: cycle, dest: dest})
 					if measuring {
 						injected++
 					}
@@ -320,10 +354,9 @@ func Run(cfg Config) (Result, error) {
 					rec.Record(cycle, obs.EvInject, in, dest, 0)
 				}
 			}
-			for v := 0; v < cfg.VCs && len(p.srcQ) > 0; v++ {
+			for v := 0; v < cfg.VCs && p.srcQ.n > 0; v++ {
 				if !p.vcOk[v] {
-					p.vc[v] = p.srcQ[0]
-					p.srcQ = p.srcQ[1:]
+					p.vc[v] = p.srcQ.pop()
 					p.vcOk[v] = true
 					rec.Record(cycle, obs.EvVCAlloc, in, p.vc[v].dest, v)
 				}

@@ -1,6 +1,11 @@
 package xpoint
 
-import "github.com/reprolab/hirise/internal/obs"
+import (
+	"math/bits"
+
+	"github.com/reprolab/hirise/internal/bitvec"
+	"github.com/reprolab/hirise/internal/obs"
+)
 
 // CLRGColumn is the bit-level inter-layer sub-block cross-point
 // arrangement of paper Fig 7: one cross-point per contending line (the
@@ -9,12 +14,16 @@ import "github.com/reprolab/hirise/internal/obs"
 // segments on the reused output bus, priority-select muxes (PSMs) that
 // inhibit lower classes, and a polling mux (Mux2) that picks each
 // line's own wire within its class group.
+//
+// The classes*lines priority wires are modeled as one bitset per class
+// group, so a PSM pulling a whole lower-priority group low is a single
+// Zero and the in-class LRG pull-downs are one AND-NOT per requestor.
 type CLRGColumn struct {
 	lines    int
 	classes  int
-	counters []uint8  // per primary input, thermometer-coded value
-	pri      [][]bool // LRG matrix over lines
-	wires    []bool   // classes*lines priority wires, true = precharged
+	counters []uint8      // per primary input, thermometer-coded value
+	pri      []bitvec.Vec // LRG matrix over lines, one row bitset per line
+	wires    []bitvec.Vec // per class: its group of priority wires, set = precharged
 	connect  []bool
 	audit    *obs.FairnessAudit
 }
@@ -30,15 +39,18 @@ func NewCLRGColumn(lines, inputs, classes int) *CLRGColumn {
 		lines:    lines,
 		classes:  classes,
 		counters: make([]uint8, inputs),
-		pri:      make([][]bool, lines),
-		wires:    make([]bool, classes*lines),
+		pri:      make([]bitvec.Vec, lines),
+		wires:    make([]bitvec.Vec, classes),
 		connect:  make([]bool, lines),
 	}
 	for i := range c.pri {
-		c.pri[i] = make([]bool, lines)
+		c.pri[i] = bitvec.New(lines)
 		for j := i + 1; j < lines; j++ {
-			c.pri[i][j] = true
+			c.pri[i].Set(j)
 		}
+	}
+	for k := range c.wires {
+		c.wires[k] = bitvec.New(lines)
 	}
 	return c
 }
@@ -59,16 +71,16 @@ func (c *CLRGColumn) SetAudit(a *obs.FairnessAudit) { c.audit = a }
 // of the 128-bit bus for 13 lines x 3 classes).
 func (c *CLRGColumn) PriorityLinesUsed() int { return c.classes * c.lines }
 
-// Arbitrate runs one arbitration phase. req[line] marks lines whose
-// L2LC (or intermediate output) carries a request for this output;
-// inputOf[line] is the primary input that line presents (its local
-// winner, selected by Mux1 in hardware). Returns the winning line or
-// -1, committing LRG and counter updates for the winner.
-func (c *CLRGColumn) Arbitrate(req []bool, inputOf []int) int {
+// Arbitrate runs one arbitration phase. Set bits of req mark lines
+// whose L2LC (or intermediate output) carries a request for this
+// output; inputOf[line] is the primary input that line presents (its
+// local winner, selected by Mux1 in hardware). Returns the winning line
+// or -1, committing LRG and counter updates for the winner.
+func (c *CLRGColumn) Arbitrate(req bitvec.Vec, inputOf []int) int {
 	// Precharge every class-grouped priority wire and clear the
 	// connectivity bits.
-	for i := range c.wires {
-		c.wires[i] = true
+	for k := range c.wires {
+		c.wires[k].SetFirstN(c.lines)
 	}
 	for i := range c.connect {
 		c.connect[i] = false
@@ -78,41 +90,39 @@ func (c *CLRGColumn) Arbitrate(req []bool, inputOf []int) int {
 	// groups. Lower-priority classes (larger counter values) are pulled
 	// down wholesale; the cross-point's own class group receives its
 	// LRG pull-downs; higher-priority groups are left precharged.
-	for i := 0; i < c.lines; i++ {
-		if !req[i] {
-			continue
-		}
-		ci := int(c.counters[inputOf[i]])
-		for k := ci + 1; k < c.classes; k++ {
-			for j := 0; j < c.lines; j++ {
-				c.wires[k*c.lines+j] = false
+	for w, word := range req {
+		for word != 0 {
+			i := w<<6 | bits.TrailingZeros64(word)
+			word &= word - 1
+			ci := int(c.counters[inputOf[i]])
+			for k := ci + 1; k < c.classes; k++ {
+				c.wires[k].Zero()
 			}
-		}
-		for j := 0; j < c.lines; j++ {
-			if c.pri[i][j] {
-				c.wires[ci*c.lines+j] = false
-			}
+			c.wires[ci].AndNot(c.pri[i])
 		}
 	}
 
 	// Sense: each line polls, via Mux2, its own wire within its class
 	// group; a surviving high wire latches the connectivity bit.
 	winner := -1
-	for i := 0; i < c.lines; i++ {
-		if !req[i] {
-			continue
-		}
-		ci := int(c.counters[inputOf[i]])
-		if c.wires[ci*c.lines+i] {
-			if winner >= 0 {
-				panic("xpoint: two CLRG connectivity bits latched")
+	for w, word := range req {
+		for word != 0 {
+			i := w<<6 | bits.TrailingZeros64(word)
+			word &= word - 1
+			ci := int(c.counters[inputOf[i]])
+			if c.wires[ci].Get(i) {
+				if winner >= 0 {
+					panic("xpoint: two CLRG connectivity bits latched")
+				}
+				winner = i
 			}
-			winner = i
 		}
 	}
 	if c.audit != nil {
-		for i := 0; i < c.lines; i++ {
-			if req[i] {
+		for w, word := range req {
+			for word != 0 {
+				i := w<<6 | bits.TrailingZeros64(word)
+				word &= word - 1
 				in := inputOf[i]
 				c.audit.Observe(in, int(c.counters[in]), i == winner)
 			}
@@ -126,10 +136,10 @@ func (c *CLRGColumn) Arbitrate(req []bool, inputOf []int) int {
 	// LRG is updated even on cycles decided purely by class (paper
 	// §III-B4), and the winning primary input's counter increments; a
 	// saturating counter halves every counter in the sub-block.
+	c.pri[winner].Zero()
 	for j := 0; j < c.lines; j++ {
 		if j != winner {
-			c.pri[winner][j] = false
-			c.pri[j][winner] = true
+			c.pri[j].Set(winner)
 		}
 	}
 	in := inputOf[winner]

@@ -3,6 +3,7 @@ package xpoint
 import (
 	"testing"
 
+	"github.com/reprolab/hirise/internal/bitvec"
 	"github.com/reprolab/hirise/internal/crossbar"
 	"github.com/reprolab/hirise/internal/prng"
 )
@@ -25,7 +26,7 @@ func TestColumnsReproduceFlat2DSwitch(t *testing.T) {
 	for i := range held {
 		held[i] = -1
 	}
-	mask := make([]bool, n)
+	mask := bitvec.New(n)
 
 	src := prng.New(321)
 	req := make([]int, n)
@@ -44,12 +45,13 @@ func TestColumnsReproduceFlat2DSwitch(t *testing.T) {
 			if outBusy[o] {
 				continue
 			}
-			any := false
+			mask.Zero()
 			for i := 0; i < n; i++ {
-				mask[i] = req[i] == o && held[i] < 0
-				any = any || mask[i]
+				if req[i] == o && held[i] < 0 {
+					mask.Set(i)
+				}
 			}
-			if !any {
+			if mask.None() {
 				continue
 			}
 			if w := cols[o].Arbitrate(mask); w >= 0 {

@@ -3,6 +3,7 @@ package xpoint
 import (
 	"fmt"
 
+	"github.com/reprolab/hirise/internal/bitvec"
 	"github.com/reprolab/hirise/internal/obs"
 	"github.com/reprolab/hirise/internal/topo"
 )
@@ -35,11 +36,11 @@ type Switch struct {
 	outIn    []int
 	chBusy   []bool
 
-	intermReq [][]bool
-	chReq     [][]bool
+	intermReq []bitvec.Vec
+	chReq     []bitvec.Vec
 	intermWin []int
 	chWin     []int
-	lineReq   []bool
+	lineReq   bitvec.Vec
 	lineInput []int
 	lineCh    []int
 }
@@ -72,11 +73,11 @@ func NewSwitch(cfg topo.Config) (*Switch, error) {
 		heldLine:  make([]int, n),
 		outIn:     make([]int, n),
 		chBusy:    make([]bool, cfg.NumL2LC()),
-		intermReq: make([][]bool, n),
-		chReq:     make([][]bool, cfg.NumL2LC()),
+		intermReq: make([]bitvec.Vec, n),
+		chReq:     make([]bitvec.Vec, cfg.NumL2LC()),
 		intermWin: make([]int, n),
 		chWin:     make([]int, cfg.NumL2LC()),
-		lineReq:   make([]bool, lines),
+		lineReq:   bitvec.New(lines),
 		lineInput: make([]int, lines),
 		lineCh:    make([]int, lines),
 	}
@@ -87,7 +88,7 @@ func NewSwitch(cfg topo.Config) (*Switch, error) {
 	}
 	for o := 0; o < n; o++ {
 		s.interCols[o] = NewColumn(ports)
-		s.intermReq[o] = make([]bool, ports)
+		s.intermReq[o] = bitvec.New(ports)
 		if s.subCLRG != nil {
 			s.subCLRG[o] = NewCLRGColumn(lines, n, cfg.Classes)
 		} else {
@@ -100,7 +101,7 @@ func NewSwitch(cfg topo.Config) (*Switch, error) {
 	}
 	for c := range s.chCols {
 		s.chCols[c] = NewColumn(ports)
-		s.chReq[c] = make([]bool, ports)
+		s.chReq[c] = bitvec.New(ports)
 	}
 	return s, nil
 }
@@ -132,14 +133,10 @@ func (s *Switch) lineFor(d, src, ch int) int {
 func (s *Switch) Arbitrate(req []int) []topo.Grant {
 	cfg := s.cfg
 	for o := range s.intermReq {
-		for i := range s.intermReq[o] {
-			s.intermReq[o][i] = false
-		}
+		s.intermReq[o].Zero()
 	}
 	for c := range s.chReq {
-		for i := range s.chReq[c] {
-			s.chReq[c][i] = false
-		}
+		s.chReq[c].Zero()
 	}
 	for in, o := range req {
 		if o < 0 || s.heldOut[in] >= 0 || s.outIn[o] >= 0 {
@@ -148,12 +145,12 @@ func (s *Switch) Arbitrate(req []int) []topo.Grant {
 		l, li := cfg.LayerOf(in), cfg.LocalIndex(in)
 		d := cfg.LayerOf(o)
 		if d == l {
-			s.intermReq[o][li] = true
+			s.intermReq[o].Set(li)
 			continue
 		}
 		cid := cfg.L2LCID(l, d, cfg.ChannelFor(in, o))
 		if !s.chBusy[cid] {
-			s.chReq[cid][li] = true
+			s.chReq[cid].Set(li)
 		}
 	}
 
@@ -182,10 +179,7 @@ func (s *Switch) Arbitrate(req []int) []topo.Grant {
 			continue
 		}
 		d := cfg.LayerOf(o)
-		any := false
-		for i := 0; i < lines; i++ {
-			s.lineReq[i] = false
-		}
+		s.lineReq.Zero()
 		for src := 0; src < cfg.Layers; src++ {
 			if src == d {
 				continue
@@ -201,20 +195,18 @@ func (s *Switch) Arbitrate(req []int) []topo.Grant {
 					continue
 				}
 				line := s.lineFor(d, src, ch)
-				s.lineReq[line] = true
+				s.lineReq.Set(line)
 				s.lineInput[line] = gi
 				s.lineCh[line] = cid
-				any = true
 			}
 		}
 		if w := s.intermWin[o]; w >= 0 {
 			line := lines - 1
-			s.lineReq[line] = true
+			s.lineReq.Set(line)
 			s.lineInput[line] = cfg.Port(d, w)
 			s.lineCh[line] = -1
-			any = true
 		}
-		if !any {
+		if s.lineReq.None() {
 			continue
 		}
 		var win int
@@ -237,7 +229,7 @@ func (s *Switch) Arbitrate(req []int) []topo.Grant {
 		// Losing local winners' connectivity bits must not gate data;
 		// only the final winner's path stays connected.
 		for i := 0; i < lines; i++ {
-			if i != win && s.lineReq[i] {
+			if i != win && s.lineReq.Get(i) {
 				if cid := s.lineCh[i]; cid >= 0 {
 					s.chCols[cid].Disconnect(cfg.LocalIndex(s.lineInput[i]))
 				} else {

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"github.com/reprolab/hirise/internal/bitvec"
 	"github.com/reprolab/hirise/internal/core"
 	"github.com/reprolab/hirise/internal/prng"
 	"github.com/reprolab/hirise/internal/topo"
@@ -128,9 +129,9 @@ func TestColumnEvaluateDoesNotMutate(t *testing.T) {
 		src := prng.New(seed)
 		n := 2 + src.Intn(10)
 		c := NewColumn(n)
-		r := make([]bool, n)
-		for i := range r {
-			r[i] = src.Bernoulli(0.5)
+		r := bitvec.New(n)
+		for i := 0; i < n; i++ {
+			r.SetTo(i, src.Bernoulli(0.5))
 		}
 		a := c.Evaluate(r)
 		b := c.Evaluate(r)

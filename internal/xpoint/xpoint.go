@@ -12,23 +12,35 @@
 // That equivalence is the evidence that the behavioural models used by
 // the simulator really do describe the silicon mechanism the paper
 // builds.
+//
+// Request vectors and priority rows are word-parallel bitsets
+// (internal/bitvec): a cross-point's whole row of pull-down transistors
+// discharges its priority lines in one AND-NOT per word, which is the
+// software rendering of the circuit's single-cycle bit-parallel
+// evaluate phase.
 package xpoint
+
+import (
+	"math/bits"
+
+	"github.com/reprolab/hirise/internal/bitvec"
+)
 
 // Column is one output column of a matrix Swizzle-Switch: n cross-points
 // (one per input row) sharing the output bus, which doubles as n
 // precharged priority lines during the arbitration phase.
 //
-// Each cross-point i stores a priority vector pri[i]: pri[i][j] set means
-// input i has priority over input j for this output. During arbitration,
-// every requesting cross-point pulls down the priority lines of the
-// inputs it beats; a requestor whose own line stays high wins, sets its
-// connectivity bit through the sense-amp latch, and the column commits
-// the LRG update (winner loses to everyone).
+// Each cross-point i stores a priority vector pri[i]: bit j of pri[i]
+// set means input i has priority over input j for this output. During
+// arbitration, every requesting cross-point pulls down the priority
+// lines of the inputs it beats; a requestor whose own line stays high
+// wins, sets its connectivity bit through the sense-amp latch, and the
+// column commits the LRG update (winner loses to everyone).
 type Column struct {
 	n       int
-	pri     [][]bool
+	pri     []bitvec.Vec
 	connect []bool
-	lines   []bool // scratch: priority lines, true = precharged high
+	lines   bitvec.Vec // scratch: priority lines, set = precharged high
 }
 
 // NewColumn returns a column over n inputs with initial priority order
@@ -36,14 +48,14 @@ type Column struct {
 func NewColumn(n int) *Column {
 	c := &Column{
 		n:       n,
-		pri:     make([][]bool, n),
+		pri:     make([]bitvec.Vec, n),
 		connect: make([]bool, n),
-		lines:   make([]bool, n),
+		lines:   bitvec.New(n),
 	}
 	for i := range c.pri {
-		c.pri[i] = make([]bool, n)
+		c.pri[i] = bitvec.New(n)
 		for j := i + 1; j < n; j++ {
-			c.pri[i][j] = true
+			c.pri[i].Set(j)
 		}
 	}
 	return c
@@ -55,7 +67,7 @@ func NewColumn(n int) *Column {
 // update unconditionally; Hi-Rise local-switch columns instead call
 // Evaluate and commit with Update only when the inter-layer switch
 // back-propagates a final-output win (paper §III-B1).
-func (c *Column) Arbitrate(req []bool) int {
+func (c *Column) Arbitrate(req bitvec.Vec) int {
 	winner := c.Evaluate(req)
 	if winner >= 0 {
 		c.Update(winner)
@@ -65,34 +77,32 @@ func (c *Column) Arbitrate(req []bool) int {
 
 // Evaluate runs precharge + evaluate + latch without touching the
 // priority bits, returning the winner or -1.
-func (c *Column) Evaluate(req []bool) int {
+func (c *Column) Evaluate(req bitvec.Vec) int {
 	// Precharge: all priority lines high, connectivity bits cleared
 	// (the previous connection's release precedes re-arbitration).
-	for i := range c.lines {
-		c.lines[i] = true
+	c.lines.SetFirstN(c.n)
+	for i := range c.connect {
 		c.connect[i] = false
 	}
 	// Evaluate: every requesting cross-point's pull-down transistors
-	// discharge the lines of the inputs it beats.
-	for i := 0; i < c.n; i++ {
-		if !req[i] {
-			continue
-		}
-		for j := 0; j < c.n; j++ {
-			if c.pri[i][j] {
-				c.lines[j] = false
-			}
+	// discharge the lines of the inputs it beats — one word-parallel
+	// AND-NOT per requestor.
+	for w, word := range req {
+		for word != 0 {
+			i := w<<6 | bits.TrailingZeros64(word)
+			word &= word - 1
+			c.lines.AndNot(c.pri[i])
 		}
 	}
 	// Sense: a requestor whose own polled line stayed high latches its
 	// connectivity bit.
 	winner := -1
-	for i := 0; i < c.n; i++ {
-		if req[i] && c.lines[i] {
-			if winner >= 0 {
+	for w, word := range req {
+		if rem := word & c.lines[w]; rem != 0 {
+			if winner >= 0 || rem&(rem-1) != 0 {
 				panic("xpoint: two connectivity bits latched — priority matrix corrupt")
 			}
-			winner = i
+			winner = w<<6 | bits.TrailingZeros64(rem)
 		}
 	}
 	if winner < 0 {
@@ -106,10 +116,10 @@ func (c *Column) Evaluate(req []bool) int {
 // its row clears (beats nobody) and its column sets in every other
 // cross-point (everybody beats it).
 func (c *Column) Update(winner int) {
+	c.pri[winner].Zero()
 	for j := 0; j < c.n; j++ {
 		if j != winner {
-			c.pri[winner][j] = false
-			c.pri[j][winner] = true
+			c.pri[j].Set(winner)
 		}
 	}
 }

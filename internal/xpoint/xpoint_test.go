@@ -5,13 +5,14 @@ import (
 	"testing/quick"
 
 	"github.com/reprolab/hirise/internal/arb"
+	"github.com/reprolab/hirise/internal/bitvec"
 	"github.com/reprolab/hirise/internal/prng"
 )
 
-func req(n int, set ...int) []bool {
-	r := make([]bool, n)
+func req(n int, set ...int) bitvec.Vec {
+	r := bitvec.New(n)
 	for _, i := range set {
-		r[i] = true
+		r.Set(i)
 	}
 	return r
 }
@@ -62,11 +63,13 @@ func TestColumnMatchesBehaviouralLRG(t *testing.T) {
 		n := 2 + src.Intn(15)
 		col, ref := NewColumn(n), arb.NewLRG(n)
 		r := make([]bool, n)
+		rv := bitvec.New(n)
 		for step := 0; step < 400; step++ {
 			for i := range r {
 				r[i] = src.Bernoulli(0.4)
 			}
-			a := col.Arbitrate(r)
+			rv.FromBools(r)
+			a := col.Arbitrate(rv)
 			b := ref.Grant(r)
 			if a != b {
 				return false
@@ -118,6 +121,7 @@ func TestCLRGColumnMatchesBehaviouralCLRG(t *testing.T) {
 		col := NewCLRGColumn(lines, inputs, classes)
 		ref := arb.NewCLRG(lines, inputs, classes)
 		r := make([]bool, lines)
+		rv := bitvec.New(lines)
 		inputOf := make([]int, lines)
 		for step := 0; step < 400; step++ {
 			for i := range r {
@@ -125,7 +129,8 @@ func TestCLRGColumnMatchesBehaviouralCLRG(t *testing.T) {
 				// Each line presents one of its binned inputs.
 				inputOf[i] = (i + lines*src.Intn(inputs/lines)) % inputs
 			}
-			a := col.Arbitrate(r, inputOf)
+			rv.FromBools(r)
+			a := col.Arbitrate(rv, inputOf)
 			b := ref.Grant(r, inputOf)
 			if a != b {
 				return false
@@ -160,11 +165,11 @@ func TestCLRGColumnFig7LineBudget(t *testing.T) {
 func TestCLRGColumnConnectivityExclusive(t *testing.T) {
 	src := prng.New(12)
 	c := NewCLRGColumn(13, 64, 3)
-	r := make([]bool, 13)
+	r := bitvec.New(13)
 	inputOf := make([]int, 13)
 	for step := 0; step < 2000; step++ {
-		for i := range r {
-			r[i] = src.Bernoulli(0.6)
+		for i := 0; i < 13; i++ {
+			r.SetTo(i, src.Bernoulli(0.6))
 			inputOf[i] = src.Intn(64)
 		}
 		w := c.Arbitrate(r, inputOf) // panics internally on double latch
@@ -191,10 +196,24 @@ func TestCLRGColumnRejectsBadClasses(t *testing.T) {
 
 func BenchmarkColumnArbitrate64(b *testing.B) {
 	c := NewColumn(64)
-	r := make([]bool, 64)
+	r := bitvec.New(64)
 	for i := 0; i < 64; i += 2 {
-		r[i] = true
+		r.Set(i)
 	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Arbitrate(r)
+	}
+}
+
+func BenchmarkColumnArbitrate128(b *testing.B) {
+	c := NewColumn(128)
+	r := bitvec.New(128)
+	for i := 0; i < 128; i += 2 {
+		r.Set(i)
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Arbitrate(r)
@@ -203,12 +222,15 @@ func BenchmarkColumnArbitrate64(b *testing.B) {
 
 func BenchmarkCLRGColumnArbitrate13(b *testing.B) {
 	c := NewCLRGColumn(13, 64, 3)
-	r := make([]bool, 13)
+	r := bitvec.New(13)
 	inputOf := make([]int, 13)
-	for i := range r {
-		r[i] = i%2 == 0
+	for i := 0; i < 13; i++ {
+		if i%2 == 0 {
+			r.Set(i)
+		}
 		inputOf[i] = i * 4
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Arbitrate(r, inputOf)
