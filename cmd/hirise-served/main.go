@@ -46,6 +46,8 @@ func main() {
 			"max concurrent simulations per job; output is byte-identical at any value")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second,
 			"how long a shutdown waits for in-flight jobs before cancelling them")
+		jobTimeout = flag.Duration("job-timeout", 0,
+			"per-job wall-clock limit; jobs past it end in the \"timeout\" state (0 = unlimited)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -63,6 +65,7 @@ func main() {
 		QueueDepth: *queue,
 		Workers:    *workers,
 		SimWorkers: *parallel,
+		JobTimeout: *jobTimeout,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hirise-served: %v\n", err)

@@ -8,6 +8,11 @@
 //	hirise-sim -design 2d -traffic hotspot -load 0.002 -perinput
 //	hirise-sim -design hirise -channels 1 -scheme l2l -traffic adversarial -load 1
 //
+// Fault injection (hirise design only; deterministic in the fault seed):
+//
+//	hirise-sim -fail-channels 8 -load 1 -check
+//	hirise-sim -fault-rate 0.0005 -fault-repair 64 -sweep 0.05:0.3:0.05 -check
+//
 // Observability (all output to side files or stderr; stdout is
 // byte-identical to an unobserved run):
 //
@@ -90,6 +95,13 @@ func main() {
 		storeDir = flag.String("store", "",
 			"cache stdout in this content-addressed result store; repeated runs replay byte-identically (bypassed when any obs flag is set)")
 
+		// Fault plane: deterministic seeded fault injection (hirise only).
+		faultSeed = flag.Uint64("fault-seed", 0, "fault-plane seed (0 = use -seed)")
+		failCh    = flag.Int("fail-channels", 0, "permanently fail this many L2LCs, chosen deterministically from the fault seed")
+		faultRate = flag.Float64("fault-rate", 0, "per-channel transient outage probability per cycle (lossy links; sources retransmit)")
+		faultRep  = flag.Int64("fault-repair", 0, "mean transient outage length in cycles (0 = default)")
+		check     = flag.Bool("check", false, "run the self-checking invariant layer (failed-resource grants and flit conservation)")
+
 		// Observability: switch-internals sinks, written to side files.
 		traceJSONL  = flag.String("trace-jsonl", "", "write flit lifecycle events as JSON Lines to this file")
 		traceChrome = flag.String("trace-chrome", "", "write flit lifecycle events as Chrome trace-event JSON (load in ui.perfetto.dev) to this file")
@@ -162,6 +174,31 @@ func main() {
 	default:
 		fail("unknown design %q", *design)
 	}
+	// Fault plane: build the plan once (it is immutable and shared by
+	// concurrent sweep points). Only the Hi-Rise design has L2LCs to
+	// fault. With no fault flags set, faultPlan stays nil and every code
+	// path below — including stdout — is identical to a fault-free build.
+	var faultPlan *hirise.FaultPlan
+	if *failCh > 0 || *faultRate > 0 {
+		if strings.ToLower(*design) != "hirise" {
+			fail("fault injection needs -design hirise (the %s design has no L2LCs)", *design)
+		}
+		fseed := *faultSeed
+		if fseed == 0 {
+			fseed = *seed
+		}
+		plan, err := hirise.FaultSpec{
+			Seed: fseed, Campaign: "hirise-sim", Cfg: cfg,
+			FailChannels:  *failCh,
+			TransientRate: *faultRate, RepairMean: *faultRep,
+			Horizon: *warmup + *measure,
+		}.Build()
+		if err != nil {
+			fail("%v", err)
+		}
+		faultPlan = plan
+	}
+
 	makeSwitch := func() hirise.SimSwitch {
 		switch strings.ToLower(*design) {
 		case "2d":
@@ -306,6 +343,7 @@ func main() {
 		results, err := hirise.LoadSweepObserved(hirise.SimConfig{
 			PacketFlits: *flits, VCs: *vcs,
 			Warmup: *warmup, Measure: *measure, Seed: *seed,
+			Faults: faultPlan, Check: *check,
 			Ctx: ctx,
 		}, countedMakeSwitch, makeTraffic, loads, *workers, obsFor)
 		stopHB()
@@ -315,16 +353,25 @@ func main() {
 		if obsFor != nil {
 			writeObsOutputs(observers, loads)
 		}
-		fmt.Fprintf(w, "%-14s %-12s %-12s %-10s %-8s %s\n",
+		fmt.Fprintf(w, "%-14s %-12s %-12s %-10s %-8s %s",
 			"load(pkt/cyc)", "load(pkt/ns)", "tput(pkt/ns)", "lat(ns)", "p99(cyc)", "state")
+		if faultPlan != nil {
+			fmt.Fprintf(w, "      faults(drop/retx/lost)")
+		}
+		fmt.Fprintln(w)
 		for i, res := range results {
 			state := "ok"
 			if res.Saturated() {
 				state = "saturated"
 			}
-			fmt.Fprintf(w, "%-14.4f %-12.4f %-12.2f %-10.2f %-8.0f %s\n",
+			fmt.Fprintf(w, "%-14.4f %-12.4f %-12.2f %-10.2f %-8.0f %s",
 				loads[i], loads[i]*cost.FreqGHz, res.AcceptedPackets*cost.FreqGHz,
 				res.AvgLatency*cost.CycleNS(), res.P99Latency, state)
+			if fs := res.Fault; fs != nil {
+				fmt.Fprintf(w, "%*s %d/%d/%d", 9-len(state), "",
+					fs.FlitsDropped, fs.Retransmissions, fs.RetryExhausted+fs.DeadFlows)
+			}
+			fmt.Fprintln(w)
 		}
 		return nil
 	}
@@ -340,6 +387,7 @@ func main() {
 			Switch: sw, Traffic: traf, Load: *load,
 			PacketFlits: *flits, VCs: *vcs,
 			Warmup: *warmup, Measure: *measure, Seed: *seed,
+			Faults: faultPlan, Check: *check,
 			Obs: observer, Ctx: ctx,
 		})
 		stopHB()
@@ -363,6 +411,11 @@ func main() {
 		fmt.Fprintf(w, "packets     injected %d, delivered %d, dropped-at-source %d%s\n",
 			res.Injected, res.Delivered, res.DroppedInjections,
 			map[bool]string{true: "  (saturated)", false: ""}[res.Saturated()])
+		if fs := res.Fault; fs != nil {
+			fmt.Fprintf(w, "faults      plan %d, applied %d fail / %d repair; flits dropped %d, retransmitted %d, retry-exhausted %d, dead flows %d\n",
+				faultPlan.Len(), fs.FailEvents, fs.RepairEvents,
+				fs.FlitsDropped, fs.Retransmissions, fs.RetryExhausted, fs.DeadFlows)
+		}
 		if *perInput {
 			fmt.Fprintln(w, "\ninput  latency(cycles)  packets/cycle")
 			for i := range res.PerInputLatency {
@@ -398,6 +451,11 @@ func main() {
 			PerInput                         bool
 			Warmup, Measure                  int64
 			Seed                             uint64
+			FaultSeed                        uint64
+			FailChannels                     int
+			FaultRate                        float64
+			FaultRepair                      int64
+			Check                            bool
 		}{
 			strings.ToLower(*design), strings.ToLower(*scheme), strings.ToLower(*alloc), strings.ToLower(*pattern),
 			*radix, *layers, *channels, *classes,
@@ -407,6 +465,11 @@ func main() {
 			*perInput,
 			*warmup, *measure,
 			*seed,
+			*faultSeed,
+			*failCh,
+			*faultRate,
+			*faultRep,
+			*check,
 		})
 		if kerr != nil {
 			fail("%v", kerr)

@@ -33,6 +33,7 @@ import (
 	"github.com/reprolab/hirise/internal/core"
 	"github.com/reprolab/hirise/internal/crossbar"
 	"github.com/reprolab/hirise/internal/experiments"
+	"github.com/reprolab/hirise/internal/fault"
 	"github.com/reprolab/hirise/internal/manycore"
 	"github.com/reprolab/hirise/internal/noc"
 	"github.com/reprolab/hirise/internal/obs"
@@ -174,6 +175,39 @@ func LoadSweep(base SimConfig, newSwitch func() SimSwitch, newTraffic func() Tra
 func LoadSweepObserved(base SimConfig, newSwitch func() SimSwitch, newTraffic func() TrafficPattern, loads []float64, workers int, obsFor func(i int) *Observer) ([]SimResult, error) {
 	return sim.LoadSweepObserved(base, newSwitch, newTraffic, loads, workers, obsFor)
 }
+
+// Fault injection & resilience (internal/fault): deterministic seeded
+// fault plans attached via SimConfig.Faults, with the self-checking
+// invariant layer enabled by SimConfig.Check.
+type (
+	// Fault is one scheduled resource fault (permanent or transient).
+	Fault = fault.Fault
+	// FaultKind selects the faulted resource class.
+	FaultKind = fault.Kind
+	// FaultPlan is an immutable, validated fault schedule.
+	FaultPlan = fault.Plan
+	// FaultSpec derives a deterministic fault plan from a seed and a
+	// campaign name.
+	FaultSpec = fault.Spec
+	// FaultStats reports a run's fault-plane activity (SimResult.Fault).
+	FaultStats = sim.FaultStats
+)
+
+// Fault kinds.
+const (
+	// FaultChannel faults a layer-to-layer channel (lossy when
+	// transient, fail-stop when permanent).
+	FaultChannel = fault.Channel
+	// FaultInput fail-stops an input port.
+	FaultInput = fault.Input
+	// FaultOutput fail-stops an output port.
+	FaultOutput = fault.Output
+	// FaultCrosspoint fail-stops one crossbar cross-point.
+	FaultCrosspoint = fault.Crosspoint
+)
+
+// NewFaultPlan validates and orders the given faults into a plan.
+func NewFaultPlan(faults ...Fault) (*FaultPlan, error) { return fault.NewPlan(faults...) }
 
 // Observability (internal/obs): deterministic switch-internals metrics,
 // flit-lifecycle tracing, and arbitration fairness auditing. Attach an

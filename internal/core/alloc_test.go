@@ -70,6 +70,40 @@ func TestArbitrateZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestArbitrateZeroAllocsWithFaults extends the zero-alloc pin to the
+// fault-mask path: with failed channels, inputs, and outputs active
+// (masks allocated up front by the Fail* calls), the per-cycle AndNot
+// masking must not allocate either.
+func TestArbitrateZeroAllocsWithFaults(t *testing.T) {
+	for _, radix := range []int{64, 128} {
+		for _, scheme := range []topo.Scheme{topo.L2LLRG, topo.WLRG, topo.CLRG} {
+			cfg := topo.Default64()
+			cfg.Radix = radix
+			cfg.Scheme = scheme
+			sw, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sw.FailChannel(cfg.L2LCID(0, 3, 1)); err != nil {
+				t.Fatal(err)
+			}
+			if err := sw.FailInput(radix / 2); err != nil {
+				t.Fatal(err)
+			}
+			if err := sw.FailOutput(radix - 1); err != nil {
+				t.Fatal(err)
+			}
+			workload := newArbWorkload(sw, prng.New(7))
+			workload(64)
+			if avg := testing.AllocsPerRun(50, func() {
+				workload(16)
+			}); avg != 0 {
+				t.Errorf("radix %d %v with faults: %v allocs per 16 arbitration cycles, want 0", radix, scheme, avg)
+			}
+		}
+	}
+}
+
 func benchArbitrate(b *testing.B, radix int) {
 	cfg := topo.Default64()
 	cfg.Radix = radix

@@ -150,3 +150,189 @@ func TestFailedChannelNeverGranted(t *testing.T) {
 		}
 	}
 }
+
+// TestFailHeldChannelDrains pins fail-stop semantics on a busy channel:
+// the in-flight connection keeps the channel through Release (mid-packet
+// flits are never dropped by a fault here), and only then does the fault
+// gate new arbitration.
+func TestFailHeldChannelDrains(t *testing.T) {
+	c := cfg(4, topo.CLRG)
+	s := mustNew(t, c)
+	// Input 0 (layer 0) to output 63 (layer 3): a cross-layer grant
+	// holding its binned channel.
+	g := s.Arbitrate(reqVec(64, map[int]int{0: 63}))
+	if len(g) != 1 {
+		t.Fatalf("no grant: %v", g)
+	}
+	held := s.HeldChannel(0)
+	if held < 0 {
+		t.Fatal("cross-layer grant holds no channel")
+	}
+	if err := s.FailChannel(held); err != nil {
+		t.Fatalf("failing the held channel: %v", err)
+	}
+	// Mid-packet: the connection still owns the channel and keeps
+	// carrying flits.
+	if s.HeldChannel(0) != held {
+		t.Fatalf("fault evicted the in-flight connection from channel %d", held)
+	}
+	if !s.ChannelFailed(held) {
+		t.Fatal("channel not marked failed")
+	}
+	// The packet finishes; from the next arbitration on, the channel is
+	// never granted again.
+	s.Release(0)
+	for cycle := 0; cycle < 200; cycle++ {
+		for _, gr := range s.Arbitrate(reqVec(64, map[int]int{0: 63, 1: 62})) {
+			if s.HeldChannel(gr.In) == held {
+				t.Fatalf("failed channel %d regranted after drain", held)
+			}
+			s.Release(gr.In)
+		}
+	}
+}
+
+// TestRestoreChannelRejoins: a restored channel is granted again.
+func TestRestoreChannelRejoins(t *testing.T) {
+	c := cfg(4, topo.L2LLRG)
+	s := mustNew(t, c)
+	dead := c.L2LCID(0, 3, 0) // input 0's binned channel toward layer 3
+	if err := s.FailChannel(dead); err != nil {
+		t.Fatal(err)
+	}
+	g := s.Arbitrate(reqVec(64, map[int]int{0: 63}))
+	if len(g) != 1 || s.HeldChannel(0) == dead {
+		t.Fatalf("failed channel still granted: %v held=%d", g, s.HeldChannel(0))
+	}
+	s.Release(0)
+	if err := s.RestoreChannel(dead); err != nil {
+		t.Fatal(err)
+	}
+	if s.ChannelFailed(dead) {
+		t.Fatal("channel still marked failed after restore")
+	}
+	g = s.Arbitrate(reqVec(64, map[int]int{0: 63}))
+	if len(g) != 1 || s.HeldChannel(0) != dead {
+		t.Fatalf("restored binned channel not granted: %v held=%d want %d", g, s.HeldChannel(0), dead)
+	}
+	if err := s.RestoreChannel(-1); err == nil {
+		t.Error("out-of-range restore accepted")
+	}
+}
+
+// TestFailedPortsNeverGranted drives random traffic with failed input
+// and output ports across every scheme and allocation policy: no grant
+// may ever touch a failed port, and survivors must not starve.
+func TestFailedPortsNeverGranted(t *testing.T) {
+	for _, scheme := range []topo.Scheme{topo.L2LLRG, topo.WLRG, topo.CLRG} {
+		for _, alloc := range []topo.AllocPolicy{topo.InputBinned, topo.OutputBinned, topo.PriorityBased} {
+			c := cfg(4, scheme)
+			c.Alloc = alloc
+			s := mustNew(t, c)
+			const deadIn, deadOut = 7, 40
+			if err := s.FailInput(deadIn); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.FailOutput(deadOut); err != nil {
+				t.Fatal(err)
+			}
+			if !s.InputFailed(deadIn) || !s.OutputFailed(deadOut) {
+				t.Fatal("port fault state wrong")
+			}
+			src := prng.New(41)
+			req := make([]int, 64)
+			wins := make([]int, 64)
+			for cycle := 0; cycle < 600; cycle++ {
+				for i := range req {
+					req[i] = -1
+					if src.Bernoulli(0.6) {
+						req[i] = src.Intn(64)
+					}
+				}
+				for _, g := range s.Arbitrate(req) {
+					if g.In == deadIn {
+						t.Fatalf("%v/%v: failed input %d granted", scheme, alloc, deadIn)
+					}
+					if g.Out == deadOut {
+						t.Fatalf("%v/%v: failed output %d granted", scheme, alloc, deadOut)
+					}
+					wins[g.In]++
+					if src.Bernoulli(0.5) {
+						s.Release(g.In)
+					}
+				}
+			}
+			for in, w := range wins {
+				if in != deadIn && w == 0 {
+					t.Errorf("%v/%v: survivor input %d starved", scheme, alloc, in)
+				}
+			}
+		}
+	}
+}
+
+// TestRestorePortsRejoin: restored ports win grants again and the fault
+// masks go quiescent.
+func TestRestorePortsRejoin(t *testing.T) {
+	s := mustNew(t, cfg(4, topo.CLRG))
+	if err := s.FailInput(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FailOutput(50); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RestoreInput(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RestoreOutput(50); err != nil {
+		t.Fatal(err)
+	}
+	if s.InputFailed(3) || s.OutputFailed(50) {
+		t.Fatal("ports still failed after restore")
+	}
+	g := s.Arbitrate(reqVec(64, map[int]int{3: 50}))
+	if len(g) != 1 || g[0].In != 3 || g[0].Out != 50 {
+		t.Fatalf("restored ports not granted: %v", g)
+	}
+}
+
+// TestPathBlocked covers the dead-flow predicate: same-layer paths never
+// block on channels, cross-layer paths block exactly when the layer
+// pair's channels are all failed, and failed ports always block.
+func TestPathBlocked(t *testing.T) {
+	c := cfg(2, topo.CLRG)
+	s := mustNew(t, c)
+	if s.PathBlocked(0, 63) {
+		t.Fatal("healthy cross-layer path blocked")
+	}
+	if s.PathBlocked(0, 1) {
+		t.Fatal("same-layer path blocked")
+	}
+	if !s.PathBlocked(-1, 0) || !s.PathBlocked(0, 64) {
+		t.Fatal("out-of-range path not blocked")
+	}
+	if err := s.FailInput(0); err != nil {
+		t.Fatal(err)
+	}
+	if !s.PathBlocked(0, 1) {
+		t.Fatal("failed input's path not blocked")
+	}
+	if err := s.RestoreInput(0); err != nil {
+		t.Fatal(err)
+	}
+	// The per-pair budget keeps one channel of a pair alive, so layer
+	// pairs can never fully block via FailChannel — but a failed output
+	// blocks every path into it.
+	if err := s.FailChannel(c.L2LCID(0, 3, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if s.PathBlocked(0, 63) {
+		t.Fatal("one healthy channel left, path should be open")
+	}
+	if err := s.FailOutput(63); err != nil {
+		t.Fatal(err)
+	}
+	if !s.PathBlocked(0, 63) {
+		t.Fatal("failed output's path not blocked")
+	}
+}

@@ -41,7 +41,17 @@ type Switch struct {
 	heldCh   []int  // per input: L2LC held, or -1
 	outIn    []int  // per output: holding input, or -1
 	chBusy   []bool // per L2LC
-	chFailed []bool // per L2LC: permanently out of service (TSV fault)
+	chFailed []bool // per L2LC: out of service (TSV fault); see FailChannel
+
+	// Runtime port-fault state. inFailed masks the failed local inputs
+	// of each layer, outFailed the failed final outputs; both are
+	// lazily allocated by ensurePortFaults and applied to the request
+	// vectors with word-parallel AndNot. portFaults gates every
+	// fault-path branch in Arbitrate, so with no port failed the hot
+	// loop is bit-identical to the fault-free build.
+	inFailed   []bitvec.Vec // per layer: failed local inputs
+	outFailed  bitvec.Vec   // failed final outputs
+	portFaults bool
 
 	chGrants  []int64 // per L2LC: connections carried (diagnostics)
 	outGrants []int64 // per output: connections formed
@@ -260,6 +270,9 @@ func (s *Switch) Arbitrate(req []int) []topo.Grant {
 		if o < 0 || s.heldOut[in] >= 0 || s.outIn[o] >= 0 {
 			continue
 		}
+		if s.portFaults && s.outFailed.Get(o) {
+			continue
+		}
 		l, li := s.layerOf[in], s.localIdx[in]
 		d := s.layerOf[o]
 		if d == l {
@@ -285,6 +298,13 @@ func (s *Switch) Arbitrate(req []int) []topo.Grant {
 			s.chReq[cid].Set(li)
 			s.chWeight[cid]++
 		}
+	}
+
+	// Mask the failed inputs out of every request vector before any
+	// arbiter sees them — one word-parallel AndNot per vector, and only
+	// when a port fault is actually active.
+	if s.portFaults {
+		s.maskFailedInputs()
 	}
 
 	// Phase 1b: local-switch arbitration.
@@ -349,6 +369,9 @@ func (s *Switch) Arbitrate(req []int) []topo.Grant {
 	for o := 0; o < cfg.Radix; o++ {
 		if s.outIn[o] >= 0 {
 			continue
+		}
+		if s.portFaults && s.outFailed.Get(o) {
+			continue // defense in depth: the build loop already skipped it
 		}
 		lineReq := s.outLineReq[o]
 		base := o * lines
@@ -462,11 +485,17 @@ func (s *Switch) healthyChannel(src, dst, ch int) int {
 	return -1
 }
 
-// FailChannel permanently removes an L2LC from service, modeling a
-// faulty TSV bundle. Binned traffic assigned to the channel falls back
-// to the next healthy channel toward the same layer; priority-based
-// allocation simply skips it. Failing the last healthy channel between a
-// layer pair is refused, since that would disconnect the pair.
+// FailChannel removes an L2LC from service, modeling a faulty TSV
+// bundle. Binned traffic assigned to the channel falls back to the next
+// healthy channel toward the same layer; priority-based allocation
+// simply skips it. Failing the last healthy channel between a layer
+// pair is refused, since that would disconnect the pair.
+//
+// Failing a held (busy) channel is fail-stop, not fail-drop: the
+// in-flight connection keeps the channel through Release and every one
+// of its flits is delivered — chFailed only gates new arbitration, it
+// never tears down an established connection. The channel leaves
+// service the moment its current packet drains.
 func (s *Switch) FailChannel(cid int) error {
 	if cid < 0 || cid >= len(s.chFailed) {
 		return fmt.Errorf("core: no such channel %d", cid)
@@ -490,8 +519,144 @@ func (s *Switch) FailChannel(cid int) error {
 	return nil
 }
 
+// RestoreChannel returns a failed L2LC to service (a repaired transient
+// fault). Restoring a healthy channel is a no-op.
+func (s *Switch) RestoreChannel(cid int) error {
+	if cid < 0 || cid >= len(s.chFailed) {
+		return fmt.Errorf("core: no such channel %d", cid)
+	}
+	s.chFailed[cid] = false
+	return nil
+}
+
 // ChannelFailed reports whether cid has been failed.
 func (s *Switch) ChannelFailed(cid int) bool { return s.chFailed[cid] }
+
+// ensurePortFaults lazily allocates the port-fault masks; switches that
+// never see a port fault stay on the exact fault-free memory layout.
+func (s *Switch) ensurePortFaults() {
+	if s.inFailed != nil {
+		return
+	}
+	s.inFailed = make([]bitvec.Vec, s.cfg.Layers)
+	for l := range s.inFailed {
+		s.inFailed[l] = bitvec.New(s.ports)
+	}
+	s.outFailed = bitvec.New(s.cfg.Radix)
+}
+
+// refreshPortFaults recomputes the portFaults gate after a restore.
+func (s *Switch) refreshPortFaults() {
+	s.portFaults = s.outFailed.Any()
+	for _, v := range s.inFailed {
+		s.portFaults = s.portFaults || v.Any()
+	}
+}
+
+// maskFailedInputs clears every failed input's bit from the phase-1
+// request vectors (and keeps the WLRG weights consistent with the
+// masked masks). Called only while a port fault is active.
+func (s *Switch) maskFailedInputs() {
+	cfg := s.cfg
+	for o := range s.intermReq {
+		s.intermReq[o].AndNot(s.inFailed[s.layerOf[o]])
+	}
+	if cfg.Alloc == topo.PriorityBased {
+		for l := 0; l < cfg.Layers; l++ {
+			for d := 0; d < cfg.Layers; d++ {
+				if d != l {
+					s.destReq[l*cfg.Layers+d].AndNot(s.inFailed[l])
+				}
+			}
+		}
+		return
+	}
+	for c := range s.chReq {
+		s.chReq[c].AndNot(s.inFailed[s.cidSrc[c]])
+		s.chWeight[c] = s.chReq[c].Count()
+	}
+}
+
+// FailInput removes input port in from service at runtime: its future
+// requests are masked out of every arbitration phase by a word-parallel
+// AndNot. A connection the input already holds drains normally — a port
+// fault never drops an in-flight flit.
+func (s *Switch) FailInput(in int) error {
+	if in < 0 || in >= s.cfg.Radix {
+		return fmt.Errorf("core: no such input %d", in)
+	}
+	s.ensurePortFaults()
+	s.inFailed[s.layerOf[in]].Set(s.localIdx[in])
+	s.portFaults = true
+	return nil
+}
+
+// RestoreInput returns a failed input port to service.
+func (s *Switch) RestoreInput(in int) error {
+	if in < 0 || in >= s.cfg.Radix {
+		return fmt.Errorf("core: no such input %d", in)
+	}
+	if s.inFailed == nil {
+		return nil
+	}
+	s.inFailed[s.layerOf[in]].Clear(s.localIdx[in])
+	s.refreshPortFaults()
+	return nil
+}
+
+// FailOutput removes final output out from service at runtime: requests
+// toward it are ignored and its sub-block stops arbitrating. A
+// connection it already carries drains normally first.
+func (s *Switch) FailOutput(out int) error {
+	if out < 0 || out >= s.cfg.Radix {
+		return fmt.Errorf("core: no such output %d", out)
+	}
+	s.ensurePortFaults()
+	s.outFailed.Set(out)
+	s.portFaults = true
+	return nil
+}
+
+// RestoreOutput returns a failed output port to service.
+func (s *Switch) RestoreOutput(out int) error {
+	if out < 0 || out >= s.cfg.Radix {
+		return fmt.Errorf("core: no such output %d", out)
+	}
+	if s.inFailed == nil {
+		return nil
+	}
+	s.outFailed.Clear(out)
+	s.refreshPortFaults()
+	return nil
+}
+
+// InputFailed reports whether input port in is out of service.
+func (s *Switch) InputFailed(in int) bool {
+	return s.inFailed != nil && s.inFailed[s.layerOf[in]].Get(s.localIdx[in])
+}
+
+// OutputFailed reports whether final output out is out of service.
+func (s *Switch) OutputFailed(out int) bool {
+	return s.inFailed != nil && s.outFailed.Get(out)
+}
+
+// PathBlocked reports whether no fault-free route from input in to
+// final output out currently exists: the input or the output is failed,
+// or (for a cross-layer pair) every L2LC between the two layers is. The
+// simulator uses it to detect and retire dead flows.
+func (s *Switch) PathBlocked(in, out int) bool {
+	if in < 0 || in >= s.cfg.Radix || out < 0 || out >= s.cfg.Radix {
+		return true
+	}
+	if s.portFaults && (s.inFailed[s.layerOf[in]].Get(s.localIdx[in]) || s.outFailed.Get(out)) {
+		return true
+	}
+	l, d := s.layerOf[in], s.layerOf[out]
+	if l == d {
+		return false
+	}
+	return s.healthyChannel(l, d, 0) < 0
+}
 
 // Stats reports the switch's connection counters since construction:
 // connections carried per L2LC, connections formed per output, and the

@@ -43,6 +43,51 @@ func TestArbitrateZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestArbitrateZeroAllocsWithFaults extends the pin to the fault-mask
+// path: active port and crosspoint faults (masks allocated up front by
+// the Fail* calls) must not make the hot loop allocate.
+func TestArbitrateZeroAllocsWithFaults(t *testing.T) {
+	for _, radix := range []int{64, 128} {
+		sw := New(radix)
+		if err := sw.FailInput(radix / 2); err != nil {
+			t.Fatal(err)
+		}
+		if err := sw.FailOutput(radix - 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := sw.FailCrosspoint(0, 1); err != nil {
+			t.Fatal(err)
+		}
+		src := prng.New(7)
+		req := make([]int, radix)
+		holding := make([]int, 0, radix)
+		cycle := func(c int) {
+			for i := range req {
+				req[i] = src.Intn(radix)
+			}
+			for _, g := range sw.Arbitrate(req) {
+				holding = append(holding, g.In)
+			}
+			if c%4 == 3 {
+				for _, in := range holding {
+					sw.Release(in)
+				}
+				holding = holding[:0]
+			}
+		}
+		for c := 0; c < 64; c++ {
+			cycle(c)
+		}
+		if avg := testing.AllocsPerRun(50, func() {
+			for c := 0; c < 16; c++ {
+				cycle(c)
+			}
+		}); avg != 0 {
+			t.Errorf("radix %d with faults: %v allocs per 16 arbitration cycles, want 0", radix, avg)
+		}
+	}
+}
+
 func benchArbitrate(b *testing.B, radix int) {
 	sw := New(radix)
 	src := prng.New(7)

@@ -32,6 +32,15 @@ type Switch struct {
 	reqBuf  []bool           // scratch for arbiters without a bitset grant path
 	grants  []topo.Grant     // Arbitrate's return buffer, valid until the next call
 
+	// Runtime fault state, lazily allocated by ensureFaults: failed
+	// inputs and outputs as port bitsets, failed crosspoints as one
+	// input bitset per output column. faultActive gates every fault
+	// branch in Arbitrate, so the fault-free hot loop is unchanged.
+	inFailed    bitvec.Vec
+	outFailed   bitvec.Vec
+	xpFailed    []bitvec.Vec
+	faultActive bool
+
 	audit *obs.FairnessAudit // nil when observability is disabled
 }
 
@@ -125,10 +134,23 @@ func (s *Switch) Arbitrate(req []int) []topo.Grant {
 			s.reqMask[out].Set(in)
 		}
 	}
+	if s.faultActive {
+		// Failed inputs and failed crosspoints drop out of every
+		// column's request bitset with a word-parallel AndNot.
+		for out := range s.reqMask {
+			s.reqMask[out].AndNot(s.inFailed)
+			if s.xpFailed != nil {
+				s.reqMask[out].AndNot(s.xpFailed[out])
+			}
+		}
+	}
 	grants := s.grants[:0]
 	for out := 0; out < s.n; out++ {
 		if s.outIn[out] >= 0 {
 			continue // output bus busy carrying flits; no priority lines free
+		}
+		if s.faultActive && s.outFailed.Get(out) {
+			continue // failed output: its column never arbitrates
 		}
 		m := s.reqMask[out]
 		if m.None() {
@@ -178,3 +200,146 @@ func (s *Switch) Holds(in int) int { return s.held[in] }
 
 // OutputBusy reports whether out is carrying an active connection.
 func (s *Switch) OutputBusy(out int) bool { return s.outIn[out] >= 0 }
+
+// ensureFaults lazily allocates the port-fault bitsets; fault-free
+// switches keep the exact fault-free memory layout.
+func (s *Switch) ensureFaults() {
+	if s.inFailed != nil {
+		return
+	}
+	s.inFailed = bitvec.New(s.n)
+	s.outFailed = bitvec.New(s.n)
+}
+
+// ensureXpFaults lazily allocates the per-column crosspoint masks.
+func (s *Switch) ensureXpFaults() {
+	s.ensureFaults()
+	if s.xpFailed != nil {
+		return
+	}
+	s.xpFailed = make([]bitvec.Vec, s.n)
+	for out := range s.xpFailed {
+		s.xpFailed[out] = bitvec.New(s.n)
+	}
+}
+
+// refreshFaults recomputes the faultActive gate after a restore.
+func (s *Switch) refreshFaults() {
+	s.faultActive = s.inFailed.Any() || s.outFailed.Any()
+	for _, v := range s.xpFailed {
+		s.faultActive = s.faultActive || v.Any()
+	}
+}
+
+func (s *Switch) checkPort(what string, p int) error {
+	if p < 0 || p >= s.n {
+		return fmt.Errorf("crossbar: no such %s %d", what, p)
+	}
+	return nil
+}
+
+// FailInput removes input in from service at runtime: its requests are
+// masked out of every column with a word-parallel AndNot. A connection
+// it already holds drains normally — a fault never drops a flit here.
+func (s *Switch) FailInput(in int) error {
+	if err := s.checkPort("input", in); err != nil {
+		return err
+	}
+	s.ensureFaults()
+	s.inFailed.Set(in)
+	s.faultActive = true
+	return nil
+}
+
+// RestoreInput returns a failed input to service.
+func (s *Switch) RestoreInput(in int) error {
+	if err := s.checkPort("input", in); err != nil {
+		return err
+	}
+	if s.inFailed == nil {
+		return nil
+	}
+	s.inFailed.Clear(in)
+	s.refreshFaults()
+	return nil
+}
+
+// FailOutput removes output out from service at runtime: its column
+// stops arbitrating once any connection it carries drains.
+func (s *Switch) FailOutput(out int) error {
+	if err := s.checkPort("output", out); err != nil {
+		return err
+	}
+	s.ensureFaults()
+	s.outFailed.Set(out)
+	s.faultActive = true
+	return nil
+}
+
+// RestoreOutput returns a failed output to service.
+func (s *Switch) RestoreOutput(out int) error {
+	if err := s.checkPort("output", out); err != nil {
+		return err
+	}
+	if s.inFailed == nil {
+		return nil
+	}
+	s.outFailed.Clear(out)
+	s.refreshFaults()
+	return nil
+}
+
+// FailCrosspoint removes the single cross-point (in, out) from service:
+// input in can no longer reach output out, while both ports keep
+// serving every other path — the matrix analog of one dead pull-down
+// stack.
+func (s *Switch) FailCrosspoint(in, out int) error {
+	if err := s.checkPort("input", in); err != nil {
+		return err
+	}
+	if err := s.checkPort("output", out); err != nil {
+		return err
+	}
+	s.ensureXpFaults()
+	s.xpFailed[out].Set(in)
+	s.faultActive = true
+	return nil
+}
+
+// RestoreCrosspoint returns a failed cross-point to service.
+func (s *Switch) RestoreCrosspoint(in, out int) error {
+	if err := s.checkPort("input", in); err != nil {
+		return err
+	}
+	if err := s.checkPort("output", out); err != nil {
+		return err
+	}
+	if s.xpFailed == nil {
+		return nil
+	}
+	s.xpFailed[out].Clear(in)
+	s.refreshFaults()
+	return nil
+}
+
+// InputFailed reports whether input in is out of service.
+func (s *Switch) InputFailed(in int) bool { return s.inFailed != nil && s.inFailed.Get(in) }
+
+// OutputFailed reports whether output out is out of service.
+func (s *Switch) OutputFailed(out int) bool { return s.inFailed != nil && s.outFailed.Get(out) }
+
+// CrosspointFailed reports whether cross-point (in, out) is out of
+// service.
+func (s *Switch) CrosspointFailed(in, out int) bool {
+	return s.xpFailed != nil && s.xpFailed[out].Get(in)
+}
+
+// PathBlocked reports whether input in currently has no fault-free path
+// to output out: either port failed, or their cross-point did. The
+// simulator uses it to detect and retire dead flows.
+func (s *Switch) PathBlocked(in, out int) bool {
+	if in < 0 || in >= s.n || out < 0 || out >= s.n {
+		return true
+	}
+	return s.InputFailed(in) || s.OutputFailed(out) || s.CrosspointFailed(in, out)
+}

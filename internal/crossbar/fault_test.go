@@ -1,0 +1,189 @@
+package crossbar
+
+import (
+	"testing"
+
+	"github.com/reprolab/hirise/internal/obs"
+	"github.com/reprolab/hirise/internal/prng"
+)
+
+// drive pushes random 60%-loaded traffic through the switch for the
+// given number of cycles, releasing connections with probability 0.4
+// each cycle, and returns the per-input grant counts. check is called
+// on every grant.
+func drive(t *testing.T, s *Switch, cycles int, check func(in, out int)) []int {
+	t.Helper()
+	src := prng.New(97)
+	req := make([]int, s.Radix())
+	wins := make([]int, s.Radix())
+	for cycle := 0; cycle < cycles; cycle++ {
+		for i := range req {
+			req[i] = -1
+			if src.Bernoulli(0.6) {
+				req[i] = src.Intn(s.Radix())
+			}
+		}
+		for _, g := range s.Arbitrate(req) {
+			wins[g.In]++
+			if check != nil {
+				check(g.In, g.Out)
+			}
+		}
+		for in := 0; in < s.Radix(); in++ {
+			if s.Holds(in) >= 0 && src.Bernoulli(0.4) {
+				s.Release(in)
+			}
+		}
+	}
+	return wins
+}
+
+func TestFailedInputNeverGranted(t *testing.T) {
+	s := New(16)
+	if err := s.FailInput(5); err != nil {
+		t.Fatal(err)
+	}
+	wins := drive(t, s, 600, func(in, out int) {
+		if in == 5 {
+			t.Fatalf("failed input 5 granted output %d", out)
+		}
+	})
+	if wins[5] != 0 {
+		t.Fatalf("failed input won %d times", wins[5])
+	}
+	for in, w := range wins {
+		if in != 5 && w == 0 {
+			t.Errorf("survivor input %d starved", in)
+		}
+	}
+}
+
+func TestFailedOutputNeverGranted(t *testing.T) {
+	s := New(16)
+	if err := s.FailOutput(9); err != nil {
+		t.Fatal(err)
+	}
+	drive(t, s, 600, func(in, out int) {
+		if out == 9 {
+			t.Fatalf("failed output 9 granted to input %d", in)
+		}
+	})
+}
+
+func TestFailedCrosspointNeverGranted(t *testing.T) {
+	s := New(16)
+	if err := s.FailCrosspoint(3, 7); err != nil {
+		t.Fatal(err)
+	}
+	if !s.CrosspointFailed(3, 7) || s.CrosspointFailed(7, 3) {
+		t.Fatal("crosspoint fault state wrong")
+	}
+	var via3, via7 int
+	drive(t, s, 800, func(in, out int) {
+		if in == 3 && out == 7 {
+			t.Fatal("failed crosspoint (3,7) granted")
+		}
+		if in == 3 {
+			via3++
+		}
+		if out == 7 {
+			via7++
+		}
+	})
+	// Both ports of the dead crosspoint keep serving every other path.
+	if via3 == 0 || via7 == 0 {
+		t.Fatalf("ports of the failed crosspoint stopped serving (in3=%d, out7=%d)", via3, via7)
+	}
+}
+
+// TestRestoreRejoins fails and restores each resource class and checks
+// the restored resource wins again.
+func TestRestoreRejoins(t *testing.T) {
+	s := New(16)
+	for _, step := range []struct {
+		name          string
+		fail, restore func() error
+		hits          func(wins []int, granted map[[2]int]int) int
+	}{
+		{"input", func() error { return s.FailInput(4) }, func() error { return s.RestoreInput(4) },
+			func(wins []int, _ map[[2]int]int) int { return wins[4] }},
+		{"output", func() error { return s.FailOutput(11) }, func() error { return s.RestoreOutput(11) },
+			func(_ []int, granted map[[2]int]int) int {
+				n := 0
+				for k, v := range granted {
+					if k[1] == 11 {
+						n += v
+					}
+				}
+				return n
+			}},
+		{"crosspoint", func() error { return s.FailCrosspoint(2, 6) }, func() error { return s.RestoreCrosspoint(2, 6) },
+			func(_ []int, granted map[[2]int]int) int { return granted[[2]int{2, 6}] }},
+	} {
+		if err := step.fail(); err != nil {
+			t.Fatalf("%s: %v", step.name, err)
+		}
+		if err := step.restore(); err != nil {
+			t.Fatalf("%s: %v", step.name, err)
+		}
+		granted := map[[2]int]int{}
+		wins := drive(t, s, 1500, func(in, out int) { granted[[2]int{in, out}]++ })
+		if step.hits(wins, granted) == 0 {
+			t.Errorf("restored %s never granted again", step.name)
+		}
+	}
+	// After restoring everything the fault gate is off again.
+	if s.faultActive {
+		t.Error("faultActive still set after all restores")
+	}
+}
+
+// TestSurvivorFairnessUnderFaults kills a quarter of the inputs and
+// audits arbitration over the survivors: the failure of some inputs
+// must not skew grant shares among the rest. Failed inputs are masked
+// before the audit observes contenders, so they do not dilute the
+// index.
+func TestSurvivorFairnessUnderFaults(t *testing.T) {
+	s := New(32)
+	o := &obs.Observer{Fairness: obs.NewFairnessAudit(32, 1)}
+	s.SetObserver(o)
+	for in := 0; in < 32; in += 4 {
+		if err := s.FailInput(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drive(t, s, 4000, nil)
+	rep := o.Fairness.Report()
+	if rep.TotalWins == 0 {
+		t.Fatal("no wins audited")
+	}
+	if rep.JainIndex < 0.95 {
+		t.Fatalf("survivor Jain index %.4f < 0.95:\n%+v", rep.JainIndex, rep)
+	}
+}
+
+func TestFaultAPIBounds(t *testing.T) {
+	s := New(8)
+	for _, err := range []error{
+		s.FailInput(-1), s.FailInput(8),
+		s.FailOutput(-1), s.FailOutput(8),
+		s.FailCrosspoint(-1, 0), s.FailCrosspoint(0, 8),
+	} {
+		if err == nil {
+			t.Error("out-of-range fault accepted")
+		}
+	}
+	// Restores on a switch that never failed anything are no-ops.
+	if err := s.RestoreInput(3); err != nil {
+		t.Error(err)
+	}
+	if err := s.RestoreCrosspoint(1, 2); err != nil {
+		t.Error(err)
+	}
+	if s.PathBlocked(1, 2) {
+		t.Error("healthy path reported blocked")
+	}
+	if !s.PathBlocked(-1, 2) || !s.PathBlocked(1, 99) {
+		t.Error("out-of-range path not reported blocked")
+	}
+}

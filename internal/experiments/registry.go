@@ -38,7 +38,7 @@ var registry = map[string]Runner{
 var order = []string{
 	"table1", "table4", "table4-ci", "table5", "table6", "table6-detail", "table6-addr",
 	"fig9a", "fig9b", "fig9c", "fig10", "fig11a", "fig11b", "fig11c", "fig12",
-	"corner", "discussion", "kilocore", "locality", "breakdown", "cache-mpki",
+	"corner", "discussion", "kilocore", "locality", "breakdown", "cache-mpki", "degradation",
 	"ablate-classes", "ablate-alloc", "ablate-vcs", "ablate-bursty", "ablate-islip", "ablate-qos", "ablate-pktlen",
 }
 

@@ -1,0 +1,349 @@
+// Package fault is the deterministic fault-injection plane for the
+// switch stack. A Spec describes a fault campaign statistically — how
+// many permanent resource failures, what transient outage rate — and
+// Build expands it into a Plan: a concrete, sorted schedule of per-
+// resource fault events. Every random draw derives from
+// (seed, campaign, kind, resource) via pool.SeedFor's splitmix64
+// chaining, so a plan depends only on its spec, never on iteration or
+// scheduling order, and two runs of the same campaign fail the same
+// resources at the same cycles on any machine.
+//
+// Two fault classes with distinct semantics:
+//
+//   - Permanent faults (Repair < 0) are fail-stop: the Injector calls
+//     the switch's Fail* API at the onset cycle, the resource is masked
+//     out of arbitration from then on, and any connection it carries
+//     drains normally first. No flit is ever lost to a permanent fault.
+//
+//   - Transient channel faults (Repair >= 0) are lossy-link outages:
+//     the switch is NOT told — it keeps granting over the channel — and
+//     the simulator drops every flit that crosses the channel during
+//     [Onset, Repair), leaving recovery to the source's retransmission
+//     protocol (see internal/sim). This models a TSV burst error, where
+//     the wires glitch but the arbiter has no knowledge of it.
+//
+//   - Transient port/crosspoint faults are fail-stop windows: Fail* at
+//     onset, Restore* at repair.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/reprolab/hirise/internal/pool"
+	"github.com/reprolab/hirise/internal/prng"
+	"github.com/reprolab/hirise/internal/topo"
+)
+
+// Kind identifies the resource class a fault strikes.
+type Kind uint8
+
+const (
+	// Channel is a layer-to-layer channel, identified by its global
+	// L2LC id (see topo.Config.L2LCID). Hi-Rise switches only.
+	Channel Kind = iota
+	// Input is an input port, identified by its global port id.
+	Input
+	// Output is a final output port, identified by its global port id.
+	Output
+	// Crosspoint is one crossbar cross-point, identified as
+	// in*radix + out. Flat crossbars only.
+	Crosspoint
+
+	numKinds = iota
+)
+
+var kindNames = [numKinds]string{"channel", "input", "output", "crosspoint"}
+
+// String returns the kind's wire name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Fault is one scheduled fault event on one resource.
+type Fault struct {
+	// Kind is the resource class; ID identifies the resource within it.
+	Kind Kind
+	ID   int
+	// Onset is the cycle the fault strikes (inclusive).
+	Onset int64
+	// Repair is the cycle the fault heals (exclusive), or negative for a
+	// permanent fault. Transient Channel faults are lossy outages;
+	// transient Input/Output/Crosspoint faults are fail-stop windows.
+	Repair int64
+}
+
+// Permanent reports whether the fault never heals.
+func (f Fault) Permanent() bool { return f.Repair < 0 }
+
+func (f Fault) validate() error {
+	switch {
+	case f.Kind >= numKinds:
+		return fmt.Errorf("fault: unknown kind %d", f.Kind)
+	case f.ID < 0:
+		return fmt.Errorf("fault: negative resource id %d", f.ID)
+	case f.Onset < 0:
+		return fmt.Errorf("fault: negative onset %d", f.Onset)
+	case f.Repair >= 0 && f.Repair <= f.Onset:
+		return fmt.Errorf("fault: repair %d not after onset %d", f.Repair, f.Onset)
+	}
+	return nil
+}
+
+// Plan is an immutable, sorted fault schedule. A Plan is safe to share
+// between concurrent simulations: each run binds its own Injector to
+// walk it.
+type Plan struct {
+	faults []Fault
+}
+
+// NewPlan builds a plan from explicit fault events (tests, hand-crafted
+// scenarios). The events are validated and sorted by (Onset, Kind, ID).
+func NewPlan(faults ...Fault) (*Plan, error) {
+	fs := append([]Fault(nil), faults...)
+	for _, f := range fs {
+		if err := f.validate(); err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Onset != b.Onset {
+			return a.Onset < b.Onset
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.ID != b.ID {
+			return a.ID < b.ID
+		}
+		return a.Repair < b.Repair
+	})
+	return &Plan{faults: fs}, nil
+}
+
+// Empty reports whether the plan schedules no faults. Simulators treat
+// a nil or empty plan as "fault plane off" and keep their fault-free
+// hot path.
+func (p *Plan) Empty() bool { return p == nil || len(p.faults) == 0 }
+
+// Len returns the number of scheduled fault events.
+func (p *Plan) Len() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.faults)
+}
+
+// Faults returns a copy of the schedule in application order.
+func (p *Plan) Faults() []Fault {
+	if p == nil {
+		return nil
+	}
+	return append([]Fault(nil), p.faults...)
+}
+
+// Spec describes a fault campaign statistically; Build expands it into
+// a concrete Plan. The zero Spec builds an empty plan.
+type Spec struct {
+	// Seed and Campaign root every random draw: resource r of kind k
+	// draws from pool.SeedFor(Seed, pool.StringID(Campaign), k, r, purpose).
+	// Seed 0 is remapped to 1, mirroring sim.Config.Defaults.
+	Seed     uint64
+	Campaign string
+	// Cfg is the switch geometry the campaign targets. Channel faults
+	// need a valid Hi-Rise geometry (Layers >= 2); port and crosspoint
+	// faults only need Radix.
+	Cfg topo.Config
+
+	// FailChannels permanently fails this many L2LCs, chosen by ranked
+	// hash so that the set for K faults is a subset of the set for K+1
+	// (degradation curves degrade monotonically in expectation). The
+	// selection never takes the last healthy channel of a layer pair —
+	// core.FailChannel refuses that — so at most
+	// Layers*(Layers-1)*(Channels-1) channels can fail.
+	FailChannels int
+	// FailInputs and FailOutputs permanently fail this many ports each.
+	FailInputs, FailOutputs int
+	// FailCrosspoints permanently fails this many crosspoints (flat
+	// crossbars; id = in*radix+out).
+	FailCrosspoints int
+	// OnsetSpread staggers permanent-fault onsets uniformly over
+	// [0, OnsetSpread]; 0 strikes them all at cycle 0.
+	OnsetSpread int64
+
+	// TransientRate is the per-channel per-cycle probability that a
+	// lossy outage begins (0 disables transient faults; must be < 1).
+	TransientRate float64
+	// RepairMean is the mean outage length in cycles (default 64).
+	RepairMean int64
+	// Horizon bounds transient-outage onsets (default 60000 cycles,
+	// one default warmup+measure window).
+	Horizon int64
+}
+
+func (s Spec) seedFor(k Kind, id int, purpose uint64) uint64 {
+	seed := s.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return pool.SeedFor(seed, pool.StringID(s.Campaign), uint64(k), uint64(id), purpose)
+}
+
+// rank orders resources for permanent-fault selection: lower hash fails
+// first. Depending only on (seed, campaign, kind, id), the order — and
+// therefore the failed set for any count K — is stable across counts.
+func (s Spec) rank(k Kind, id int) uint64 { return prng.New(s.seedFor(k, id, 0)).Uint64() }
+
+// Build expands the spec into a concrete plan.
+func (s Spec) Build() (*Plan, error) {
+	if s.FailChannels < 0 || s.FailInputs < 0 || s.FailOutputs < 0 || s.FailCrosspoints < 0 {
+		return nil, fmt.Errorf("fault: negative fault count")
+	}
+	if s.TransientRate < 0 || s.TransientRate >= 1 {
+		if s.TransientRate != 0 {
+			return nil, fmt.Errorf("fault: transient rate %v outside [0,1)", s.TransientRate)
+		}
+	}
+	needChannels := s.FailChannels > 0 || s.TransientRate > 0
+	if needChannels {
+		if err := s.Cfg.Validate(); err != nil {
+			return nil, fmt.Errorf("fault: channel faults need a valid geometry: %w", err)
+		}
+		if s.Cfg.Layers < 2 {
+			return nil, fmt.Errorf("fault: channel faults need a layered switch (have %d layers)", s.Cfg.Layers)
+		}
+	}
+	if (s.FailInputs > 0 || s.FailOutputs > 0 || s.FailCrosspoints > 0) && s.Cfg.Radix <= 0 {
+		return nil, fmt.Errorf("fault: port faults need a positive radix")
+	}
+
+	var faults []Fault
+	onset := func(k Kind, id int) int64 {
+		if s.OnsetSpread <= 0 {
+			return 0
+		}
+		return int64(prng.New(s.seedFor(k, id, 1)).Intn(int(s.OnsetSpread) + 1))
+	}
+
+	// Permanent channel faults, capped per layer pair.
+	permCh := map[int]bool{}
+	if s.FailChannels > 0 {
+		max := s.Cfg.Layers * (s.Cfg.Layers - 1) * (s.Cfg.Channels - 1)
+		if s.FailChannels > max {
+			return nil, fmt.Errorf("fault: cannot fail %d channels without disconnecting a layer pair (max %d)", s.FailChannels, max)
+		}
+		ids := rankSelect(s, Channel, s.Cfg.NumL2LC())
+		pairBudget := map[int]int{}
+		taken := 0
+		for _, cid := range ids {
+			if taken == s.FailChannels {
+				break
+			}
+			src, dst, _ := s.Cfg.L2LCSrcDst(cid)
+			pair := src*s.Cfg.Layers + dst
+			if pairBudget[pair] >= s.Cfg.Channels-1 {
+				continue
+			}
+			pairBudget[pair]++
+			permCh[cid] = true
+			faults = append(faults, Fault{Kind: Channel, ID: cid, Onset: onset(Channel, cid), Repair: -1})
+			taken++
+		}
+	}
+
+	// Permanent port and crosspoint faults.
+	perm := func(k Kind, count, universe int) error {
+		if count == 0 {
+			return nil
+		}
+		if count > universe {
+			return fmt.Errorf("fault: %d %v faults exceed the %d resources", count, k, universe)
+		}
+		for _, id := range rankSelect(s, k, universe)[:count] {
+			faults = append(faults, Fault{Kind: k, ID: id, Onset: onset(k, id), Repair: -1})
+		}
+		return nil
+	}
+	if err := perm(Input, s.FailInputs, s.Cfg.Radix); err != nil {
+		return nil, err
+	}
+	if err := perm(Output, s.FailOutputs, s.Cfg.Radix); err != nil {
+		return nil, err
+	}
+	if err := perm(Crosspoint, s.FailCrosspoints, s.Cfg.Radix*s.Cfg.Radix); err != nil {
+		return nil, err
+	}
+
+	// Transient lossy outages per healthy channel: outage onsets arrive
+	// as a Bernoulli process (sampled via geometric gaps), lengths are
+	// 1 + Exp(RepairMean) cycles.
+	if s.TransientRate > 0 {
+		repair := s.RepairMean
+		if repair <= 0 {
+			repair = 64
+		}
+		horizon := s.Horizon
+		if horizon <= 0 {
+			horizon = 60000
+		}
+		for cid := 0; cid < s.Cfg.NumL2LC(); cid++ {
+			if permCh[cid] {
+				continue // fail-stop already; nothing left to glitch
+			}
+			rng := prng.New(s.seedFor(Channel, cid, 2))
+			for t := int64(0); ; {
+				t += geometric(rng, s.TransientRate)
+				if t >= horizon {
+					break
+				}
+				dur := 1 + int64(rng.Exp(float64(repair)))
+				faults = append(faults, Fault{Kind: Channel, ID: cid, Onset: t, Repair: t + dur})
+				t += dur
+			}
+		}
+	}
+
+	return NewPlan(faults...)
+}
+
+// geometric samples the number of cycles until the next success of a
+// Bernoulli(p) process by inverse transform (0 means "this cycle").
+func geometric(rng *prng.Source, p float64) int64 {
+	u := rng.Float64()
+	g := math.Floor(math.Log1p(-u) / math.Log1p(-p))
+	if g < 0 || math.IsNaN(g) {
+		return 0
+	}
+	if g > 1<<40 {
+		return 1 << 40
+	}
+	return int64(g)
+}
+
+// rankSelect returns all ids of a kind ordered by their selection rank.
+func rankSelect(s Spec, k Kind, universe int) []int {
+	type ranked struct {
+		id   int
+		rank uint64
+	}
+	rs := make([]ranked, universe)
+	for id := 0; id < universe; id++ {
+		rs[id] = ranked{id, s.rank(k, id)}
+	}
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].rank != rs[j].rank {
+			return rs[i].rank < rs[j].rank
+		}
+		return rs[i].id < rs[j].id
+	})
+	ids := make([]int, universe)
+	for i, r := range rs {
+		ids[i] = r.id
+	}
+	return ids
+}

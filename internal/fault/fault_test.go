@@ -1,0 +1,263 @@
+package fault
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/reprolab/hirise/internal/topo"
+)
+
+func spec(failCh int, rate float64) Spec {
+	return Spec{
+		Seed:          7,
+		Campaign:      "test",
+		Cfg:           topo.Default64(),
+		FailChannels:  failCh,
+		TransientRate: rate,
+		Horizon:       5000,
+	}
+}
+
+// TestBuildDeterministic pins the plane's core contract: the same spec
+// builds the same plan, byte for byte, every time and on every
+// goroutine.
+func TestBuildDeterministic(t *testing.T) {
+	want, err := spec(8, 0.001).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	plans := make([]*Plan, 8)
+	for i := range plans {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			plans[i], _ = spec(8, 0.001).Build()
+		}(i)
+	}
+	wg.Wait()
+	for i, p := range plans {
+		if !reflect.DeepEqual(p.Faults(), want.Faults()) {
+			t.Fatalf("plan %d differs from serial build", i)
+		}
+	}
+	if want.Empty() || want.Len() == 0 {
+		t.Fatal("expected a non-empty plan")
+	}
+}
+
+// TestSelectionNested asserts the ranked selection's monotonicity: the
+// channels failed at count K are a subset of those failed at K+4, so
+// degradation curves degrade by strictly adding faults.
+func TestSelectionNested(t *testing.T) {
+	failedSet := func(k int) map[int]bool {
+		p, err := spec(k, 0).Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		set := map[int]bool{}
+		for _, f := range p.Faults() {
+			set[f.ID] = true
+		}
+		return set
+	}
+	prev := failedSet(4)
+	for _, k := range []int{8, 16, 32} {
+		cur := failedSet(k)
+		if len(cur) != k {
+			t.Fatalf("count %d: %d channels failed", k, len(cur))
+		}
+		for id := range prev {
+			if !cur[id] {
+				t.Fatalf("channel %d failed at smaller count but not at %d", id, k)
+			}
+		}
+		prev = cur
+	}
+}
+
+// TestPairBudget asserts the selection never disconnects a layer pair,
+// even at the maximum failable count.
+func TestPairBudget(t *testing.T) {
+	cfg := topo.Default64()
+	max := cfg.Layers * (cfg.Layers - 1) * (cfg.Channels - 1)
+	p, err := spec(max, 0).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := map[int]bool{}
+	for _, f := range p.Faults() {
+		failed[f.ID] = true
+	}
+	for src := 0; src < cfg.Layers; src++ {
+		for dst := 0; dst < cfg.Layers; dst++ {
+			if src == dst {
+				continue
+			}
+			healthy := 0
+			for ch := 0; ch < cfg.Channels; ch++ {
+				if !failed[cfg.L2LCID(src, dst, ch)] {
+					healthy++
+				}
+			}
+			if healthy < 1 {
+				t.Fatalf("layer pair %d->%d fully disconnected", src, dst)
+			}
+		}
+	}
+	if _, err := spec(max+1, 0).Build(); err == nil {
+		t.Fatalf("failing %d channels must be refused", max+1)
+	}
+}
+
+// TestTransientSchedule checks the lossy outages are well-formed:
+// onsets inside the horizon, repairs after onsets, and no overlapping
+// outages on one channel.
+func TestTransientSchedule(t *testing.T) {
+	p, err := spec(0, 0.002).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Empty() {
+		t.Fatal("rate 0.002 over 5000 cycles and 48 channels produced no outage")
+	}
+	lastEnd := map[int]int64{}
+	for _, f := range p.Faults() {
+		if f.Permanent() {
+			t.Fatalf("transient-only spec produced permanent fault %+v", f)
+		}
+		if f.Onset >= 5000 {
+			t.Fatalf("outage onset %d beyond horizon", f.Onset)
+		}
+		if f.Repair <= f.Onset {
+			t.Fatalf("outage %+v repairs before it starts", f)
+		}
+		if f.Onset < lastEnd[f.ID] {
+			t.Fatalf("channel %d outages overlap at %d", f.ID, f.Onset)
+		}
+		lastEnd[f.ID] = f.Repair
+	}
+}
+
+// fakeSwitch records the fault calls it receives.
+type fakeSwitch struct {
+	radix            int
+	failed, restored []string
+	refuseChannel    bool
+}
+
+func (f *fakeSwitch) Radix() int { return f.radix }
+func (f *fakeSwitch) FailChannel(cid int) error {
+	if f.refuseChannel {
+		return errRefused
+	}
+	f.failed = append(f.failed, "ch")
+	return nil
+}
+func (f *fakeSwitch) RestoreChannel(cid int) error { f.restored = append(f.restored, "ch"); return nil }
+func (f *fakeSwitch) FailInput(in int) error       { f.failed = append(f.failed, "in"); return nil }
+func (f *fakeSwitch) RestoreInput(in int) error    { f.restored = append(f.restored, "in"); return nil }
+func (f *fakeSwitch) FailOutput(o int) error       { f.failed = append(f.failed, "out"); return nil }
+func (f *fakeSwitch) RestoreOutput(o int) error    { f.restored = append(f.restored, "out"); return nil }
+
+var errRefused = &refusedError{}
+
+type refusedError struct{}
+
+func (*refusedError) Error() string { return "refused" }
+
+// TestInjectorApplies walks a hand-written plan and checks fail-stop
+// calls, lossy windows, and repair ordering.
+func TestInjectorApplies(t *testing.T) {
+	p, err := NewPlan(
+		Fault{Kind: Channel, ID: 3, Onset: 0, Repair: -1},  // permanent fail-stop
+		Fault{Kind: Channel, ID: 5, Onset: 10, Repair: 20}, // lossy window
+		Fault{Kind: Input, ID: 2, Onset: 5, Repair: 15},    // fail-stop window
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := &fakeSwitch{radix: 8}
+	inj := NewInjector(p, sw)
+	if !inj.HasLossy() {
+		t.Fatal("plan has a lossy outage, HasLossy says no")
+	}
+	for cycle := int64(0); cycle < 25; cycle++ {
+		inj.Advance(cycle)
+		wantLossy := cycle >= 10 && cycle < 20
+		if inj.Lossy(5) != wantLossy {
+			t.Fatalf("cycle %d: Lossy(5)=%v, want %v", cycle, inj.Lossy(5), wantLossy)
+		}
+		if inj.Lossy(3) {
+			t.Fatalf("cycle %d: permanent fault reported lossy", cycle)
+		}
+	}
+	if got, want := sw.failed, []string{"ch", "in"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("fail calls %v, want %v", got, want)
+	}
+	if got, want := sw.restored, []string{"in"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("restore calls %v, want %v", got, want)
+	}
+	st := inj.Stats()
+	if st.FailEvents != 3 || st.RepairEvents != 2 || st.Skipped != 0 {
+		t.Fatalf("stats %+v, want 3 fails / 2 repairs / 0 skipped", st)
+	}
+}
+
+// TestInjectorSkips counts refused and uncapable applications instead
+// of failing the run: a crossbar has no channels, and a switch may
+// refuse to fail its last healthy channel.
+func TestInjectorSkips(t *testing.T) {
+	p, err := NewPlan(
+		Fault{Kind: Channel, ID: 0, Onset: 0, Repair: -1},
+		Fault{Kind: Crosspoint, ID: 9, Onset: 0, Repair: -1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := &fakeSwitch{radix: 8, refuseChannel: true}
+	inj := NewInjector(p, sw) // no CrosspointFaulter, channel refused
+	inj.Advance(0)
+	if st := inj.Stats(); st.Skipped != 2 || st.FailEvents != 0 {
+		t.Fatalf("stats %+v, want 2 skipped", st)
+	}
+}
+
+// TestNewPlanValidates rejects malformed fault events.
+func TestNewPlanValidates(t *testing.T) {
+	bad := []Fault{
+		{Kind: numKinds, ID: 0, Onset: 0, Repair: -1},
+		{Kind: Channel, ID: -1, Onset: 0, Repair: -1},
+		{Kind: Channel, ID: 0, Onset: -1, Repair: -1},
+		{Kind: Channel, ID: 0, Onset: 5, Repair: 5},
+	}
+	for _, f := range bad {
+		if _, err := NewPlan(f); err == nil {
+			t.Errorf("NewPlan(%+v) accepted", f)
+		}
+	}
+}
+
+// TestSharedPlanRace binds independent injectors to one shared plan
+// from many goroutines — the sharing contract the load sweeps rely on.
+// The race detector is the assertion.
+func TestSharedPlanRace(t *testing.T) {
+	p, err := spec(8, 0.001).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			inj := NewInjector(p, &fakeSwitch{radix: 64})
+			for cycle := int64(0); cycle < 5000; cycle += 7 {
+				inj.Advance(cycle)
+				inj.Lossy(int(cycle) % 48)
+			}
+		}()
+	}
+	wg.Wait()
+}

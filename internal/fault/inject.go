@@ -1,0 +1,184 @@
+package fault
+
+import "sort"
+
+// ChannelFaulter is the capability of switches with failable
+// layer-to-layer channels (core.Switch).
+type ChannelFaulter interface {
+	FailChannel(cid int) error
+	RestoreChannel(cid int) error
+}
+
+// PortFaulter is the capability of switches with failable input and
+// output ports (core.Switch, crossbar.Switch).
+type PortFaulter interface {
+	FailInput(in int) error
+	RestoreInput(in int) error
+	FailOutput(out int) error
+	RestoreOutput(out int) error
+}
+
+// CrosspointFaulter is the capability of switches with failable
+// crosspoints (crossbar.Switch).
+type CrosspointFaulter interface {
+	FailCrosspoint(in, out int) error
+	RestoreCrosspoint(in, out int) error
+}
+
+// Stats counts the injector's activity over a run.
+type Stats struct {
+	// FailEvents and RepairEvents count fault onsets and repairs applied
+	// (lossy outages count in both: one onset, one repair).
+	FailEvents, RepairEvents int64
+	// Skipped counts events the bound switch could not apply: a missing
+	// capability (e.g. channel faults on a flat crossbar) or a refused
+	// call (e.g. failing the last healthy channel of a layer pair).
+	Skipped int64
+}
+
+// edge is one half of a fault: its onset or its repair.
+type edge struct {
+	cycle int64
+	fault Fault
+	onset bool
+}
+
+// Injector replays a Plan against one switch instance, cycle by cycle.
+// It is bound to a single simulation run and is not safe for concurrent
+// use; share the Plan, not the Injector.
+type Injector struct {
+	edges []edge
+	next  int
+
+	lossy    []int32 // per channel id: active lossy outages
+	hasLossy bool
+
+	ch    ChannelFaulter
+	pf    PortFaulter
+	xf    CrosspointFaulter
+	radix int
+
+	stats Stats
+
+	// Hook, when non-nil, observes every applied edge (sim routes it to
+	// the trace recorder). It must not call back into the injector.
+	Hook func(cycle int64, f Fault, repair bool)
+}
+
+// NewInjector binds a plan to a switch. The switch may implement any
+// subset of the faulter capabilities; events it cannot apply are
+// counted in Stats.Skipped. sw must provide Radix() (crosspoint ids
+// decode as in*radix+out).
+func NewInjector(p *Plan, sw interface{ Radix() int }) *Injector {
+	inj := &Injector{radix: sw.Radix()}
+	inj.ch, _ = sw.(ChannelFaulter)
+	inj.pf, _ = sw.(PortFaulter)
+	inj.xf, _ = sw.(CrosspointFaulter)
+
+	maxLossy := -1
+	for _, f := range p.Faults() {
+		inj.edges = append(inj.edges, edge{cycle: f.Onset, fault: f, onset: true})
+		if f.Permanent() {
+			continue
+		}
+		inj.edges = append(inj.edges, edge{cycle: f.Repair, fault: f, onset: false})
+		if f.Kind == Channel && f.ID > maxLossy {
+			maxLossy = f.ID
+		}
+	}
+	if maxLossy >= 0 {
+		inj.lossy = make([]int32, maxLossy+1)
+		inj.hasLossy = true
+	}
+	// Repairs apply before onsets within a cycle so that back-to-back
+	// outages on one resource stay balanced.
+	sort.SliceStable(inj.edges, func(i, j int) bool {
+		a, b := inj.edges[i], inj.edges[j]
+		if a.cycle != b.cycle {
+			return a.cycle < b.cycle
+		}
+		if a.onset != b.onset {
+			return !a.onset
+		}
+		if a.fault.Kind != b.fault.Kind {
+			return a.fault.Kind < b.fault.Kind
+		}
+		return a.fault.ID < b.fault.ID
+	})
+	return inj
+}
+
+// HasLossy reports whether the plan schedules any lossy channel outage;
+// when false the simulator can skip the per-flit loss check entirely.
+func (inj *Injector) HasLossy() bool { return inj.hasLossy }
+
+// Advance applies every edge scheduled at or before cycle. Call it once
+// per simulated cycle, before arbitration.
+func (inj *Injector) Advance(cycle int64) {
+	for inj.next < len(inj.edges) && inj.edges[inj.next].cycle <= cycle {
+		e := inj.edges[inj.next]
+		inj.next++
+		inj.apply(e)
+	}
+}
+
+func (inj *Injector) apply(e edge) {
+	f := e.fault
+	applied := true
+	switch {
+	case f.Kind == Channel && !f.Permanent():
+		// Lossy outage: the switch is not informed.
+		if e.onset {
+			inj.lossy[f.ID]++
+		} else {
+			inj.lossy[f.ID]--
+		}
+	case f.Kind == Channel:
+		applied = inj.ch != nil && call(e.onset, func() error { return inj.ch.FailChannel(f.ID) }, nil) == nil
+	case f.Kind == Input:
+		applied = inj.pf != nil && call(e.onset,
+			func() error { return inj.pf.FailInput(f.ID) },
+			func() error { return inj.pf.RestoreInput(f.ID) }) == nil
+	case f.Kind == Output:
+		applied = inj.pf != nil && call(e.onset,
+			func() error { return inj.pf.FailOutput(f.ID) },
+			func() error { return inj.pf.RestoreOutput(f.ID) }) == nil
+	case f.Kind == Crosspoint:
+		in, out := f.ID/inj.radix, f.ID%inj.radix
+		applied = inj.xf != nil && call(e.onset,
+			func() error { return inj.xf.FailCrosspoint(in, out) },
+			func() error { return inj.xf.RestoreCrosspoint(in, out) }) == nil
+	}
+	if !applied {
+		inj.stats.Skipped++
+		return
+	}
+	if e.onset {
+		inj.stats.FailEvents++
+	} else {
+		inj.stats.RepairEvents++
+	}
+	if inj.Hook != nil {
+		inj.Hook(e.cycle, f, !e.onset)
+	}
+}
+
+// call runs the onset or repair action; a nil repair action means the
+// fault kind has no repair call (permanent faults never schedule one).
+func call(onset bool, fail, restore func() error) error {
+	if onset {
+		return fail()
+	}
+	if restore == nil {
+		return nil
+	}
+	return restore()
+}
+
+// Lossy reports whether channel cid is inside an active lossy outage.
+func (inj *Injector) Lossy(cid int) bool {
+	return inj.hasLossy && cid < len(inj.lossy) && inj.lossy[cid] > 0
+}
+
+// Stats returns the injector's event counters so far.
+func (inj *Injector) Stats() Stats { return inj.stats }

@@ -30,12 +30,30 @@ const (
 	// EvEject: a packet's last flit left the switch (Aux = latency in
 	// cycles from injection).
 	EvEject
+	// EvFlitDrop: a flit was lost crossing a lossy L2LC outage
+	// (Aux = global L2LC id).
+	EvFlitDrop
+	// EvRetransmit: a source restarted a corrupted packet (Aux = retry
+	// number, 1-based).
+	EvRetransmit
+	// EvRetryDrop: a corrupted packet exhausted its retry budget and was
+	// abandoned (Aux = retries spent).
+	EvRetryDrop
+	// EvDeadFlow: a queued packet was retired because every path to its
+	// destination is failed (Aux = its age in cycles).
+	EvDeadFlow
+	// EvFault: the fault plane failed a resource (In = resource id,
+	// Out = -1, Aux = fault.Kind).
+	EvFault
+	// EvRepair: the fault plane repaired a resource (same fields).
+	EvRepair
 
 	numEventKinds = iota
 )
 
 var eventKindNames = [numEventKinds]string{
 	"inject", "drop", "vc_alloc", "arb_win", "arb_lose", "l2lc", "eject",
+	"flit_drop", "retransmit", "retry_drop", "dead_flow", "fault", "repair",
 }
 
 // String returns the event kind's wire name.

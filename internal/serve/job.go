@@ -12,25 +12,29 @@ import (
 // State is a job's lifecycle state.
 type State string
 
-// Job lifecycle: Queued -> Running -> one of Done / Failed / Cancelled.
-// A queued job that is cancelled skips Running entirely.
+// Job lifecycle: Queued -> Running -> one of Done / Failed / Cancelled /
+// Timeout. A queued job that is cancelled skips Running entirely; Timeout
+// is reached only from Running, when the job outlives Config.JobTimeout.
 const (
 	Queued    State = "queued"
 	Running   State = "running"
 	Done      State = "done"
 	Failed    State = "failed"
 	Cancelled State = "cancelled"
+	Timeout   State = "timeout"
 )
 
 // Terminal reports whether no further transitions can happen.
-func (s State) Terminal() bool { return s == Done || s == Failed || s == Cancelled }
+func (s State) Terminal() bool {
+	return s == Done || s == Failed || s == Cancelled || s == Timeout
+}
 
 // Event is one entry of a job's NDJSON progress stream.
 type Event struct {
 	// Seq orders events within one job, starting at 0.
 	Seq int `json:"seq"`
 	// Event names the transition or observation: "queued", "started",
-	// "progress", "done", "failed", "cancelled".
+	// "progress", "done", "failed", "cancelled", "timeout".
 	Event string `json:"event"`
 	// Time is the wall-clock timestamp (RFC3339, UTC).
 	Time string `json:"time"`
@@ -115,14 +119,16 @@ func (j *job) transition(state State, e Event) {
 	switch state {
 	case Running:
 		j.started = time.Now()
-	case Done, Failed, Cancelled:
+	case Done, Failed, Cancelled, Timeout:
 		j.finished = time.Now()
 	}
 	j.appendEventLocked(e)
 }
 
-// finish records a terminal result.
-func (j *job) finish(result []byte, cacheHit bool, err error, cancelled bool) {
+// finish records a terminal result. cancelled wins over timedOut: a
+// client DELETE that races the deadline reports what the client asked
+// for.
+func (j *job) finish(result []byte, cacheHit bool, err error, cancelled, timedOut bool) {
 	j.mu.Lock()
 	terminal := j.state.Terminal()
 	if !terminal {
@@ -135,6 +141,8 @@ func (j *job) finish(result []byte, cacheHit bool, err error, cancelled bool) {
 	switch {
 	case cancelled:
 		j.transition(Cancelled, Event{Event: "cancelled"})
+	case timedOut:
+		j.transition(Timeout, Event{Event: "timeout", Error: err.Error()})
 	case err != nil:
 		j.transition(Failed, Event{Event: "failed", Error: err.Error()})
 	default:

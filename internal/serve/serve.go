@@ -49,6 +49,12 @@ type Config struct {
 	// SimWorkers bounds the per-job simulation parallelism, like the
 	// CLIs' -parallel flag (0 selects all CPUs).
 	SimWorkers int
+	// JobTimeout bounds each job's wall-clock run time (0 = unlimited).
+	// A job that outlives it is cancelled at the simulators' next
+	// cycle-level check and settles in the distinct "timeout" terminal
+	// state, so stuck or oversized submissions cannot pin a worker
+	// forever.
+	JobTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -80,7 +86,7 @@ type Server struct {
 	running atomic.Int64
 	workers sync.WaitGroup
 
-	submitted, rejected, completed, failed, cancelled atomic.Int64
+	submitted, rejected, completed, failed, cancelled, timedout atomic.Int64
 }
 
 // New starts a Server's worker pool and returns it.
@@ -117,7 +123,7 @@ func (s *Server) worker() {
 func (s *Server) run(j *job) {
 	if j.ctx.Err() != nil {
 		// Cancelled while queued.
-		j.finish(nil, false, j.ctx.Err(), true)
+		j.finish(nil, false, j.ctx.Err(), true, false)
 		s.cancelled.Add(1)
 		return
 	}
@@ -125,14 +131,27 @@ func (s *Server) run(j *job) {
 	defer s.running.Add(-1)
 	j.transition(Running, Event{Event: "started"})
 
-	data, hit, err := s.store.GetOrCompute(j.ctx, j.key, func(cctx context.Context) ([]byte, error) {
+	// The wall-clock budget starts when the job starts running, not when
+	// it was queued: a long queue must not eat a job's timeout.
+	ctx := j.ctx
+	if s.cfg.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
+		defer cancel()
+	}
+	data, hit, err := s.store.GetOrCompute(ctx, j.key, func(cctx context.Context) ([]byte, error) {
 		return s.compute(cctx, j)
 	})
 	cancelled := j.ctx.Err() != nil && errors.Is(err, context.Canceled)
-	j.finish(data, hit, err, cancelled)
+	// Timeout: the per-job deadline fired and the run errored, but the
+	// job itself was never cancelled by a client or a drain.
+	timedOut := err != nil && ctx.Err() != nil && j.ctx.Err() == nil
+	j.finish(data, hit, err, cancelled, timedOut)
 	switch {
 	case cancelled:
 		s.cancelled.Add(1)
+	case timedOut:
+		s.timedout.Add(1)
 	case err != nil:
 		s.failed.Add(1)
 	default:
@@ -360,7 +379,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		// The worker may not reach this job for a while; settle its
 		// state now so clients see the cancellation immediately. run()
 		// still observes the cancelled ctx and skips it.
-		j.finish(nil, false, context.Canceled, true)
+		j.finish(nil, false, context.Canceled, true, false)
 		s.cancelled.Add(1)
 	}
 	writeJSON(w, http.StatusOK, j.status())
@@ -396,6 +415,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	reg.Counter("serve.jobs.completed").Add(s.completed.Load())
 	reg.Counter("serve.jobs.failed").Add(s.failed.Load())
 	reg.Counter("serve.jobs.cancelled").Add(s.cancelled.Load())
+	reg.Counter("serve.jobs.timeout").Add(s.timedout.Load())
 	st := s.store.Stats()
 	reg.Counter("store.hits.memory").Add(st.MemHits)
 	reg.Counter("store.hits.disk").Add(st.DiskHits)

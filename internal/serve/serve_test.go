@@ -505,3 +505,81 @@ func TestExperimentJob(t *testing.T) {
 		t.Fatalf("csv body looks wrong:\n%s", body)
 	}
 }
+
+// TestJobTimeout: a job that outlives Config.JobTimeout settles in the
+// distinct "timeout" terminal state (not "cancelled", not "failed"),
+// its events stream says so, the worker is released for the next job,
+// and client cancellation still reports "cancelled".
+func TestJobTimeout(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{
+		Workers: 1, SimWorkers: 1, JobTimeout: 400 * time.Millisecond,
+	})
+
+	st := submit(t, ts, longSweep())
+	final := waitState(t, ts, st.ID, "timeout", func(s serve.Status) bool { return s.State.Terminal() })
+	if final.State != serve.Timeout {
+		t.Fatalf("overlong job ended %s (%s), want %s", final.State, final.Error, serve.Timeout)
+	}
+	if final.Error == "" {
+		t.Fatal("timeout status carries no error message")
+	}
+
+	// The events stream records the distinct terminal event.
+	resp, err := http.Get(ts.URL + "/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last serve.Event
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var e serve.Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		last = e
+	}
+	resp.Body.Close()
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if last.Event != "timeout" {
+		t.Fatalf("final event = %q, want \"timeout\"", last.Event)
+	}
+
+	// The result endpoint refuses, naming the state.
+	rresp, err := http.Get(ts.URL + "/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, rresp.Body)
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusConflict {
+		t.Fatalf("result of timed-out job: HTTP %d, want 409", rresp.StatusCode)
+	}
+
+	// The worker survived the timeout: short jobs still complete.
+	quick := submit(t, ts, quickSweep())
+	qdone := waitState(t, ts, quick.ID, "done", func(s serve.Status) bool { return s.State.Terminal() })
+	if qdone.State != serve.Done {
+		t.Fatalf("job after a timeout ended %s: %s", qdone.State, qdone.Error)
+	}
+
+	// An explicit DELETE still reports "cancelled", even with a timeout
+	// configured: the client's intent wins.
+	running := submit(t, ts, longSweep())
+	waitState(t, ts, running.ID, "running", func(s serve.Status) bool { return s.State == serve.Running })
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+running.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, dresp.Body)
+	dresp.Body.Close()
+	cfinal := waitState(t, ts, running.ID, "cancelled", func(s serve.Status) bool { return s.State.Terminal() })
+	if cfinal.State != serve.Cancelled {
+		t.Fatalf("deleted job ended %s, want %s", cfinal.State, serve.Cancelled)
+	}
+}

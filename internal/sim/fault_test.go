@@ -1,0 +1,280 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/reprolab/hirise/internal/crossbar"
+	"github.com/reprolab/hirise/internal/fault"
+	"github.com/reprolab/hirise/internal/topo"
+	"github.com/reprolab/hirise/internal/traffic"
+)
+
+func hiriseCfg(channels int, scheme topo.Scheme) topo.Config {
+	return topo.Config{
+		Radix: 64, Layers: 4, Channels: channels,
+		Alloc: topo.InputBinned, Scheme: scheme, Classes: 3,
+	}
+}
+
+func mustPlan(t testing.TB, faults ...fault.Fault) *fault.Plan {
+	t.Helper()
+	p, err := fault.NewPlan(faults...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestEmptyFaultPlaneByteIdentical pins the tentpole's compatibility
+// contract: attaching a nil or empty fault plane (with the checker on)
+// changes not one bit of the result.
+func TestEmptyFaultPlaneByteIdentical(t *testing.T) {
+	base := Config{
+		Switch:  hirise(t, 4, topo.CLRG),
+		Traffic: traffic.Uniform{Radix: 64},
+		Load:    0.6, Warmup: 1000, Measure: 5000, Seed: 11,
+	}
+	want := run(t, base)
+
+	empty := base
+	empty.Switch = hirise(t, 4, topo.CLRG)
+	empty.Faults = mustPlan(t)
+	empty.Check = true
+	got := run(t, empty)
+
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("empty fault plane changed the result:\nwant %+v\ngot  %+v", want, got)
+	}
+	if got.Fault != nil {
+		t.Fatalf("empty plan populated FaultStats %+v", got.Fault)
+	}
+}
+
+// TestFaultRunsAreDeterministic runs the same faulty configuration
+// twice and requires identical results — the fault plane must inherit
+// the simulator's reproducibility contract.
+func TestFaultRunsAreDeterministic(t *testing.T) {
+	mk := func() Result {
+		plan, err := fault.Spec{
+			Seed: 5, Campaign: "det", Cfg: hiriseCfg(4, topo.CLRG),
+			FailChannels: 8, TransientRate: 0.0005, Horizon: 6000,
+		}.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return run(t, Config{
+			Switch:  hirise(t, 4, topo.CLRG),
+			Traffic: traffic.Uniform{Radix: 64},
+			Load:    0.8, Warmup: 1000, Measure: 5000, Seed: 11,
+			Faults: plan, Check: true,
+		})
+	}
+	a, b := mk(), mk()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same faulty config diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestLossyLinkRetransmissionRecovers subjects the switch to transient
+// lossy outages under load with the invariant checker on: flits are
+// dropped, sources retransmit, nothing is lost or duplicated, and
+// traffic still flows.
+func TestLossyLinkRetransmissionRecovers(t *testing.T) {
+	plan, err := fault.Spec{
+		Seed: 3, Campaign: "lossy", Cfg: hiriseCfg(4, topo.CLRG),
+		TransientRate: 0.001, RepairMean: 32, Horizon: 6000,
+	}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := run(t, Config{
+		Switch:  hirise(t, 4, topo.CLRG),
+		Traffic: traffic.Uniform{Radix: 64},
+		Load:    0.8, Warmup: 1000, Measure: 5000, Seed: 11,
+		Faults: plan, Check: true,
+	})
+	if r.Fault == nil {
+		t.Fatal("faulty run reported no FaultStats")
+	}
+	if r.Fault.FlitsDropped == 0 || r.Fault.Retransmissions == 0 {
+		t.Fatalf("outages dropped %d flits, %d retransmissions; expected both > 0: %+v",
+			r.Fault.FlitsDropped, r.Fault.Retransmissions, r.Fault)
+	}
+	if r.Delivered == 0 {
+		t.Fatal("no packet delivered under transient faults")
+	}
+}
+
+// TestRetryBudgetExhaustion makes every channel lossy for the whole run
+// so cross-layer packets can never complete: each must consume its
+// retry budget and be abandoned, with conservation still closing.
+func TestRetryBudgetExhaustion(t *testing.T) {
+	cfg := hiriseCfg(4, topo.CLRG)
+	var outages []fault.Fault
+	for cid := 0; cid < cfg.NumL2LC(); cid++ {
+		outages = append(outages, fault.Fault{Kind: fault.Channel, ID: cid, Onset: 0, Repair: 1 << 40})
+	}
+	r := run(t, Config{
+		Switch:  hirise(t, 4, topo.CLRG),
+		Traffic: traffic.Uniform{Radix: 64},
+		Load:    0.3, Warmup: 1000, Measure: 4000, Seed: 11,
+		Faults: mustPlan(t, outages...), Check: true, RetryBudget: 2,
+	})
+	if r.Fault.RetryExhausted == 0 {
+		t.Fatalf("permanently lossy channels exhausted no retry budget: %+v", r.Fault)
+	}
+	if r.Fault.Retransmissions < 2*r.Fault.RetryExhausted {
+		t.Fatalf("%d retransmissions for %d exhausted packets; every abandoned packet should have retried twice",
+			r.Fault.Retransmissions, r.Fault.RetryExhausted)
+	}
+	if r.Delivered == 0 {
+		t.Fatal("same-layer traffic should still deliver")
+	}
+}
+
+// TestPermanentChannelFaultsMidRunDrain fails a third of the channels
+// mid-run while connections hold them. Fail-stop semantics plus the
+// checker's conservation ledger prove every in-flight packet drained:
+// nothing is lost, throughput continues on the survivors.
+func TestPermanentChannelFaultsMidRunDrain(t *testing.T) {
+	cfg := hiriseCfg(4, topo.CLRG)
+	var faults []fault.Fault
+	for cid := 0; cid < cfg.NumL2LC(); cid += 3 {
+		faults = append(faults, fault.Fault{Kind: fault.Channel, ID: cid, Onset: 2000, Repair: -1})
+	}
+	r := run(t, Config{
+		Switch:  hirise(t, 4, topo.CLRG),
+		Traffic: traffic.Uniform{Radix: 64},
+		Load:    1.0, Warmup: 1000, Measure: 5000, Seed: 11,
+		Faults: mustPlan(t, faults...), Check: true,
+	})
+	if r.Fault.FailEvents == 0 {
+		t.Fatalf("no fail event applied: %+v", r.Fault)
+	}
+	if r.Fault.FlitsDropped != 0 || r.Fault.RetryExhausted != 0 {
+		t.Fatalf("fail-stop faults must not lose flits: %+v", r.Fault)
+	}
+	if r.AcceptedFlits == 0 {
+		t.Fatal("switch stopped accepting traffic after channel faults")
+	}
+}
+
+// TestDeadFlowRetirement fails input and output ports mid-run; packets
+// already queued toward a failed output can never be delivered and must
+// be retired as dead flows rather than blocking their VCs forever —
+// with the ledger still closing around them.
+func TestDeadFlowRetirement(t *testing.T) {
+	var faults []fault.Fault
+	for p := 0; p < 8; p++ {
+		faults = append(faults, fault.Fault{Kind: fault.Output, ID: p * 7, Onset: 1500, Repair: -1})
+	}
+	r := run(t, Config{
+		Switch:  hirise(t, 4, topo.CLRG),
+		Traffic: traffic.Uniform{Radix: 64},
+		Load:    0.9, Warmup: 1000, Measure: 5000, Seed: 11,
+		Faults: mustPlan(t, faults...), Check: true, DeadFlowCycles: 256,
+	})
+	if r.Fault.DeadFlows == 0 {
+		t.Fatalf("packets toward failed outputs were never retired: %+v", r.Fault)
+	}
+}
+
+// TestCrossbarFaultPlane drives the flat crossbar through port and
+// crosspoint faults with the checker on: the fault plane is not
+// Hi-Rise-specific.
+func TestCrossbarFaultPlane(t *testing.T) {
+	r := run(t, Config{
+		Switch:  crossbar.New(64),
+		Traffic: traffic.Uniform{Radix: 64},
+		Load:    0.8, Warmup: 1000, Measure: 4000, Seed: 11,
+		Faults: mustPlan(t,
+			fault.Fault{Kind: fault.Input, ID: 5, Onset: 0, Repair: -1},
+			fault.Fault{Kind: fault.Output, ID: 9, Onset: 1200, Repair: -1},
+			fault.Fault{Kind: fault.Crosspoint, ID: 3*64 + 17, Onset: 0, Repair: -1},
+		),
+		Check: true, DeadFlowCycles: 256,
+	})
+	if r.Fault.FailEvents != 3 {
+		t.Fatalf("expected 3 fail events, got %+v", r.Fault)
+	}
+	if r.Fault.DeadFlows == 0 {
+		t.Fatal("packets toward the failed output were never retired")
+	}
+}
+
+// TestFaultPlaneSteadyStateAllocs extends the steady-state allocation
+// pin to the fault-mask path: with the plane active (but the checker
+// off — its ledger is allowed to grow), longer runs must not allocate
+// more than shorter ones.
+func TestFaultPlaneSteadyStateAllocs(t *testing.T) {
+	allocs := func(cycles int64) float64 {
+		return testing.AllocsPerRun(3, func() {
+			plan, err := fault.Spec{
+				Seed: 5, Campaign: "alloc", Cfg: hiriseCfg(4, topo.CLRG),
+				FailChannels: 8, TransientRate: 0.0005, Horizon: 500 + cycles,
+			}.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Run(Config{
+				Switch:  hirise(t, 4, topo.CLRG),
+				Traffic: traffic.Uniform{Radix: 64},
+				Load:    0.3, Warmup: 500, Measure: cycles, Seed: 7,
+				Faults: plan,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	short, long := allocs(2000), allocs(8000)
+	// The longer horizon schedules more transient outages, so allow the
+	// plan/injector setup difference, but nothing per-cycle: a per-cycle
+	// leak shows up as thousands of extra allocations.
+	if long > short+64 {
+		t.Errorf("6000 extra cycles allocated %.0f extra times (%.0f -> %.0f); fault path allocates per cycle",
+			long-short, short, long)
+	}
+}
+
+// TestCheckerCatchesFailedResourceGrant wires a switch that ignores
+// fault masking and asserts the invariant checker actually fires — the
+// self-checking layer must not be a rubber stamp.
+func TestCheckerCatchesFailedResourceGrant(t *testing.T) {
+	sw := &negligentSwitch{inner: crossbar.New(8)}
+	_, err := Run(Config{
+		Switch:  sw,
+		Traffic: traffic.Uniform{Radix: 8},
+		Load:    1.0, Warmup: 0, Measure: 1000, Seed: 3,
+		Faults: mustPlan(t, fault.Fault{Kind: fault.Input, ID: 2, Onset: 0, Repair: -1}),
+		Check:  true,
+	})
+	if err == nil {
+		t.Fatal("checker accepted a grant on a failed input")
+	}
+}
+
+// negligentSwitch accepts FailInput but keeps granting the failed input
+// anyway — a deliberately buggy switch for checker coverage.
+type negligentSwitch struct {
+	inner  *crossbar.Switch
+	failed map[int]bool
+}
+
+func (n *negligentSwitch) Radix() int { return n.inner.Radix() }
+func (n *negligentSwitch) Arbitrate(req []int) []topo.Grant {
+	return n.inner.Arbitrate(req)
+}
+func (n *negligentSwitch) Release(in int) { n.inner.Release(in) }
+func (n *negligentSwitch) FailInput(in int) error {
+	if n.failed == nil {
+		n.failed = map[int]bool{}
+	}
+	n.failed[in] = true
+	return nil
+}
+func (n *negligentSwitch) RestoreInput(in int) error   { delete(n.failed, in); return nil }
+func (n *negligentSwitch) FailOutput(out int) error    { return nil }
+func (n *negligentSwitch) RestoreOutput(out int) error { return nil }
+func (n *negligentSwitch) InputFailed(in int) bool     { return n.failed[in] }
+func (n *negligentSwitch) OutputFailed(out int) bool   { return false }

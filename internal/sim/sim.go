@@ -16,6 +16,7 @@ import (
 	"context"
 	"fmt"
 
+	"github.com/reprolab/hirise/internal/fault"
 	"github.com/reprolab/hirise/internal/obs"
 	"github.com/reprolab/hirise/internal/pool"
 	"github.com/reprolab/hirise/internal/prng"
@@ -81,6 +82,32 @@ type Config struct {
 	// default) is free: no hook allocates or branches beyond a nil
 	// check. Results and stdout are byte-identical either way.
 	Obs *obs.Observer
+	// Faults, when non-nil and non-empty, attaches the fault plane
+	// (internal/fault): fail-stop events are applied to the switch
+	// cycle by cycle and lossy channel outages drop the flits crossing
+	// them, recovered by the source-side retransmission protocol. A nil
+	// or empty plan costs nothing: the run is byte-identical to one
+	// without the field. Plans are immutable and may be shared across
+	// concurrent runs.
+	Faults *fault.Plan
+	// RetryBudget caps source-side retransmissions per packet after
+	// lossy-link corruption. 0 selects the default (3); negative
+	// disables retransmission (a corrupted packet is abandoned at its
+	// first failed delivery).
+	RetryBudget int
+	// DeadFlowCycles is the age after which a queued packet whose every
+	// path to its destination is failed (Switch.PathBlocked) is retired
+	// as a dead flow instead of head-of-line blocking its VC forever.
+	// 0 selects the default (512). The age guard keeps flows alive
+	// across transient outages that heal.
+	DeadFlowCycles int64
+	// Check enables the self-checking invariant layer: no grant ever
+	// lands on a failed resource, no packet is delivered twice, and at
+	// end of run every injected packet is accounted for (delivered,
+	// still queued or in flight, retry-exhausted, or a dead flow). Run
+	// returns an error on the first violation. It observes the run
+	// without changing it; tests keep it always on.
+	Check bool
 }
 
 // Defaults fills unset fields with the paper's parameters. Zero means
@@ -149,6 +176,10 @@ type Result struct {
 	// DroppedInjections counts packets discarded at full source queues
 	// during measurement; nonzero means the port is saturated.
 	DroppedInjections int64
+	// Fault aggregates the fault plane's activity over the whole run;
+	// nil when the run had no fault plane, so fault-free results
+	// serialize exactly as before.
+	Fault *FaultStats `json:",omitempty"`
 }
 
 // Saturated reports whether offered traffic exceeded what the switch
@@ -165,6 +196,10 @@ const ctxCheckInterval = 1024
 type packet struct {
 	birth int64
 	dest  int
+	seq   int64 // per-input injection sequence number (invariant checker)
+	// retries counts the retransmissions this packet has consumed
+	// recovering from lossy-link corruption.
+	retries int
 }
 
 // fifo is a fixed-capacity ring buffer of packets. The source queue
@@ -207,6 +242,12 @@ type port struct {
 	connected bool
 	connVC    int
 	remaining int
+	// corrupt marks the active transmission as having lost at least one
+	// flit to a lossy channel outage; the source detects it when the
+	// last flit completes and retransmits or abandons.
+	corrupt bool
+	// nextSeq numbers this input's injections.
+	nextSeq int64
 }
 
 // Run executes one simulation and returns its measurements.
@@ -234,6 +275,52 @@ func Run(cfg Config) (Result, error) {
 	mLatency := cfg.Obs.Histogram("sim.latency.cycles", 4, 4096)
 	cfg.Obs.Gauge("sim.offered.load").Set(cfg.Load)
 
+	// Fault plane. Everything below is nil/false when the plan is empty,
+	// so the fault-free run stays on the exact pre-fault hot path (and
+	// registers no fault counters, keeping metrics output unchanged).
+	hasFaults := !cfg.Faults.Empty()
+	var inj *fault.Injector
+	var holder channelHolder
+	var blocker pathBlocker
+	var mFlitDrop, mRetrans, mRetryDrop, mDeadFlow, mFailEv, mRepairEv *obs.Counter
+	if hasFaults {
+		inj = fault.NewInjector(cfg.Faults, cfg.Switch)
+		holder, _ = cfg.Switch.(channelHolder)
+		blocker, _ = cfg.Switch.(pathBlocker)
+		mFlitDrop = cfg.Obs.Counter("sim.fault.flits_dropped")
+		mRetrans = cfg.Obs.Counter("sim.fault.retransmissions")
+		mRetryDrop = cfg.Obs.Counter("sim.fault.retry_exhausted")
+		mDeadFlow = cfg.Obs.Counter("sim.fault.dead_flows")
+		mFailEv = cfg.Obs.Counter("sim.fault.fail_events")
+		mRepairEv = cfg.Obs.Counter("sim.fault.repair_events")
+		inj.Hook = func(cycle int64, f fault.Fault, repair bool) {
+			if repair {
+				mRepairEv.Inc()
+				rec.Record(cycle, obs.EvRepair, f.ID, -1, int(f.Kind))
+				return
+			}
+			mFailEv.Inc()
+			rec.Record(cycle, obs.EvFault, f.ID, -1, int(f.Kind))
+		}
+	}
+	lossy := inj != nil && inj.HasLossy() && holder != nil
+	retryBudget := cfg.RetryBudget
+	switch {
+	case retryBudget == 0:
+		retryBudget = 3
+	case retryBudget < 0:
+		retryBudget = 0
+	}
+	deadAfter := cfg.DeadFlowCycles
+	if deadAfter == 0 {
+		deadAfter = 512
+	}
+	var chk *checker
+	if cfg.Check {
+		chk = newChecker(cfg.Switch, n)
+	}
+	var fstats FaultStats
+
 	root := prng.New(cfg.Seed)
 	ports := make([]port, n)
 	for i := range ports {
@@ -259,6 +346,14 @@ func Run(cfg Config) (Result, error) {
 		}
 		measuring := cycle >= cfg.Warmup
 
+		// 0. Apply this cycle's fault events before anything arbitrates:
+		// a resource failed at cycle t is masked from cycle t's grants,
+		// and a lossy outage spanning [onset, repair) corrupts cycle t's
+		// flits.
+		if inj != nil {
+			inj.Advance(cycle)
+		}
+
 		// 1. Advance active transmissions; deliveries complete here but
 		// resources release only after this cycle's arbitration, matching
 		// the priority-bus reuse (arbitration cannot overlap data on the
@@ -269,8 +364,42 @@ func Run(cfg Config) (Result, error) {
 			if !p.connected {
 				continue
 			}
+			if lossy {
+				// A flit crossing an L2LC inside a lossy outage is lost;
+				// the connection keeps transmitting (the source has not
+				// noticed yet), but the packet is now corrupt.
+				if cid := holder.HeldChannel(in); cid >= 0 && inj.Lossy(cid) {
+					p.corrupt = true
+					fstats.FlitsDropped++
+					mFlitDrop.Inc()
+					rec.Record(cycle, obs.EvFlitDrop, in, p.vc[p.connVC].dest, cid)
+				}
+			}
 			p.remaining--
 			if p.remaining > 0 {
+				continue
+			}
+			if p.corrupt {
+				// Last flit of a corrupted packet: the destination cannot
+				// reassemble it, the source detects the loss one
+				// packet-time after transmission started (its implicit
+				// timeout) and either retransmits from the still-occupied
+				// VC or abandons the packet.
+				pkt := &p.vc[p.connVC]
+				p.corrupt = false
+				p.connected = false
+				releases = append(releases, in)
+				if pkt.retries >= retryBudget {
+					p.vcOk[p.connVC] = false
+					fstats.RetryExhausted++
+					mRetryDrop.Inc()
+					rec.Record(cycle, obs.EvRetryDrop, in, pkt.dest, pkt.retries)
+				} else {
+					pkt.retries++
+					fstats.Retransmissions++
+					mRetrans.Inc()
+					rec.Record(cycle, obs.EvRetransmit, in, pkt.dest, pkt.retries)
+				}
 				continue
 			}
 			pkt := p.vc[p.connVC]
@@ -286,6 +415,11 @@ func Run(cfg Config) (Result, error) {
 			mFlits.Add(int64(cfg.PacketFlits))
 			mLatency.Observe(float64(lat))
 			rec.Record(cycle, obs.EvEject, in, pkt.dest, int(lat))
+			if chk != nil {
+				if err := chk.recordDelivery(cycle, in, pkt.seq); err != nil {
+					return Result{}, err
+				}
+			}
 			p.vcOk[p.connVC] = false
 			p.connected = false
 			releases = append(releases, in)
@@ -301,18 +435,35 @@ func Run(cfg Config) (Result, error) {
 			}
 			for k := 0; k < cfg.VCs; k++ {
 				v := (p.rr + k) % cfg.VCs
-				if p.vcOk[v] {
-					p.rr = (v + 1) % cfg.VCs
-					req[in] = p.vc[v].dest
-					p.connVC = v
-					break
+				if !p.vcOk[v] {
+					continue
 				}
+				if hasFaults && blocker != nil && cycle-p.vc[v].birth >= deadAfter && blocker.PathBlocked(in, p.vc[v].dest) {
+					// Dead flow: the packet has waited past the dead-flow
+					// age and every path to its destination is failed, so
+					// it can never be delivered. Retire it instead of
+					// head-of-line blocking the VC forever.
+					p.vcOk[v] = false
+					fstats.DeadFlows++
+					mDeadFlow.Inc()
+					rec.Record(cycle, obs.EvDeadFlow, in, p.vc[v].dest, int(cycle-p.vc[v].birth))
+					continue
+				}
+				p.rr = (v + 1) % cfg.VCs
+				req[in] = p.vc[v].dest
+				p.connVC = v
+				break
 			}
 		}
 
 		// 3. Arbitrate and start new connections (flits flow on the
 		// following cycles).
 		for _, g := range cfg.Switch.Arbitrate(req) {
+			if chk != nil {
+				if err := chk.checkGrant(cycle, g.In, g.Out); err != nil {
+					return Result{}, err
+				}
+			}
 			p := &ports[g.In]
 			p.connected = true
 			p.remaining = cfg.PacketFlits
@@ -346,9 +497,13 @@ func Run(cfg Config) (Result, error) {
 					mDropped.Inc()
 					rec.Record(cycle, obs.EvDrop, in, dest, 0)
 				} else {
-					p.srcQ.push(packet{birth: cycle, dest: dest})
+					p.srcQ.push(packet{birth: cycle, dest: dest, seq: p.nextSeq})
+					p.nextSeq++
 					if measuring {
 						injected++
+					}
+					if chk != nil {
+						chk.injected++
 					}
 					mInjected.Inc()
 					rec.Record(cycle, obs.EvInject, in, dest, 0)
@@ -379,6 +534,27 @@ func Run(cfg Config) (Result, error) {
 	}
 	for i, c := range perPkt {
 		res.PerInputPackets[i] = float64(c) / float64(cfg.Measure)
+	}
+	if hasFaults {
+		ist := inj.Stats()
+		fstats.FailEvents = ist.FailEvents
+		fstats.RepairEvents = ist.RepairEvents
+		fstats.SkippedEvents = ist.Skipped
+		res.Fault = &fstats
+	}
+	if chk != nil {
+		var inFlight int64
+		for in := range ports {
+			inFlight += int64(ports[in].srcQ.n)
+			for _, ok := range ports[in].vcOk {
+				if ok {
+					inFlight++
+				}
+			}
+		}
+		if err := chk.conservation(inFlight, fstats); err != nil {
+			return Result{}, err
+		}
 	}
 	return res, nil
 }

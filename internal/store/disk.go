@@ -56,6 +56,21 @@ func (s *Store) diskGet(key Key) ([]byte, bool) {
 	return data, true
 }
 
+// encodeEntry frames a payload in the disk entry format. It is the
+// exact inverse of decodeEntry: the framing is canonical, so for any
+// payload decodeEntry(encodeEntry(p)) == p, and any accepted file
+// re-encodes byte-identically.
+func encodeEntry(data []byte) []byte {
+	out := make([]byte, 0, diskOverhead+len(data))
+	out = append(out, diskMagic[:]...)
+	var n [8]byte
+	binary.BigEndian.PutUint64(n[:], uint64(len(data)))
+	out = append(out, n[:]...)
+	out = append(out, data...)
+	sum := sha256.Sum256(data)
+	return append(out, sum[:]...)
+}
+
 func decodeEntry(raw []byte) ([]byte, error) {
 	if len(raw) < diskOverhead {
 		return nil, fmt.Errorf("store: entry too short (%d bytes)", len(raw))
@@ -93,15 +108,9 @@ func (s *Store) diskPut(key Key, data []byte) error {
 	}
 	defer os.Remove(tmp.Name()) // no-op after successful rename
 
-	var hdr [16]byte
-	copy(hdr[:8], diskMagic[:])
-	binary.BigEndian.PutUint64(hdr[8:], uint64(len(data)))
-	sum := sha256.Sum256(data)
-	for _, chunk := range [][]byte{hdr[:], data, sum[:]} {
-		if _, err := tmp.Write(chunk); err != nil {
-			tmp.Close()
-			return err
-		}
+	if _, err := tmp.Write(encodeEntry(data)); err != nil {
+		tmp.Close()
+		return err
 	}
 	if err := tmp.Close(); err != nil {
 		return err

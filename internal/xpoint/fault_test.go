@@ -1,0 +1,78 @@
+package xpoint
+
+import (
+	"testing"
+
+	"github.com/reprolab/hirise/internal/bitvec"
+)
+
+// TestFailedCrosspointNeverWins: a failed cross-point neither latches a
+// connectivity bit nor pulls priority lines down — the column behaves as
+// if the input's request never arrived.
+func TestFailedCrosspointNeverWins(t *testing.T) {
+	c := NewColumn(8)
+	c.Fail(0)
+	req := bitvec.New(8)
+	req.Set(0)
+	req.Set(1)
+	// Input 0 has top initial priority; dead, it must not win, and its
+	// pull-down stack must not discharge input 1's line either.
+	if w := c.Evaluate(req); w != 1 {
+		t.Fatalf("winner = %d, want 1 (failed 0 masked, its pull-downs inert)", w)
+	}
+	// A request vector containing only the failed input grants nobody.
+	only := bitvec.New(8)
+	only.Set(0)
+	if w := c.Evaluate(only); w != -1 {
+		t.Fatalf("failed cross-point won: %d", w)
+	}
+	if !c.Failed(0) || c.Failed(1) {
+		t.Fatal("fault state wrong")
+	}
+}
+
+// TestRestoreRejoinsAtPreFaultPriority: Fail/Restore leaves the priority
+// matrix untouched, so a restored input competes exactly where it left
+// off.
+func TestRestoreRejoinsAtPreFaultPriority(t *testing.T) {
+	c := NewColumn(8)
+	req := bitvec.New(8)
+	req.Set(0)
+	req.Set(1)
+
+	c.Fail(0)
+	for i := 0; i < 3; i++ {
+		if w := c.Arbitrate(req); w != 1 {
+			t.Fatalf("round %d: winner = %d, want 1 while 0 is failed", i, w)
+		}
+	}
+	c.Restore(0)
+	// Input 0 never won, so it still outranks 1 (which lost its top spot
+	// on its first win): the restored cross-point wins immediately.
+	if w := c.Arbitrate(req); w != 0 {
+		t.Fatalf("restored input 0 should win at pre-fault priority, got %d", w)
+	}
+	// And LRG still applies afterwards: having just won, 0 now loses.
+	if w := c.Arbitrate(req); w != 1 {
+		t.Fatalf("after winning, 0 should yield to 1, got %d", w)
+	}
+}
+
+// TestFailAllRequestors: an all-failed request set must not trip the
+// two-winner panic or latch anything.
+func TestFailAllRequestors(t *testing.T) {
+	c := NewColumn(64)
+	req := bitvec.New(64)
+	for i := 0; i < 64; i++ {
+		req.Set(i)
+		c.Fail(i)
+	}
+	if w := c.Evaluate(req); w != -1 {
+		t.Fatalf("fully-failed column granted %d", w)
+	}
+	for i := 0; i < 64; i++ {
+		if c.Connected(i) {
+			t.Fatalf("connectivity bit %d latched in a fully-failed column", i)
+		}
+	}
+}

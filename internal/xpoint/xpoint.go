@@ -41,6 +41,7 @@ type Column struct {
 	pri     []bitvec.Vec
 	connect []bool
 	lines   bitvec.Vec // scratch: priority lines, set = precharged high
+	failed  bitvec.Vec // failed cross-points: their requests never evaluate
 }
 
 // NewColumn returns a column over n inputs with initial priority order
@@ -51,6 +52,7 @@ func NewColumn(n int) *Column {
 		pri:     make([]bitvec.Vec, n),
 		connect: make([]bool, n),
 		lines:   bitvec.New(n),
+		failed:  bitvec.New(n),
 	}
 	for i := range c.pri {
 		c.pri[i] = bitvec.New(n)
@@ -86,8 +88,11 @@ func (c *Column) Evaluate(req bitvec.Vec) int {
 	}
 	// Evaluate: every requesting cross-point's pull-down transistors
 	// discharge the lines of the inputs it beats — one word-parallel
-	// AND-NOT per requestor.
+	// AND-NOT per requestor. A failed cross-point's request word is
+	// masked before it can pull anything down: the dead stack neither
+	// discharges lines nor latches a connectivity bit.
 	for w, word := range req {
+		word &^= c.failed[w]
 		for word != 0 {
 			i := w<<6 | bits.TrailingZeros64(word)
 			word &= word - 1
@@ -98,7 +103,7 @@ func (c *Column) Evaluate(req bitvec.Vec) int {
 	// connectivity bit.
 	winner := -1
 	for w, word := range req {
-		if rem := word & c.lines[w]; rem != 0 {
+		if rem := (word &^ c.failed[w]) & c.lines[w]; rem != 0 {
 			if winner >= 0 || rem&(rem-1) != 0 {
 				panic("xpoint: two connectivity bits latched — priority matrix corrupt")
 			}
@@ -143,6 +148,17 @@ func (c *Column) Drive(inputData []uint64) (uint64, bool) {
 	}
 	return 0, false
 }
+
+// Fail marks cross-point i faulty: from the next Evaluate on, input i
+// can never win this column. The priority matrix is untouched, so a
+// later Restore rejoins the input at its pre-fault priority.
+func (c *Column) Fail(i int) { c.failed.Set(i) }
+
+// Restore returns cross-point i to service.
+func (c *Column) Restore(i int) { c.failed.Clear(i) }
+
+// Failed reports whether cross-point i is out of service.
+func (c *Column) Failed(i int) bool { return c.failed.Get(i) }
 
 // PriorityLinesUsed returns how many output-bus wires the arbitration
 // phase borrows: one per input row.
