@@ -10,6 +10,7 @@ import (
 	"github.com/reprolab/hirise/internal/core"
 	"github.com/reprolab/hirise/internal/crossbar"
 	"github.com/reprolab/hirise/internal/prng"
+	"github.com/reprolab/hirise/internal/sched"
 	"github.com/reprolab/hirise/internal/sim"
 	"github.com/reprolab/hirise/internal/topo"
 	"github.com/reprolab/hirise/internal/traffic"
@@ -59,6 +60,11 @@ func perfSuite() []struct {
 		{"xpoint/ColumnArbitrate/n=64", perfColumn(64)},
 		{"xpoint/ColumnArbitrate/n=128", perfColumn(128)},
 		{"xpoint/CLRGColumnArbitrate/n=13", perfCLRGColumn()},
+		{"sched/ISLIP2Schedule/n=64", perfSched(sched.NewISLIP(64, 2), 64)},
+		{"sched/ISLIP2Schedule/n=128", perfSched(sched.NewISLIP(128, 2), 128)},
+		{"sched/WavefrontSchedule/n=64", perfSched(sched.NewWavefront(64), 64)},
+		{"sched/WavefrontSchedule/n=128", perfSched(sched.NewWavefront(128), 128)},
+		{"sched/MWMSchedule/n=32", perfSched(sched.NewMWM(32), 32)},
 		{"sim/Uniform2D/radix=64", perfSim(func() sim.Switch { return crossbar.New(64) })},
 		{"sim/UniformHiRiseCLRG/radix=64", perfSim(func() sim.Switch {
 			sw, err := core.New(topo.Default64())
@@ -168,6 +174,33 @@ func perfCLRGColumn() func(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			c.Arbitrate(r, inputOf)
+		}
+	}
+}
+
+// perfSched benchmarks one crossbar matching per op over a fixed ~25%
+// dense request matrix with queue-length weights, mirroring the
+// steady-state Schedule benchmarks in internal/sched (schedulers are
+// stateful, so pointer rotation is part of the measured work).
+func perfSched(s sched.Scheduler, n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		src := prng.New(7)
+		req := make([]bitvec.Vec, n)
+		qlen := make([]int32, n*n)
+		match := make([]int, n)
+		for i := range req {
+			req[i] = bitvec.New(n)
+			for o := 0; o < n; o++ {
+				if src.Bernoulli(0.25) {
+					req[i].Set(o)
+					qlen[i*n+o] = int32(1 + src.Intn(8))
+				}
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Schedule(req, qlen, match)
 		}
 	}
 }

@@ -8,6 +8,13 @@
 //	hirise-sim -design 2d -traffic hotspot -load 0.002 -perinput
 //	hirise-sim -design hirise -channels 1 -scheme l2l -traffic adversarial -load 1
 //
+// VOQ crossbar mode (flat virtual-output-queued switch driven by the
+// input-queued scheduler zoo, no 3D structure or physical model):
+//
+//	hirise-sim -design voq -sched islip -iters 2 -traffic uniform -load 1
+//	hirise-sim -design voq -sched wavefront -speedup 2 -sweep 0.1:1.0:0.1
+//	hirise-sim -design voq -sched mwm -radix 16 -measure 5000 -load 0.9
+//
 // Fault injection (hirise design only; deterministic in the fault seed):
 //
 //	hirise-sim -fail-channels 8 -load 1 -check
@@ -73,7 +80,7 @@ func writeFile(path string, fn func(io.Writer) error) {
 
 func main() {
 	var (
-		design   = flag.String("design", "hirise", "switch design: 2d | folded | hirise")
+		design   = flag.String("design", "hirise", "switch design: 2d | folded | hirise | voq")
 		radix    = flag.Int("radix", 64, "switch radix")
 		layers   = flag.Int("layers", 4, "stacked layers (folded, hirise)")
 		channels = flag.Int("channels", 4, "L2LC multiplicity (hirise)")
@@ -90,6 +97,14 @@ func main() {
 		vcs      = flag.Int("vcs", 4, "virtual channels per input")
 		flits    = flag.Int("flits", 4, "flits per packet")
 		perInput = flag.Bool("perinput", false, "print per-input latency and throughput")
+
+		// VOQ crossbar mode (-design voq): input-queued scheduler zoo.
+		schedName = flag.String("sched", "islip", "VOQ scheduler: islip | wavefront | mwm (mwm is O(n^3) per cycle: keep -radix or the windows small)")
+		iters     = flag.Int("iters", 2, "iSLIP iterations per scheduling phase (-sched islip)")
+		speedupS  = flag.Int("speedup", 1, "internal crossbar speedup S: scheduling phases per cell time")
+		voqCap    = flag.Int("voqcap", 32, "per-(input,output) VOQ capacity in cells")
+		outqCap   = flag.Int("outqcap", 16, "output queue capacity in cells (binds when speedup > 1)")
+
 		sweep    = flag.String("sweep", "", "sweep loads lo:hi:step (packets/cycle/input) instead of a single run")
 		workers  = flag.Int("parallel", 0, "concurrent sweep points (0 = all CPUs, 1 = serial); results are identical at any value")
 		storeDir = flag.String("store", "",
@@ -171,9 +186,14 @@ func main() {
 			fail("%v", err)
 		}
 		cost = hirise.CostOf(cfg, tech)
+	case "voq":
+		// Flat VOQ crossbar (voq.go): no hierarchical structure and no
+		// physical model; cost stays unused. The scheduler flags are
+		// validated below once the voqCLI is assembled.
 	default:
 		fail("unknown design %q", *design)
 	}
+	isVOQ := strings.ToLower(*design) == "voq"
 	// Fault plane: build the plan once (it is immutable and shared by
 	// concurrent sweep points). Only the Hi-Rise design has L2LCs to
 	// fault. With no fault flags set, faultPlan stays nil and every code
@@ -425,9 +445,26 @@ func main() {
 		return nil
 	}
 
+	vc := voqCLI{
+		radix: *radix, schedName: strings.ToLower(*schedName), iters: *iters,
+		speedup: *speedupS, voqCap: *voqCap, outQCap: *outqCap,
+		load: *load, loads: loads, warmup: *warmup, measure: *measure,
+		seed: *seed, workers: *workers, perInput: *perInput, heartbeat: *heartbeat,
+		pattern: strings.ToLower(*pattern), target: *target, burst: *burst,
+		makeTraffic: makeTraffic, newObserver: newObserver, writeObs: writeObsOutputs,
+	}
 	runOutput := runSingle
 	if *sweep != "" {
 		runOutput = runSweep
+	}
+	if isVOQ {
+		if _, serr := vc.newSched(); serr != nil {
+			fail("%v", serr)
+		}
+		runOutput = vc.runSingle
+		if *sweep != "" {
+			runOutput = vc.runSweep
+		}
 	}
 
 	obsActive := newObserver() != nil
@@ -442,35 +479,41 @@ func main() {
 		if st, err = store.Open(*storeDir, store.Options{}); err != nil {
 			fail("%v", err)
 		}
-		key, kerr := st.KeyOf("sim", struct {
-			Design, Scheme, Alloc, Traffic   string
-			Radix, Layers, Channels, Classes int
-			Target, VCs, Flits               int
-			Burst, Load                      float64
-			Loads                            []float64
-			PerInput                         bool
-			Warmup, Measure                  int64
-			Seed                             uint64
-			FaultSeed                        uint64
-			FailChannels                     int
-			FaultRate                        float64
-			FaultRepair                      int64
-			Check                            bool
-		}{
-			strings.ToLower(*design), strings.ToLower(*scheme), strings.ToLower(*alloc), strings.ToLower(*pattern),
-			*radix, *layers, *channels, *classes,
-			*target, *vcs, *flits,
-			*burst, *load,
-			loads,
-			*perInput,
-			*warmup, *measure,
-			*seed,
-			*faultSeed,
-			*failCh,
-			*faultRate,
-			*faultRep,
-			*check,
-		})
+		var key store.Key
+		var kerr error
+		if isVOQ {
+			key, kerr = vc.storeKey(st)
+		} else {
+			key, kerr = st.KeyOf("sim", struct {
+				Design, Scheme, Alloc, Traffic   string
+				Radix, Layers, Channels, Classes int
+				Target, VCs, Flits               int
+				Burst, Load                      float64
+				Loads                            []float64
+				PerInput                         bool
+				Warmup, Measure                  int64
+				Seed                             uint64
+				FaultSeed                        uint64
+				FailChannels                     int
+				FaultRate                        float64
+				FaultRepair                      int64
+				Check                            bool
+			}{
+				strings.ToLower(*design), strings.ToLower(*scheme), strings.ToLower(*alloc), strings.ToLower(*pattern),
+				*radix, *layers, *channels, *classes,
+				*target, *vcs, *flits,
+				*burst, *load,
+				loads,
+				*perInput,
+				*warmup, *measure,
+				*seed,
+				*faultSeed,
+				*failCh,
+				*faultRate,
+				*faultRep,
+				*check,
+			})
+		}
 		if kerr != nil {
 			fail("%v", kerr)
 		}

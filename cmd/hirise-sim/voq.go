@@ -1,0 +1,189 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"github.com/reprolab/hirise"
+	"github.com/reprolab/hirise/internal/store"
+)
+
+// voqCLI is the -design voq mode: a flat virtual-output-queued crossbar
+// driven by an input-queued scheduler from the zoo (internal/sched)
+// instead of a hierarchical switch. It shares the traffic, windowing,
+// sweep, observability, and store plumbing with the other designs but
+// has its own report (no physical model — the VOQ mode studies matching
+// quality, not 3D integration) and its own store key kind, so cached
+// hierarchical results can never collide with VOQ ones.
+type voqCLI struct {
+	radix     int
+	schedName string
+	iters     int
+	speedup   int
+	voqCap    int
+	outQCap   int
+
+	load            float64
+	loads           []float64
+	warmup, measure int64
+	seed            uint64
+	workers         int
+	perInput        bool
+	heartbeat       time.Duration
+
+	pattern     string
+	target      int
+	burst       float64
+	makeTraffic func() hirise.TrafficPattern
+	newObserver func() *hirise.Observer
+	writeObs    func(observers []*hirise.Observer, labels []float64)
+}
+
+// newSched returns a factory of fresh scheduler instances (schedulers
+// carry round-robin pointer state, so every simulation needs its own).
+func (v voqCLI) newSched() (func() hirise.Scheduler, error) {
+	n, iters := v.radix, v.iters
+	switch v.schedName {
+	case "islip":
+		if iters < 1 {
+			return nil, fmt.Errorf("-iters %d: need at least 1 iSLIP iteration", iters)
+		}
+		return func() hirise.Scheduler { return hirise.NewISLIPScheduler(n, iters) }, nil
+	case "wavefront":
+		return func() hirise.Scheduler { return hirise.NewWavefrontScheduler(n) }, nil
+	case "mwm":
+		return func() hirise.Scheduler { return hirise.NewMWMScheduler(n) }, nil
+	}
+	return nil, fmt.Errorf("unknown VOQ scheduler %q: want islip | wavefront | mwm", v.schedName)
+}
+
+func (v voqCLI) base(ctx context.Context) hirise.VOQSimConfig {
+	return hirise.VOQSimConfig{
+		Radix: v.radix, Speedup: v.speedup,
+		VOQCap: v.voqCap, OutQCap: v.outQCap,
+		Warmup: v.warmup, Measure: v.measure, Seed: v.seed,
+		Ctx: ctx,
+	}
+}
+
+// schedLabel renders the scheduler for the report header.
+func (v voqCLI) schedLabel() string {
+	if v.schedName == "islip" {
+		return fmt.Sprintf("iSLIP x%d", v.iters)
+	}
+	return v.schedName
+}
+
+// runSingle simulates one load and prints the VOQ report to w.
+func (v voqCLI) runSingle(ctx context.Context, w io.Writer) error {
+	newSched, err := v.newSched()
+	if err != nil {
+		return err
+	}
+	cfg := v.base(ctx)
+	cfg.Sched = newSched()
+	cfg.Traffic = v.makeTraffic()
+	cfg.Load = v.load
+	observer := v.newObserver()
+	cfg.Obs = observer
+
+	stopHB := hirise.Heartbeat(os.Stderr, v.heartbeat, func() string { return "simulating" })
+	res, err := hirise.SimulateVOQ(cfg)
+	stopHB()
+	if err != nil {
+		return err
+	}
+	if observer != nil {
+		v.writeObs([]*hirise.Observer{observer}, nil)
+	}
+
+	fmt.Fprintf(w, "design      voq %dx%d, %s, speedup %d, voqcap %d, outqcap %d\n",
+		v.radix, v.radix, v.schedLabel(), v.speedup, v.voqCap, v.outQCap)
+	fmt.Fprintf(w, "traffic     %s @ %.4f cells/cycle/input\n", v.pattern, v.load)
+	fmt.Fprintf(w, "accepted    %.3f cells/cycle/input (%.3f switch-wide)\n",
+		res.AcceptedPackets/float64(v.radix), res.AcceptedPackets)
+	fmt.Fprintf(w, "latency     avg %.1f cycles, p50 %.0f, p99 %.0f\n",
+		res.AvgLatency, res.P50Latency, res.P99Latency)
+	fmt.Fprintf(w, "cells       injected %d, delivered %d, dropped-at-voq %d%s\n",
+		res.Injected, res.Delivered, res.DroppedInjections,
+		map[bool]string{true: "  (saturated)", false: ""}[res.Saturated()])
+	if v.perInput {
+		fmt.Fprintln(w, "\ninput  latency(cycles)  cells/cycle")
+		for i := range res.PerInputLatency {
+			fmt.Fprintf(w, "%5d  %15.1f  %11.5f\n", i, res.PerInputLatency[i], res.PerInputPackets[i])
+		}
+	}
+	return nil
+}
+
+// runSweep simulates every load and prints the VOQ sweep table to w.
+func (v voqCLI) runSweep(ctx context.Context, w io.Writer) error {
+	newSched, err := v.newSched()
+	if err != nil {
+		return err
+	}
+	observers := make([]*hirise.Observer, len(v.loads))
+	var obsFor func(i int) *hirise.Observer
+	if v.newObserver() != nil {
+		for i := range observers {
+			observers[i] = v.newObserver()
+		}
+		obsFor = func(i int) *hirise.Observer { return observers[i] }
+	}
+	var started atomic.Int64
+	countedSched := func() hirise.Scheduler {
+		started.Add(1)
+		return newSched()
+	}
+	stopHB := hirise.Heartbeat(os.Stderr, v.heartbeat, func() string {
+		return fmt.Sprintf("%d/%d sweep points started", started.Load(), len(v.loads))
+	})
+	results, err := hirise.VOQLoadSweepObserved(v.base(ctx), countedSched, v.makeTraffic, v.loads, v.workers, obsFor)
+	stopHB()
+	if err != nil {
+		return err
+	}
+	if obsFor != nil {
+		v.writeObs(observers, v.loads)
+	}
+	fmt.Fprintf(w, "%-14s %-14s %-10s %-8s %s\n",
+		"load(cel/cyc)", "tput(cel/cyc)", "lat(cyc)", "p99(cyc)", "state")
+	for i, res := range results {
+		state := "ok"
+		if res.Saturated() {
+			state = "saturated"
+		}
+		fmt.Fprintf(w, "%-14.4f %-14.4f %-10.2f %-8.0f %s\n",
+			v.loads[i], res.AcceptedPackets/float64(v.radix), res.AvgLatency, res.P99Latency, state)
+	}
+	return nil
+}
+
+// storeKey derives the content-addressed result key of this VOQ run.
+// The kind "voq-sim" namespaces it away from the hierarchical designs'
+// "sim" keys, whose payload struct stays untouched by the VOQ mode.
+func (v voqCLI) storeKey(st *store.Store) (store.Key, error) {
+	return st.KeyOf("voq-sim", struct {
+		Sched, Traffic                         string
+		Radix, Iters, Speedup, VOQCap, OutQCap int
+		Target                                 int
+		Burst, Load                            float64
+		Loads                                  []float64
+		PerInput                               bool
+		Warmup, Measure                        int64
+		Seed                                   uint64
+	}{
+		v.schedName, v.pattern,
+		v.radix, v.iters, v.speedup, v.voqCap, v.outQCap,
+		v.target,
+		v.burst, v.load,
+		v.loads,
+		v.perInput,
+		v.warmup, v.measure,
+		v.seed,
+	})
+}

@@ -26,6 +26,7 @@ package hirise
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"time"
 
@@ -38,6 +39,7 @@ import (
 	"github.com/reprolab/hirise/internal/noc"
 	"github.com/reprolab/hirise/internal/obs"
 	"github.com/reprolab/hirise/internal/phys"
+	"github.com/reprolab/hirise/internal/sched"
 	"github.com/reprolab/hirise/internal/sim"
 	"github.com/reprolab/hirise/internal/topo"
 	"github.com/reprolab/hirise/internal/trace"
@@ -76,9 +78,19 @@ const (
 	WLRG = topo.WLRG
 	// CLRG is the paper's class-based LRG.
 	CLRG = topo.CLRG
-	// ISLIP1 is the single-iteration iSLIP analog used by the
-	// related-work ablation.
+	// ISLIP1 is the single-iteration iSLIP *analog* used by the §VII
+	// related-work ablation: round-robin pointers on the Hi-Rise
+	// two-stage structure, NOT the real VOQ algorithm (that is ISLIP).
 	ISLIP1 = topo.ISLIP1
+	// ISLIP is canonical accept-gated multi-iteration iSLIP on the VOQ
+	// crossbar mode (SimulateVOQ); rejected by New.
+	ISLIP = topo.ISLIP
+	// Wavefront is the rotating-priority wavefront allocator on the VOQ
+	// crossbar mode; rejected by New.
+	Wavefront = topo.Wavefront
+	// MWM is the exact maximum-weight-matching reference scheduler on
+	// the VOQ crossbar mode; rejected by New.
+	MWM = topo.MWM
 )
 
 // Channel allocation policies (paper §III-A).
@@ -174,6 +186,65 @@ func LoadSweep(base SimConfig, newSwitch func() SimSwitch, newTraffic func() Tra
 // byte-identical at every worker count.
 func LoadSweepObserved(base SimConfig, newSwitch func() SimSwitch, newTraffic func() TrafficPattern, loads []float64, workers int, obsFor func(i int) *Observer) ([]SimResult, error) {
 	return sim.LoadSweepObserved(base, newSwitch, newTraffic, loads, workers, obsFor)
+}
+
+// VOQ switch mode and the input-queued scheduler zoo (internal/sched):
+// per-(input, output) virtual output queues on a flat crossbar with an
+// internal speedup S, scheduled per phase by canonical multi-iteration
+// iSLIP, a wavefront allocator, or the exact MWM reference. See the
+// sched-shootout experiment and DESIGN.md's "VOQ mode" section.
+type (
+	// Scheduler computes one crossbar matching per VOQ scheduling phase.
+	Scheduler = sched.Scheduler
+	// VOQSimConfig parameterizes a VOQ-mode simulation run.
+	VOQSimConfig = sim.VOQConfig
+)
+
+// NewISLIPScheduler returns canonical iSLIP over n ports running iters
+// grant/accept iterations per phase (pointers advance only on accepted
+// first-iteration grants).
+func NewISLIPScheduler(n, iters int) Scheduler { return sched.NewISLIP(n, iters) }
+
+// NewWavefrontScheduler returns a rotating-priority wavefront allocator
+// over n ports.
+func NewWavefrontScheduler(n int) Scheduler { return sched.NewWavefront(n) }
+
+// NewMWMScheduler returns the exact maximum-weight-matching reference
+// scheduler (queue-length weights, O(n³) Hungarian) over n ports.
+func NewMWMScheduler(n int) Scheduler { return sched.NewMWM(n) }
+
+// NewScheduler builds the scheduler a VOQ-only Scheme names (ISLIP,
+// Wavefront, MWM) over n ports; iters applies to ISLIP only (0 selects
+// 2 iterations, the shootout's default).
+func NewScheduler(s Scheme, n, iters int) (Scheduler, error) {
+	switch s {
+	case topo.ISLIP:
+		if iters <= 0 {
+			iters = 2
+		}
+		return sched.NewISLIP(n, iters), nil
+	case topo.Wavefront:
+		return sched.NewWavefront(n), nil
+	case topo.MWM:
+		return sched.NewMWM(n), nil
+	}
+	return nil, fmt.Errorf("hirise: scheme %v is not a VOQ scheduler (see New for hierarchical schemes)", s)
+}
+
+// SimulateVOQ runs one VOQ-mode simulation.
+func SimulateVOQ(cfg VOQSimConfig) (SimResult, error) { return sim.RunVOQ(cfg) }
+
+// VOQLoadSweep is LoadSweep for the VOQ mode: newSched supplies each
+// point a fresh scheduler (schedulers carry pointer state), and results
+// are identical at every worker count.
+func VOQLoadSweep(base VOQSimConfig, newSched func() Scheduler, newTraffic func() TrafficPattern, loads []float64, workers int) ([]SimResult, error) {
+	return sim.VOQLoadSweep(base, newSched, newTraffic, loads, workers)
+}
+
+// VOQLoadSweepObserved is VOQLoadSweep with per-point observability,
+// with the same obsFor contract as LoadSweepObserved.
+func VOQLoadSweepObserved(base VOQSimConfig, newSched func() Scheduler, newTraffic func() TrafficPattern, loads []float64, workers int, obsFor func(i int) *Observer) ([]SimResult, error) {
+	return sim.VOQLoadSweepObserved(base, newSched, newTraffic, loads, workers, obsFor)
 }
 
 // Fault injection & resilience (internal/fault): deterministic seeded

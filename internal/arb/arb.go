@@ -132,7 +132,23 @@ func (l *LRG) Update(winner int) {
 func (l *LRG) Order() []int { return append([]int(nil), l.order...) }
 
 // RoundRobin grants the first requestor at or after the slot following the
-// previous winner.
+// previous winner. It is the pointer half of the paper's §VII iSLIP-1
+// *analog* (topo.ISLIP1): round-robin pointers grafted onto the Hi-Rise
+// two-stage structure for the related-work comparison.
+//
+// Pointer-semantics audit (canonical iSLIP advances its grant/accept
+// pointers only when a grant is accepted, and only in the first
+// iteration — that accept-gating is what desynchronizes the pointers):
+// Update here advances unconditionally, but the arbiter itself never
+// decides when to update. internal/core calls Update only during grant
+// back-propagation, i.e. only for winners whose connection actually
+// forms — the local-switch pointer moves only on a final-stage grant,
+// which is exactly the §VII analog's documented behaviour ("the first
+// stage's pointer advancing only on a final-stage grant"). The paper
+// observes the analog "is similar to the baseline L-2-L LRG and does
+// not solve the fairness issues", and the repo keeps it that way on
+// purpose as the comparison point. The real accept-gated, multi-
+// iteration iSLIP on a flat VOQ crossbar lives in internal/sched.
 type RoundRobin struct {
 	n, next int
 }
@@ -180,7 +196,10 @@ func (r *RoundRobin) GrantBits(req bitvec.Vec) int {
 	return -1
 }
 
-// Update advances the scan position past the winner.
+// Update advances the scan position past the winner. The advance is
+// unconditional by design: accept-gating is the caller's job (see the
+// type comment), and every caller in this repo invokes Update only for
+// winners whose grant stands.
 func (r *RoundRobin) Update(winner int) { r.next = (winner + 1) % r.n }
 
 // Fixed grants the lowest-index requestor and never changes priority. It

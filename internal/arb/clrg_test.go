@@ -91,6 +91,68 @@ func TestCLRGHalvingPreservesClassOrder(t *testing.T) {
 	}
 }
 
+// TestCLRGSaturateThenHalveProperty is the §III-B4 update-order property
+// test across class counts (including the tight classes=2 case): on
+// every Update the counters follow halve-on-saturation-then-increment
+// exactly, Class() never exceeds classes-1, and the divide-by-two
+// preserves the (weak) relative class order of the non-winning inputs.
+func TestCLRGSaturateThenHalveProperty(t *testing.T) {
+	if err := quick.Check(func(seed uint64, classesRaw, inputsRaw uint8) bool {
+		src := prng.New(seed)
+		classes := 2 + int(classesRaw)%7
+		inputs := 2 + int(inputsRaw)%20
+		maxClass := classes - 1
+		c := NewCLRG(3, inputs, classes)
+		before := make([]int, inputs)
+		halvings := 0
+		for step := 0; step < 2000 || halvings == 0; step++ {
+			if step > 20000 {
+				return false // saturation must occur; the counters only grow
+			}
+			for i := range before {
+				before[i] = c.Class(i)
+			}
+			w := src.Intn(inputs)
+			c.Update(src.Intn(3), w)
+			saturated := before[w] >= maxClass
+			if saturated {
+				halvings++
+			}
+			for i := 0; i < inputs; i++ {
+				want := before[i]
+				if saturated {
+					want /= 2
+				}
+				if i == w {
+					want++
+				}
+				if got := c.Class(i); got != want {
+					return false // update order broke the §III-B4 arithmetic
+				}
+				if got := c.Class(i); got < 0 || got > maxClass {
+					return false // class escaped [0, classes-1]
+				}
+			}
+			// Weak order preservation across the halving, winner aside.
+			if saturated {
+				for a := 0; a < inputs; a++ {
+					for b := 0; b < inputs; b++ {
+						if a == w || b == w {
+							continue
+						}
+						if before[a] <= before[b] && c.Class(a) > c.Class(b) {
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestCLRGCountersBounded(t *testing.T) {
 	src := prng.New(5)
 	c := NewCLRG(3, 8, 3)

@@ -123,6 +123,90 @@ func FuzzBitsetMatrixEquivalence(f *testing.F) {
 	})
 }
 
+// grantBitsSizes are the port counts the Grant/GrantBits differential
+// fuzzes pin: sub-word (13), one bit short of a word (63), one bit into
+// the second word (65), and a ragged third word (130). These cross every
+// boundary the wrap-around scan in RoundRobin.GrantBits has to handle.
+var grantBitsSizes = []int{13, 63, 65, 130}
+
+// FuzzRoundRobinGrantEquivalence differential-fuzzes RoundRobin.Grant
+// against GrantBits at non-multiple-of-64 sizes, forcing the scan
+// pointer into every word — in particular into the tail word, and onto
+// request patterns whose only set bits lie below the pointer (the
+// wrap-around segment of GrantBits).
+func FuzzRoundRobinGrantEquivalence(f *testing.F) {
+	f.Add(uint64(1), []byte{0xAA, 0x0F, 0x33, 0x80})
+	f.Add(uint64(9), []byte{0x01, 0, 0xFF, 0x42, 0x7})
+	f.Fuzz(func(t *testing.T, seed uint64, stream []byte) {
+		src := prng.New(seed)
+		for _, n := range grantBitsSizes {
+			r := NewRoundRobin(n)
+			req := make([]bool, n)
+			reqBits := bitvec.New(n)
+			for si, b := range stream {
+				// Park the pointer anywhere, including the tail word and
+				// the very last slot; the fuzzed byte biases the density
+				// so sparse wrap-below-pointer patterns appear often.
+				r.next = src.Intn(n)
+				if si%3 == 0 {
+					r.next = n - 1 - src.Intn(1+n/8) // deep in the tail word
+				}
+				dens := float64(b) / 255
+				for i := range req {
+					req[i] = src.Bernoulli(dens)
+				}
+				if si%4 == 1 {
+					// Only bits strictly below the pointer: the pure
+					// wrap-around case.
+					for i := r.next; i < n; i++ {
+						req[i] = false
+					}
+				}
+				reqBits.FromBools(req)
+				want := r.Grant(req)
+				if got := r.GrantBits(reqBits); got != want {
+					t.Fatalf("n=%d next=%d: GrantBits %d vs Grant %d on %v", n, r.next, got, want, req)
+				}
+				if want >= 0 {
+					r.Update(want)
+				}
+			}
+		}
+	})
+}
+
+// FuzzLRGFixedGrantEquivalence is the same differential for the LRG and
+// Fixed arbiters' two grant paths, across update sequences.
+func FuzzLRGFixedGrantEquivalence(f *testing.F) {
+	f.Add(uint64(2), []byte{0xF0, 0x55, 0x03})
+	f.Fuzz(func(t *testing.T, seed uint64, stream []byte) {
+		src := prng.New(seed)
+		for _, n := range grantBitsSizes {
+			lrg, fixed := NewLRG(n), NewFixed(n)
+			req := make([]bool, n)
+			reqBits := bitvec.New(n)
+			for _, b := range stream {
+				dens := float64(b) / 255
+				for i := range req {
+					req[i] = src.Bernoulli(dens)
+				}
+				reqBits.FromBools(req)
+				want := lrg.Grant(req)
+				if got := lrg.GrantBits(reqBits); got != want {
+					t.Fatalf("n=%d LRG: GrantBits %d vs Grant %d on %v", n, got, want, req)
+				}
+				if want >= 0 {
+					lrg.Update(want)
+				}
+				fw := fixed.Grant(req)
+				if got := fixed.GrantBits(reqBits); got != fw {
+					t.Fatalf("n=%d Fixed: GrantBits %d vs Grant %d on %v", n, got, fw, req)
+				}
+			}
+		}
+	})
+}
+
 // FuzzCLRGNeverGrantsIdle fuzzes CLRG with arbitrary line/input streams:
 // the winner must always be a requesting line, counters stay bounded,
 // and no-requestor rounds return -1.

@@ -140,6 +140,43 @@ func (v Vec) First() int {
 	return -1
 }
 
+// NextWrap returns the index of the first set bit at or after start,
+// wrapping past the end of the vector back to bit 0, or -1 if no bit is
+// set. start must lie in [0, 64*len(v)). It is the rotating-priority
+// selection primitive of the round-robin schedulers (internal/sched): a
+// pointer at start picks NextWrap(start), and advancing the pointer
+// rotates which contender is favoured.
+func (v Vec) NextWrap(start int) int {
+	sw, off := start>>6, start&63
+	if len(v) == 1 {
+		w := v[0]
+		if hi := w &^ tailMask(off); hi != 0 {
+			return bits.TrailingZeros64(hi)
+		}
+		if w == 0 {
+			return -1
+		}
+		return bits.TrailingZeros64(w)
+	}
+	if hi := v[sw] &^ tailMask(off); hi != 0 {
+		return sw<<6 | bits.TrailingZeros64(hi)
+	}
+	for i := sw + 1; i < len(v); i++ {
+		if v[i] != 0 {
+			return i<<6 | bits.TrailingZeros64(v[i])
+		}
+	}
+	for i := 0; i < sw; i++ {
+		if v[i] != 0 {
+			return i<<6 | bits.TrailingZeros64(v[i])
+		}
+	}
+	if lo := v[sw] & tailMask(off); lo != 0 {
+		return sw<<6 | bits.TrailingZeros64(lo)
+	}
+	return -1
+}
+
 // Or sets v to v | b. b must have the same word count.
 func (v Vec) Or(b Vec) {
 	if len(v) == 1 {

@@ -200,6 +200,39 @@ func TestZeroAndWordsFor(t *testing.T) {
 	}
 }
 
+// nextWrapRef is the obvious O(n) model of NextWrap.
+func (r refBits) nextWrap(start int) int {
+	for k := 0; k < len(r); k++ {
+		i := (start + k) % len(r)
+		if r[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestNextWrapMatchesReference checks the rotating-priority scan against
+// the bool model at every start position, across the single-word fast
+// path, word boundaries, and multi-word vectors, including the empty and
+// the full vector.
+func TestNextWrapMatchesReference(t *testing.T) {
+	src := prng.New(7)
+	for _, n := range []int{1, 13, 31, 63, 64, 65, 127, 128, 130, 200} {
+		for _, p := range []float64{0, 0.05, 0.4, 1} {
+			for trial := 0; trial < 20; trial++ {
+				ref := randomRef(src, n, p)
+				v := ref.toVec()
+				for start := 0; start < n; start++ {
+					if got, want := v.NextWrap(start), ref.nextWrap(start); got != want {
+						t.Fatalf("n=%d p=%v NextWrap(%d)=%d want %d (bits %v)",
+							n, p, start, got, want, setIndices(ref))
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestFromBoolsRoundTrip is the property the arbiter adapters rely on:
 // converting any request mask to a Vec and back is the identity.
 func TestFromBoolsRoundTrip(t *testing.T) {

@@ -12,6 +12,15 @@
 // starves. The sub-blocks arbitrate with the configured scheme:
 // baseline L-2-L LRG, Weighted LRG, or the paper's Class-based LRG.
 //
+// topo.ISLIP1 selects the paper's §VII iSLIP-1 *analog*: round-robin
+// pointers (arb.RoundRobin) at both stages of this same hierarchical
+// structure, the first stage's pointer advancing only on a final-stage
+// grant via the back-propagated Update. It is a related-work comparison
+// point, not the real algorithm — canonical accept-gated multi-iteration
+// iSLIP on virtual output queues lives in internal/sched and runs under
+// sim.RunVOQ; core.New rejects those VOQ-only schemes (topo.ISLIP,
+// topo.Wavefront, topo.MWM) via Config.Validate.
+//
 // Like the 2D Swizzle-Switch, the model is connection-oriented: a granted
 // connection occupies its input, its final output, and (for cross-layer
 // traffic) its L2LC until the caller releases it after the packet's last
@@ -155,6 +164,11 @@ func New(cfg topo.Config) (*Switch, error) {
 			}
 		}
 	}
+	// The iSLIP-1 analog swaps the LRG priority vectors for round-robin
+	// pointers at both stages. Accept-gating happens structurally: Update
+	// on these arbiters runs only during grant back-propagation, i.e.
+	// only for winners whose final connection forms (see arb.RoundRobin's
+	// pointer-semantics audit comment).
 	newLocal := func() arb.BitArbiter {
 		if cfg.Scheme == topo.ISLIP1 {
 			return arb.NewRoundRobin(ports)

@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"math"
+
+	"github.com/reprolab/hirise/internal/obs"
+	"github.com/reprolab/hirise/internal/sched"
+	"github.com/reprolab/hirise/internal/sim"
+	"github.com/reprolab/hirise/internal/topo"
+	"github.com/reprolab/hirise/internal/traffic"
+)
+
+func init() { register("sched-shootout", SchedShootout) }
+
+// shootoutRadix is the port count of every contender; it matches the
+// paper's 64-radix headline geometry so the Hi-Rise analog row is the
+// same switch as ablate-islip.
+const shootoutRadix = 64
+
+// shootoutLoads is the offered-load sweep; the last point is the
+// saturation point whose fairness columns the table reports.
+var shootoutLoads = []float64{0.8, 0.95, 1.0}
+
+// shootoutVariant is one scheduler contender. A nil newSched marks the
+// Hi-Rise ISLIP1 analog, which runs the hierarchical switch through
+// sim.Run instead of the VOQ crossbar through sim.RunVOQ.
+type shootoutVariant struct {
+	name     string
+	speedup  int
+	newSched func() sched.Scheduler
+}
+
+func shootoutVariants() []shootoutVariant {
+	n := shootoutRadix
+	return []shootoutVariant{
+		{"iSLIP-1", 1, func() sched.Scheduler { return sched.NewISLIP(n, 1) }},
+		{"iSLIP-2", 1, func() sched.Scheduler { return sched.NewISLIP(n, 2) }},
+		{"iSLIP-4", 1, func() sched.Scheduler { return sched.NewISLIP(n, 4) }},
+		{"wavefront", 1, func() sched.Scheduler { return sched.NewWavefront(n) }},
+		{"iSLIP-1", 2, func() sched.Scheduler { return sched.NewISLIP(n, 1) }},
+		{"analog", 1, nil},
+	}
+}
+
+// shootoutPattern is one traffic pattern with the set of inputs that
+// actually carry offered load (utilization normalizes by it, and the
+// max/min rate ratio is taken over it). make returns a fresh traffic
+// instance per simulation point: Bursty carries per-input on/off state.
+type shootoutPattern struct {
+	name   string
+	active []int
+	make   func() sim.Traffic
+}
+
+func shootoutPatterns() []shootoutPattern {
+	n := shootoutRadix
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	adv := []int{3, 7, 11, 15, 20}
+	return []shootoutPattern{
+		{"uniform", all, func() sim.Traffic { return traffic.Uniform{Radix: n} }},
+		{"hotspot", all, func() sim.Traffic { return traffic.Hotspot{Target: n - 1} }},
+		{"bursty", all, func() sim.Traffic { return traffic.NewBursty(n, 8) }},
+		{"adversarial", adv, func() sim.Traffic { return traffic.Adversarial() }},
+	}
+}
+
+// SchedShootout races the input-queued scheduler zoo (internal/sched on
+// the VOQ crossbar, sim.RunVOQ) against each other and against the
+// Hi-Rise single-iteration iSLIP analog (topo.ISLIP1 on the
+// hierarchical switch) across traffic patterns, iteration counts,
+// speedup, and offered load.
+//
+// Each row reports per-load utilization — accepted cells per cycle
+// normalized by the load offered across the pattern's active inputs —
+// plus fairness at the saturation point: Jain's index over per-input
+// wins from the obs fairness audit, the max/min ratio of per-input
+// delivered rates over the active inputs, and the longest denial run.
+// The table reproduces two classic results side by side: iSLIP
+// desynchronization lifts uniform saturated throughput to ~100% within
+// a few iterations, while the hierarchical ISLIP1 analog retains the
+// paper's §VII adversarial unfairness (input 20 dwarfing inputs
+// 3/7/11/15) that the flat VOQ schedulers do not exhibit.
+func SchedShootout(o Opts) *Table {
+	o = o.norm()
+	variants := shootoutVariants()
+	patterns := shootoutPatterns()
+	nl := len(shootoutLoads)
+
+	type cell struct {
+		util   float64
+		jain   float64
+		maxMin float64
+		starve int64
+	}
+	cells := make([][][]cell, len(patterns))
+	for pi := range cells {
+		cells[pi] = make([][]cell, len(variants))
+		for vi := range cells[pi] {
+			cells[pi][vi] = make([]cell, nl)
+		}
+	}
+
+	o.sweep(len(patterns)*len(variants)*nl, func(k int) {
+		li := k % nl
+		vi := (k / nl) % len(variants)
+		pi := k / (nl * len(variants))
+		p, v, load := patterns[pi], variants[vi], shootoutLoads[li]
+
+		audit := obs.NewFairnessAudit(shootoutRadix, 1)
+		ob := &obs.Observer{Fairness: audit}
+		seed := o.seedFor("sched-shootout", k, 0)
+		var res sim.Result
+		var err error
+		if v.newSched == nil {
+			// The Hi-Rise ISLIP1 analog: same switch as ablate-islip, with
+			// single-cell packets so its flit and cell rates line up with
+			// the cell-based VOQ rows (its utilization still pays the
+			// hierarchical model's per-packet arbitration cycle).
+			d := designHiRise("analog", 1, topo.ISLIP1)
+			res, err = sim.Run(sim.Config{
+				Ctx: o.Ctx, Switch: d.NewSwitch(), Traffic: p.make(),
+				Load: load, PacketFlits: 1,
+				Warmup: o.Warmup, Measure: o.Measure, Seed: seed, Obs: ob,
+			})
+		} else {
+			res, err = sim.RunVOQ(sim.VOQConfig{
+				Ctx: o.Ctx, Radix: shootoutRadix, Sched: v.newSched(),
+				Traffic: p.make(), Load: load, Speedup: v.speedup,
+				Warmup: o.Warmup, Measure: o.Measure, Seed: seed, Obs: ob,
+			})
+		}
+		if err != nil {
+			panic(err)
+		}
+
+		c := cell{util: res.AcceptedPackets / (load * float64(len(p.active)))}
+		rep := audit.Report()
+		c.jain = rep.JainIndex
+		c.starve = rep.MaxStarvation
+		lo, hi := math.Inf(1), 0.0
+		for _, in := range p.active {
+			r := res.PerInputPackets[in]
+			if r < lo {
+				lo = r
+			}
+			if r > hi {
+				hi = r
+			}
+		}
+		if lo > 0 {
+			c.maxMin = hi / lo
+		} else {
+			c.maxMin = math.Inf(1)
+		}
+		cells[pi][vi][li] = c
+	})
+
+	rows := make([][]string, 0, len(patterns)*len(variants))
+	for pi, p := range patterns {
+		for vi, v := range variants {
+			sat := cells[pi][vi][nl-1]
+			ratio := "inf"
+			if !math.IsInf(sat.maxMin, 1) {
+				ratio = f(sat.maxMin, 2)
+			}
+			row := []string{p.name, v.name, f(float64(v.speedup), 0)}
+			for li := range shootoutLoads {
+				row = append(row, f(cells[pi][vi][li].util, 3))
+			}
+			row = append(row, f(sat.jain, 3), ratio, f(float64(sat.starve), 0))
+			rows = append(rows, row)
+		}
+	}
+	header := []string{"Traffic", "Sched", "S"}
+	for _, l := range shootoutLoads {
+		header = append(header, "util@"+f(l, 2))
+	}
+	header = append(header, "Jain@sat", "max/min@sat", "starve@sat")
+	return &Table{
+		ID:     "sched-shootout",
+		Title:  "Input-queued scheduler zoo on the 64-port VOQ crossbar vs the Hi-Rise iSLIP-1 analog",
+		Header: header,
+		Rows:   rows,
+		Notes: []string{
+			"util = accepted cells/cycle over load*active inputs; hotspot and adversarial oversubscribe one output, so their saturated util is capacity-, not scheduler-, limited",
+			"fairness columns at the saturation point (load 1.00): Jain over audited per-input wins, max/min over active per-input delivered rates, longest denial run",
+			"analog = topo.ISLIP1 on the hierarchical Hi-Rise switch (c=1, 1-flit packets) via sim.Run; all other rows are internal/sched on sim.RunVOQ",
+			"wavefront is positionally unfair on sparse fixed patterns: a contested output goes to the first active diagonal after the rotating start, so win shares follow the gaps between the contenders' diagonals (adversarial: 47:5:4:4:4 across inputs 20,3,7,11,15)",
+			"MWM is excluded: O(n^3) per cycle makes it the oracle for tests (internal/sched fuzzers), not a campaign contender",
+		},
+	}
+}

@@ -1,0 +1,139 @@
+package sched
+
+import (
+	"fmt"
+	"math/bits"
+
+	"github.com/reprolab/hirise/internal/bitvec"
+)
+
+// MWM is the exact maximum-weight-matching reference scheduler: each
+// requested (input, output) edge is weighted by its VOQ occupancy
+// (queue-length weights, "LQF" in the MWM→iSLIP tutorial; weight 1 when
+// qlen is nil) and an O(n³) Hungarian assignment finds the matching of
+// maximum total weight. MWM is throughput-optimal for any admissible
+// i.i.d. traffic but far too slow to build in hardware — in this repo
+// it is the correctness oracle the fast schedulers fuzz against and the
+// upper-bound row in the sched-shootout tables.
+//
+// Every requested edge has weight ≥ 1, so a maximum-weight matching is
+// also maximal on the request graph: a matching that left a request
+// with both endpoints free could be improved by adding it.
+type MWM struct {
+	n    int
+	cost []int64 // n×n negated edge weights (0 where no request)
+	u, v []int64 // row/column potentials, 1-based with virtual index 0
+	p    []int   // p[j]: 1-based row matched to 1-based column j
+	way  []int   // alternating-path backpointers
+	minv []int64
+	used []bool
+}
+
+// NewMWM returns a maximum-weight-matching scheduler over n ports.
+func NewMWM(n int) *MWM {
+	if n <= 0 {
+		panic(fmt.Sprintf("sched: invalid MWM shape n=%d", n))
+	}
+	return &MWM{
+		n:    n,
+		cost: make([]int64, n*n),
+		u:    make([]int64, n+1), v: make([]int64, n+1),
+		p: make([]int, n+1), way: make([]int, n+1),
+		minv: make([]int64, n+1), used: make([]bool, n+1),
+	}
+}
+
+// N implements Scheduler.
+func (s *MWM) N() int { return s.n }
+
+const mwmInf = int64(1) << 62
+
+// Schedule implements Scheduler.
+func (s *MWM) Schedule(req []bitvec.Vec, qlen []int32, match []int) int {
+	n := s.n
+	// Build the (negated) weight matrix: minimizing negated weights over
+	// perfect matchings of the zero-completed matrix maximizes weight.
+	for i := 0; i < n; i++ {
+		base := i * n
+		for j := 0; j < n; j++ {
+			s.cost[base+j] = 0
+		}
+		for w, word := range req[i] {
+			for word != 0 {
+				j := w<<6 | bits.TrailingZeros64(word)
+				word &= word - 1
+				wgt := int64(1)
+				if qlen != nil {
+					if q := int64(qlen[base+j]); q > wgt {
+						wgt = q
+					}
+				}
+				s.cost[base+j] = -wgt
+			}
+		}
+	}
+	// Hungarian algorithm with potentials (Jonker-Volgenant style
+	// augmentation, one Dijkstra-like scan per row).
+	for j := 0; j <= n; j++ {
+		s.u[j], s.v[j], s.p[j], s.way[j] = 0, 0, 0, 0
+	}
+	for i := 1; i <= n; i++ {
+		s.p[0] = i
+		j0 := 0
+		for j := 0; j <= n; j++ {
+			s.minv[j] = mwmInf
+			s.used[j] = false
+		}
+		for {
+			s.used[j0] = true
+			i0 := s.p[j0]
+			delta := mwmInf
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if s.used[j] {
+					continue
+				}
+				cur := s.cost[(i0-1)*n+(j-1)] - s.u[i0] - s.v[j]
+				if cur < s.minv[j] {
+					s.minv[j] = cur
+					s.way[j] = j0
+				}
+				if s.minv[j] < delta {
+					delta = s.minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if s.used[j] {
+					s.u[s.p[j]] += delta
+					s.v[j] -= delta
+				} else {
+					s.minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if s.p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := s.way[j0]
+			s.p[j0] = s.p[j1]
+			j0 = j1
+		}
+	}
+	// Extract the matching, dropping the zero-weight padding edges the
+	// perfect assignment used for unmatched ports.
+	for in := 0; in < n; in++ {
+		match[in] = -1
+	}
+	matched := 0
+	for j := 1; j <= n; j++ {
+		i, jj := s.p[j]-1, j-1
+		if i >= 0 && req[i].Get(jj) {
+			match[i] = jj
+			matched++
+		}
+	}
+	return matched
+}

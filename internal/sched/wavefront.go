@@ -1,0 +1,74 @@
+package sched
+
+import (
+	"fmt"
+	"math/bits"
+
+	"github.com/reprolab/hirise/internal/bitvec"
+)
+
+// Wavefront is a rotating-priority wavefront allocator: the n diagonals
+// of the request matrix are swept in order, and within a diagonal every
+// cell touches a distinct input and a distinct output, so all requests
+// on it can be matched without conflict (in hardware, in one combinational
+// wave). Sweeping all n diagonals examines every request exactly once,
+// which makes the matching maximal by construction; rotating the
+// starting diagonal each phase removes the static bias toward the
+// first-swept cells.
+type Wavefront struct {
+	n int
+	p int // starting diagonal, rotated every Schedule call
+
+	freeIn  bitvec.Vec
+	freeOut bitvec.Vec
+}
+
+// NewWavefront returns a wavefront allocator over n ports.
+func NewWavefront(n int) *Wavefront {
+	if n <= 0 {
+		panic(fmt.Sprintf("sched: invalid wavefront shape n=%d", n))
+	}
+	return &Wavefront{n: n, freeIn: bitvec.New(n), freeOut: bitvec.New(n)}
+}
+
+// N implements Scheduler.
+func (s *Wavefront) N() int { return s.n }
+
+// Schedule implements Scheduler. qlen is ignored (the wavefront is
+// weight-blind).
+func (s *Wavefront) Schedule(req []bitvec.Vec, _ []int32, match []int) int {
+	n := s.n
+	for in := 0; in < n; in++ {
+		match[in] = -1
+	}
+	s.freeIn.SetFirstN(n)
+	s.freeOut.SetFirstN(n)
+	matched := 0
+	for wave := 0; wave < n && matched < n; wave++ {
+		d := s.p + wave
+		if d >= n {
+			d -= n
+		}
+		// Diagonal d holds the cells (i, (i+d) mod n).
+		for w, word := range s.freeIn {
+			for word != 0 {
+				i := w<<6 | bits.TrailingZeros64(word)
+				word &= word - 1
+				j := i + d
+				if j >= n {
+					j -= n
+				}
+				if s.freeOut.Get(j) && req[i].Get(j) {
+					match[i] = j
+					matched++
+					s.freeIn.Clear(i)
+					s.freeOut.Clear(j)
+				}
+			}
+		}
+	}
+	if s.p++; s.p == n {
+		s.p = 0
+	}
+	return matched
+}

@@ -64,13 +64,40 @@ const (
 	// CLRG is the paper's contribution: class counters per primary input
 	// at the inter-layer sub-block, LRG tie-breaking within a class.
 	CLRG
-	// ISLIP1 is a single-iteration iSLIP analog for the related-work
-	// comparison (paper §VII): round-robin pointers at both stages, with
-	// the first stage's pointer advancing only on a final-stage grant.
-	// The paper observes it "is similar to the baseline L-2-L LRG and
-	// does not solve the fairness issues".
+	// ISLIP1 is a single-iteration iSLIP *analog* for the related-work
+	// comparison (paper §VII): round-robin pointers at both stages of the
+	// Hi-Rise structure, with the first stage's pointer advancing only on
+	// a final-stage grant. The paper observes it "is similar to the
+	// baseline L-2-L LRG and does not solve the fairness issues". It is
+	// NOT the true iSLIP algorithm — it runs on Hi-Rise's hierarchical
+	// single-request-per-input view, not on virtual output queues; the
+	// real accept-gated, multi-iteration iSLIP is the ISLIP scheme below.
 	ISLIP1
+	// ISLIP is canonical multi-iteration iSLIP (internal/sched) on the
+	// flat VOQ crossbar mode (sim.RunVOQ). VOQ-only: it has no Hi-Rise
+	// hierarchical implementation and core.New rejects it.
+	ISLIP
+	// Wavefront is the rotating-priority wavefront allocator on the VOQ
+	// crossbar mode. VOQ-only.
+	Wavefront
+	// MWM is the exact maximum-weight-matching reference scheduler
+	// (queue-length weights, O(n³) Hungarian) on the VOQ crossbar mode.
+	// VOQ-only, and far too slow for hardware — it is the oracle and
+	// upper bound of the sched-shootout campaign.
+	MWM
 )
+
+// VOQ reports whether the scheme is an input-queued crossbar scheduler
+// for the VOQ switch mode (sim.RunVOQ + internal/sched) rather than a
+// Hi-Rise/Swizzle-Switch arbitration scheme. VOQ schemes are rejected
+// by Validate, and thus by core.New.
+func (s Scheme) VOQ() bool {
+	switch s {
+	case ISLIP, Wavefront, MWM:
+		return true
+	}
+	return false
+}
 
 // String returns the scheme name used in reports.
 func (s Scheme) String() string {
@@ -85,6 +112,12 @@ func (s Scheme) String() string {
 		return "CLRG"
 	case ISLIP1:
 		return "iSLIP-1"
+	case ISLIP:
+		return "iSLIP"
+	case Wavefront:
+		return "wavefront"
+	case MWM:
+		return "MWM"
 	default:
 		return fmt.Sprintf("Scheme(%d)", int(s))
 	}
@@ -119,6 +152,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("topo: radix %d not divisible by layers %d", c.Radix, c.Layers)
 	case c.Layers > 1 && c.Channels <= 0:
 		return fmt.Errorf("topo: channels %d must be positive", c.Channels)
+	case c.Scheme.VOQ():
+		return fmt.Errorf("topo: scheme %v is a VOQ crossbar scheduler (sim.RunVOQ), not a hierarchical switch scheme", c.Scheme)
 	case c.Scheme == CLRG && c.Classes < 2:
 		return fmt.Errorf("topo: CLRG needs at least 2 classes, have %d", c.Classes)
 	case c.Alloc == InputBinned && c.Layers > 1 && c.PortsPerLayer()%c.Channels != 0:

@@ -25,10 +25,32 @@ func TestValidateRejects(t *testing.T) {
 		{Radix: 64, Layers: 4, Channels: 0},
 		{Radix: 64, Layers: 4, Channels: 1, Scheme: CLRG, Classes: 1},
 		{Radix: 64, Layers: 4, Channels: 3, Alloc: InputBinned}, // 16 % 3 != 0
+		{Radix: 64, Layers: 4, Channels: 4, Scheme: ISLIP},      // VOQ-only scheme
+		{Radix: 64, Layers: 4, Channels: 4, Scheme: Wavefront},
+		{Radix: 64, Layers: 1, Scheme: MWM},
 	}
 	for _, c := range cases {
 		if err := c.Validate(); err == nil {
 			t.Errorf("Validate(%+v) accepted invalid config", c)
+		}
+	}
+}
+
+// TestSchemeNamesAndVOQ pins the report names of every scheme and the
+// VOQ-only partition: the hierarchical schemes must not be flagged, the
+// scheduler-zoo schemes must.
+func TestSchemeNamesAndVOQ(t *testing.T) {
+	names := map[Scheme]string{
+		LRG: "LRG", L2LLRG: "L-2-L LRG", WLRG: "WLRG", CLRG: "CLRG",
+		ISLIP1: "iSLIP-1", ISLIP: "iSLIP", Wavefront: "wavefront", MWM: "MWM",
+	}
+	for s, want := range names {
+		if got := s.String(); got != want {
+			t.Errorf("Scheme(%d).String() = %q, want %q", int(s), got, want)
+		}
+		voq := s == ISLIP || s == Wavefront || s == MWM
+		if s.VOQ() != voq {
+			t.Errorf("%v.VOQ() = %v, want %v", s, s.VOQ(), voq)
 		}
 	}
 }
