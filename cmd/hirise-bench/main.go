@@ -32,7 +32,15 @@
 // arbitration loops, bit-level cross-point columns, end-to-end uniform
 // simulations) and writes the measurements as JSON; -perf-baseline
 // embeds a previous run for before/after comparison. The schema is
-// documented in EXPERIMENTS.md.
+// documented in EXPERIMENTS.md. -perf-check NEW BASELINE compares two
+// such files and exits non-zero on regression: any allocs/op increase
+// fails outright, while ns/op slowdowns beyond -perf-tolerance fail
+// unless -perf-warn-only downgrades them to warnings.
+//
+// -converge-stop lets every simulation end early once the MSER
+// steady-state detector converges on its delivered-packet rate. Output
+// stays deterministic but differs from full-length runs; the -store key
+// records the flag, so the two variants never share cache entries.
 //
 // SIGINT/SIGTERM cancels the run: simulations stop within one sweep
 // point, the experiments that already finished are still flushed in id
@@ -81,6 +89,15 @@ func main() {
 			"run the arbitration hot-kernel microbenchmarks and write them as JSON to this file (schema in EXPERIMENTS.md), then exit")
 		perfBase = flag.String("perf-baseline", "",
 			"embed a previous -perf run from this file as the baseline for before/after comparison")
+		perfCheck = flag.Bool("perf-check", false,
+			"compare two -perf JSON files (args: NEW BASELINE) and exit non-zero on regression, then exit")
+		perfTol = flag.Float64("perf-tolerance", 0.25,
+			"fractional ns/op slowdown -perf-check tolerates before flagging (allocs/op increases always fail)")
+		perfWarnOnly = flag.Bool("perf-warn-only", false,
+			"-perf-check reports ns/op regressions as warnings instead of failing (allocs/op increases still fail)")
+
+		convStop = flag.Bool("converge-stop", false,
+			"let each simulation stop early once its delivered-packet rate reaches steady state (MSER); results stay deterministic but differ from full-length runs, and the store key records the flag")
 
 		// Host-side profiling of the bench process itself.
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -94,6 +111,17 @@ func main() {
 	if *list {
 		for _, id := range hirise.Experiments() {
 			fmt.Println(id)
+		}
+		return
+	}
+	if *perfCheck {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: hirise-bench -perf-check NEW BASELINE")
+			os.Exit(2)
+		}
+		if err := runPerfCheck(os.Stdout, flag.Arg(0), flag.Arg(1), *perfTol, *perfWarnOnly); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -146,6 +174,7 @@ func main() {
 		}
 	})
 	opts.Workers = *parallel
+	opts.ConvergeStop = *convStop
 
 	ids, err := resolveIDs(*run, hirise.Experiments())
 	if err != nil {

@@ -222,6 +222,22 @@ func perfSim(mk func() sim.Switch) func(b *testing.B) {
 	}
 }
 
+// loadPerfFile reads and schema-checks one -perf JSON document.
+func loadPerfFile(path string) (perfFile, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return perfFile{}, fmt.Errorf("perf file: %w", err)
+	}
+	var pf perfFile
+	if err := json.Unmarshal(raw, &pf); err != nil {
+		return perfFile{}, fmt.Errorf("perf file %s: %w", path, err)
+	}
+	if pf.Schema != perfSchema {
+		return perfFile{}, fmt.Errorf("perf file %s: schema %q, want %q", path, pf.Schema, perfSchema)
+	}
+	return pf, nil
+}
+
 // runPerf executes the microbenchmark suite, prints a summary table to
 // stdout (with speedups when a baseline is given), and writes the JSON
 // document to outPath. baselinePath, when non-empty, names a previous
@@ -229,16 +245,9 @@ func perfSim(mk func() sim.Switch) func(b *testing.B) {
 func runPerf(outPath, baselinePath string) error {
 	var baseline []perfResult
 	if baselinePath != "" {
-		raw, err := os.ReadFile(baselinePath)
+		prev, err := loadPerfFile(baselinePath)
 		if err != nil {
 			return fmt.Errorf("perf baseline: %w", err)
-		}
-		var prev perfFile
-		if err := json.Unmarshal(raw, &prev); err != nil {
-			return fmt.Errorf("perf baseline %s: %w", baselinePath, err)
-		}
-		if prev.Schema != perfSchema {
-			return fmt.Errorf("perf baseline %s: schema %q, want %q", baselinePath, prev.Schema, perfSchema)
 		}
 		baseline = prev.Benchmarks
 	}

@@ -10,8 +10,9 @@
 // NDJSON stream at GET /jobs/{id}/events, fetch bodies from GET
 // /jobs/{id}/result, and cancel with DELETE /jobs/{id}. Identical
 // submissions are served from the store byte-identically; concurrent
-// identical submissions share one computation. /healthz and /metrics
-// expose liveness and counters.
+// identical submissions share one computation. Running jobs expose a
+// windowed progress time series at GET /jobs/{id}/telemetry. /healthz
+// and /metrics expose liveness and Prometheus-format counters.
 //
 // SIGINT/SIGTERM starts a graceful drain: the listener stops accepting
 // requests, queued and running jobs finish (or, past -drain-timeout,
@@ -48,6 +49,8 @@ func main() {
 			"how long a shutdown waits for in-flight jobs before cancelling them")
 		jobTimeout = flag.Duration("job-timeout", 0,
 			"per-job wall-clock limit; jobs past it end in the \"timeout\" state (0 = unlimited)")
+		teleWindow = flag.Duration("telemetry-window", 0,
+			"per-job telemetry sampling cadence for /jobs/{id}/telemetry (0 = 250ms default, negative disables)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -61,11 +64,12 @@ func main() {
 		os.Exit(1)
 	}
 	srv, err := serve.New(serve.Config{
-		Store:      st,
-		QueueDepth: *queue,
-		Workers:    *workers,
-		SimWorkers: *parallel,
-		JobTimeout: *jobTimeout,
+		Store:           st,
+		QueueDepth:      *queue,
+		Workers:         *workers,
+		SimWorkers:      *parallel,
+		JobTimeout:      *jobTimeout,
+		TelemetryWindow: *teleWindow,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hirise-served: %v\n", err)

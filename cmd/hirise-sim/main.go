@@ -27,6 +27,14 @@
 //	hirise-sim -sweep 0.01:0.3:0.01 -metrics metrics.json -heartbeat 10s
 //	hirise-sim -sweep 0.01:0.5:0.005 -cpuprofile cpu.pprof -runmetrics rt.json
 //
+// Time-series telemetry (windowed counter/gauge tracks from the hot
+// loop; -tele-chrome counter tracks load in ui.perfetto.dev alongside
+// -trace-chrome slices) and MSER steady-state early exit:
+//
+//	hirise-sim -load 0.2 -tele-ndjson tele.ndjson -tele-window 256
+//	hirise-sim -sweep 0.05:0.3:0.05 -tele-chrome counters.json -trace-chrome trace.json
+//	hirise-sim -load 0.1 -measure 500000 -converge-stop
+//
 // -store DIR caches each run's stdout in a content-addressed result
 // store keyed by the full configuration, the loads, and the model
 // version, so repeating a run replays it byte-identically without
@@ -123,6 +131,15 @@ func main() {
 		traceMax    = flag.Int("trace-max", 0, "max recorded events per run (0 = default cap); excess is counted, not recorded")
 		metricsOut  = flag.String("metrics", "", "write the metrics registry as JSON to this file (sweeps: one array entry per point)")
 		fairnessOut = flag.String("fairness", "", "write the arbitration fairness report to this file (sweeps: one section per point)")
+
+		// Time-series telemetry: windowed counter/gauge tracks sampled in
+		// the simulator hot loop (internal/tele).
+		teleNDJSON = flag.String("tele-ndjson", "", "write windowed telemetry time series as NDJSON to this file (one line per run and series)")
+		teleChrome = flag.String("tele-chrome", "", "write telemetry counter tracks as Chrome trace-event JSON (load in ui.perfetto.dev) to this file")
+		teleWindow = flag.Int64("tele-window", 0, "telemetry window length in cycles (0 = 256)")
+		teleMax    = flag.Int("tele-max", 0, "max stored telemetry windows per series; older windows decimate pairwise (0 = 512)")
+		convStop   = flag.Bool("converge-stop", false,
+			"stop each run early once the MSER steady-state detector converges on the delivery-rate series (deterministic; changes results, so stored keys differ)")
 
 		// Host-side profiling of the simulator process itself.
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -263,6 +280,7 @@ func main() {
 	// simulator on its allocation-free disabled path. The fairness audit
 	// is class-aware only where classes exist: a Hi-Rise CLRG switch.
 	wantTrace := *traceJSONL != "" || *traceChrome != ""
+	wantTele := *teleNDJSON != "" || *teleChrome != ""
 	auditClasses := 1
 	if strings.ToLower(*design) == "hirise" && cfg.Scheme == hirise.CLRG {
 		auditClasses = *classes
@@ -278,7 +296,10 @@ func main() {
 		if *fairnessOut != "" {
 			o.Fairness = hirise.NewFairnessAudit(*radix, auditClasses)
 		}
-		if o.Metrics == nil && o.Trace == nil && o.Fairness == nil {
+		if wantTele {
+			o.Tele = hirise.NewTelemetrySampler(*teleWindow, *teleMax)
+		}
+		if o.Metrics == nil && o.Trace == nil && o.Fairness == nil && o.Tele == nil {
 			return nil
 		}
 		return o
@@ -290,16 +311,30 @@ func main() {
 	writeObsOutputs := func(observers []*hirise.Observer, labels []float64) {
 		recs := make([]*hirise.TraceRecorder, len(observers))
 		regs := make([]*hirise.MetricsRegistry, len(observers))
+		samps := make([]*hirise.TelemetrySampler, len(observers))
 		for i, o := range observers {
 			if o != nil {
-				recs[i], regs[i] = o.Trace, o.Metrics
+				recs[i], regs[i], samps[i] = o.Trace, o.Metrics, o.Tele
 			}
 		}
 		if *traceJSONL != "" {
 			writeFile(*traceJSONL, func(w io.Writer) error { return hirise.WriteTraceJSONL(w, recs) })
 		}
 		if *traceChrome != "" {
-			writeFile(*traceChrome, func(w io.Writer) error { return hirise.WriteChromeTrace(w, recs) })
+			// With telemetry on, the flit slices and the counter tracks
+			// land in one document; without, the output is byte-identical
+			// to plain WriteChromeTrace.
+			writeFile(*traceChrome, func(w io.Writer) error {
+				return hirise.WriteChromeTraceWithCounters(w, recs, samps)
+			})
+		}
+		if *teleNDJSON != "" {
+			writeFile(*teleNDJSON, func(w io.Writer) error { return hirise.WriteTelemetryNDJSON(w, samps) })
+		}
+		if *teleChrome != "" {
+			writeFile(*teleChrome, func(w io.Writer) error {
+				return hirise.WriteChromeTraceWithCounters(w, nil, samps)
+			})
 		}
 		if *metricsOut != "" {
 			writeFile(*metricsOut, func(w io.Writer) error {
@@ -364,7 +399,8 @@ func main() {
 			PacketFlits: *flits, VCs: *vcs,
 			Warmup: *warmup, Measure: *measure, Seed: *seed,
 			Faults: faultPlan, Check: *check,
-			Ctx: ctx,
+			ConvergeStop: *convStop,
+			Ctx:          ctx,
 		}, countedMakeSwitch, makeTraffic, loads, *workers, obsFor)
 		stopHB()
 		if err != nil {
@@ -408,7 +444,8 @@ func main() {
 			PacketFlits: *flits, VCs: *vcs,
 			Warmup: *warmup, Measure: *measure, Seed: *seed,
 			Faults: faultPlan, Check: *check,
-			Obs: observer, Ctx: ctx,
+			ConvergeStop: *convStop,
+			Obs:          observer, Ctx: ctx,
 		})
 		stopHB()
 		if err != nil {
@@ -431,6 +468,13 @@ func main() {
 		fmt.Fprintf(w, "packets     injected %d, delivered %d, dropped-at-source %d%s\n",
 			res.Injected, res.Delivered, res.DroppedInjections,
 			map[bool]string{true: "  (saturated)", false: ""}[res.Saturated()])
+		// The steady-state verdict exists only when a sampler ran; the
+		// line is gated the same way so an untelemetered run's stdout is
+		// byte-identical to pre-telemetry builds.
+		if (observer != nil && observer.Tele != nil) || *convStop {
+			fmt.Fprintf(w, "steady      converged=%v suggested-warmup=%d cycles\n",
+				res.Converged, res.WarmupCycles)
+		}
 		if fs := res.Fault; fs != nil {
 			fmt.Fprintf(w, "faults      plan %d, applied %d fail / %d repair; flits dropped %d, retransmitted %d, retry-exhausted %d, dead flows %d\n",
 				faultPlan.Len(), fs.FailEvents, fs.RepairEvents,
@@ -449,7 +493,8 @@ func main() {
 		radix: *radix, schedName: strings.ToLower(*schedName), iters: *iters,
 		speedup: *speedupS, voqCap: *voqCap, outQCap: *outqCap,
 		load: *load, loads: loads, warmup: *warmup, measure: *measure,
-		seed: *seed, workers: *workers, perInput: *perInput, heartbeat: *heartbeat,
+		convergeStop: *convStop,
+		seed:         *seed, workers: *workers, perInput: *perInput, heartbeat: *heartbeat,
 		pattern: strings.ToLower(*pattern), target: *target, burst: *burst,
 		makeTraffic: makeTraffic, newObserver: newObserver, writeObs: writeObsOutputs,
 	}
@@ -498,6 +543,9 @@ func main() {
 				FaultRate                        float64
 				FaultRepair                      int64
 				Check                            bool
+				// omitempty keeps keys hashed before the flag existed
+				// valid for full-length runs.
+				ConvergeStop bool `json:"converge_stop,omitempty"`
 			}{
 				strings.ToLower(*design), strings.ToLower(*scheme), strings.ToLower(*alloc), strings.ToLower(*pattern),
 				*radix, *layers, *channels, *classes,
@@ -512,6 +560,7 @@ func main() {
 				*faultRate,
 				*faultRep,
 				*check,
+				*convStop,
 			})
 		}
 		if kerr != nil {

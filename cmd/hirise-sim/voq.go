@@ -30,6 +30,7 @@ type voqCLI struct {
 	load            float64
 	loads           []float64
 	warmup, measure int64
+	convergeStop    bool
 	seed            uint64
 	workers         int
 	perInput        bool
@@ -66,7 +67,8 @@ func (v voqCLI) base(ctx context.Context) hirise.VOQSimConfig {
 		Radix: v.radix, Speedup: v.speedup,
 		VOQCap: v.voqCap, OutQCap: v.outQCap,
 		Warmup: v.warmup, Measure: v.measure, Seed: v.seed,
-		Ctx: ctx,
+		ConvergeStop: v.convergeStop,
+		Ctx:          ctx,
 	}
 }
 
@@ -111,6 +113,12 @@ func (v voqCLI) runSingle(ctx context.Context, w io.Writer) error {
 	fmt.Fprintf(w, "cells       injected %d, delivered %d, dropped-at-voq %d%s\n",
 		res.Injected, res.Delivered, res.DroppedInjections,
 		map[bool]string{true: "  (saturated)", false: ""}[res.Saturated()])
+	// Gated like the hierarchical report: stdout is unchanged unless a
+	// sampler actually ran.
+	if (observer != nil && observer.Tele != nil) || v.convergeStop {
+		fmt.Fprintf(w, "steady      converged=%v suggested-warmup=%d cycles\n",
+			res.Converged, res.WarmupCycles)
+	}
 	if v.perInput {
 		fmt.Fprintln(w, "\ninput  latency(cycles)  cells/cycle")
 		for i := range res.PerInputLatency {
@@ -176,6 +184,9 @@ func (v voqCLI) storeKey(st *store.Store) (store.Key, error) {
 		PerInput                               bool
 		Warmup, Measure                        int64
 		Seed                                   uint64
+		// omitempty keeps keys hashed before the flag existed valid for
+		// full-length runs.
+		ConvergeStop bool `json:"converge_stop,omitempty"`
 	}{
 		v.schedName, v.pattern,
 		v.radix, v.iters, v.speedup, v.voqCap, v.outQCap,
@@ -185,5 +196,6 @@ func (v voqCLI) storeKey(st *store.Store) (store.Key, error) {
 		v.perInput,
 		v.warmup, v.measure,
 		v.seed,
+		v.convergeStop,
 	})
 }

@@ -1,10 +1,11 @@
 // Command tracelint validates observability trace files produced by
 // hirise-sim: files ending in .jsonl are checked as JSON Lines
-// lifecycle traces, everything else as Chrome trace-event JSON. It
-// prints one "ok" line per valid file and exits nonzero on the first
-// invalid one, so CI can gate on trace integrity.
+// lifecycle traces, files ending in .ndjson as telemetry time-series
+// exports (-tele-ndjson), and everything else as Chrome trace-event
+// JSON. It prints one "ok" line per valid file and exits nonzero on the
+// first invalid one, so CI can gate on trace integrity.
 //
-//	tracelint trace.json trace.jsonl
+//	tracelint trace.json trace.jsonl tele.ndjson
 package main
 
 import (
@@ -38,6 +39,14 @@ func validate(path string) (int, error) {
 		}
 		defer f.Close()
 		return hirise.ValidateTraceJSONL(f)
+	}
+	if strings.HasSuffix(path, ".ndjson") {
+		f, err := os.Open(path)
+		if err != nil {
+			return 0, err
+		}
+		defer f.Close()
+		return hirise.ValidateTelemetryNDJSON(f)
 	}
 	data, err := os.ReadFile(path)
 	if err != nil {

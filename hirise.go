@@ -41,6 +41,7 @@ import (
 	"github.com/reprolab/hirise/internal/phys"
 	"github.com/reprolab/hirise/internal/sched"
 	"github.com/reprolab/hirise/internal/sim"
+	"github.com/reprolab/hirise/internal/tele"
 	"github.com/reprolab/hirise/internal/topo"
 	"github.com/reprolab/hirise/internal/trace"
 	"github.com/reprolab/hirise/internal/traffic"
@@ -338,6 +339,49 @@ func ValidateChromeTrace(data []byte) (int, error) { return obs.ValidateChromeTr
 // ValidateTraceJSONL checks a JSONL trace stream produced by
 // WriteTraceJSONL and returns its event count.
 func ValidateTraceJSONL(r io.Reader) (int, error) { return obs.ValidateJSONL(r) }
+
+// Time-series telemetry (internal/tele): fixed-cadence windowed counter
+// and gauge tracks sampled inside the simulator hot loop, with
+// power-of-two decimation bounding memory for arbitrarily long runs.
+// Attach a sampler via Observer.Tele; a nil sampler keeps the per-cycle
+// hook to a single pointer compare.
+type (
+	// TelemetrySampler collects windowed samples from registered series.
+	TelemetrySampler = tele.Sampler
+	// TelemetrySeries is an exported snapshot of one sampled track.
+	TelemetrySeries = tele.Series
+)
+
+// NewTelemetrySampler returns a sampler closing a window every
+// windowCycles cycles and storing at most maxWindows samples per series
+// (zero or negative arguments select the package defaults; the series
+// decimate pairwise once the bound is hit).
+func NewTelemetrySampler(windowCycles int64, maxWindows int) *TelemetrySampler {
+	return tele.NewSampler(windowCycles, maxWindows)
+}
+
+// WriteTelemetryNDJSON serializes per-run samplers, in run order, as
+// NDJSON (one line per run and series).
+func WriteTelemetryNDJSON(w io.Writer, runs []*TelemetrySampler) error {
+	return tele.WriteNDJSON(w, runs)
+}
+
+// ValidateTelemetryNDJSON checks a telemetry NDJSON stream produced by
+// WriteTelemetryNDJSON and returns its total sample count.
+func ValidateTelemetryNDJSON(r io.Reader) (int, error) { return tele.ValidateNDJSON(r) }
+
+// WriteChromeTraceWithCounters is WriteChromeTrace plus per-window
+// counter tracks ("C" events) from the per-run telemetry samplers;
+// either slice may be nil or shorter than the other.
+func WriteChromeTraceWithCounters(w io.Writer, runs []*TraceRecorder, samps []*TelemetrySampler) error {
+	return obs.WriteChromeTraceWithCounters(w, runs, samps)
+}
+
+// SteadyStateMSER applies the Marginal Standard Error Rule to a sampled
+// series: it returns the suggested truncation point (in samples) and
+// whether the series reached steady state. See SimConfig.ConvergeStop
+// for the in-simulator use.
+func SteadyStateMSER(values []float64) (cut int, converged bool) { return tele.MSER(values) }
 
 // StartProfiles starts the configured host-side profilers; the returned
 // stop function (call exactly once) finishes them.

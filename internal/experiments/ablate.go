@@ -42,6 +42,7 @@ func AblateClasses(o Opts) *Table {
 			Traffic: traffic.Hotspot{Target: 63},
 			Load:    1.0,
 			Warmup:  o.Warmup, Measure: o.Measure, Seed: o.seedFor("ablate-classes", i, 0),
+			ConvergeStop: o.ConvergeStop,
 		})
 		if err != nil {
 			panic(err)
@@ -55,6 +56,7 @@ func AblateClasses(o Opts) *Table {
 			Traffic: traffic.Hotspot{Target: 63},
 			Load:    0.95 * 0.2 / 64,
 			Warmup:  o.Warmup * 4, Measure: o.Measure * 4, Seed: o.seedFor("ablate-classes", i, 1),
+			ConvergeStop: o.ConvergeStop,
 		})
 		if err != nil {
 			panic(err)
@@ -119,7 +121,8 @@ func AblateAlloc(o Opts) *Table {
 				Switch:  sw,
 				Traffic: pat.make(cfg),
 				Warmup:  o.Warmup, Measure: o.Measure,
-				Seed: o.seedFor("ablate-alloc", pi*len(patterns)+pati, 0),
+				ConvergeStop: o.ConvergeStop,
+				Seed:         o.seedFor("ablate-alloc", pi*len(patterns)+pati, 0),
 			})
 			if err != nil {
 				panic(err)
@@ -155,6 +158,7 @@ func AblateVCs(o Opts) *Table {
 			Traffic: traffic.Uniform{Radix: 64},
 			VCs:     vcs[i],
 			Warmup:  o.Warmup, Measure: o.Measure, Seed: o.seedFor("ablate-vcs", i, 0),
+			ConvergeStop: o.ConvergeStop,
 		})
 		if err != nil {
 			panic(err)
@@ -166,6 +170,7 @@ func AblateVCs(o Opts) *Table {
 			VCs:     vcs[i],
 			Load:    0.05,
 			Warmup:  o.Warmup, Measure: o.Measure, Seed: o.seedFor("ablate-vcs", i, 1),
+			ConvergeStop: o.ConvergeStop,
 		})
 		if err != nil {
 			panic(err)
@@ -212,6 +217,7 @@ func Locality(o Opts) *Table {
 				LocalFrac: fracs[fi],
 			},
 			Warmup: o.Warmup, Measure: o.Measure, Seed: o.seedFor("locality", k, 0),
+			ConvergeStop: o.ConvergeStop,
 		})
 		if err != nil {
 			panic(err)
@@ -273,6 +279,7 @@ func AblateQoS(o Opts) *Table {
 		Traffic: traffic.Hotspot{Target: 63},
 		Load:    1.0,
 		Warmup:  o.Warmup, Measure: o.Measure, Seed: o.seedFor("ablate-qos", 0, 0),
+		ConvergeStop: o.ConvergeStop,
 	})
 	if err != nil {
 		panic(err)
@@ -323,6 +330,7 @@ func AblateISLIP(o Opts) *Table {
 			Traffic: traffic.Adversarial(),
 			Load:    1.0,
 			Warmup:  o.Warmup, Measure: o.Measure, Seed: o.seedFor("ablate-islip", si, 0),
+			ConvergeStop: o.ConvergeStop,
 		})
 		if err != nil {
 			panic(err)
@@ -371,6 +379,7 @@ func AblateBursty(o Opts) *Table {
 			Traffic: traffic.NewBursty(64, 16),
 			Load:    0.3,
 			Warmup:  o.Warmup, Measure: o.Measure, Seed: o.seedFor("ablate-bursty", di, 0),
+			ConvergeStop: o.ConvergeStop,
 		})
 		if err != nil {
 			panic(err)

@@ -64,6 +64,7 @@ func AblatePacketLength(o Opts) *Table {
 			// Keep buffering per VC matched to the packet.
 			PacketFlits: n,
 			Warmup:      o.Warmup, Measure: o.Measure, Seed: o.seedFor("ablate-pktlen", i, 0),
+			ConvergeStop: o.ConvergeStop,
 		})
 		if err != nil {
 			panic(err)
@@ -75,6 +76,7 @@ func AblatePacketLength(o Opts) *Table {
 			PacketFlits: n,
 			Load:        0.02,
 			Warmup:      o.Warmup, Measure: o.Measure, Seed: o.seedFor("ablate-pktlen", i, 1),
+			ConvergeStop: o.ConvergeStop,
 		})
 		if err != nil {
 			panic(err)

@@ -53,6 +53,7 @@ func Degradation(o Opts) *Table {
 			Traffic: traffic.Uniform{Radix: d.Cfg.Radix},
 			Load:    1.0,
 			Warmup:  o.Warmup, Measure: o.Measure,
+			ConvergeStop: o.ConvergeStop,
 			// The seed depends on the count only: both schemes at a row see
 			// the same offered traffic as well as the same failed channels.
 			Seed:   o.seedFor("degradation", ci, 0),

@@ -36,6 +36,12 @@ type Opts struct {
 	// an experiment: 0 selects runtime.GOMAXPROCS(0), 1 forces serial
 	// execution. Output is byte-identical at every value.
 	Workers int
+	// ConvergeStop lets every simulation stop early once the MSER
+	// steady-state detector converges (see sim.Config.ConvergeStop).
+	// The stop decision is deterministic per run, so parallel output
+	// stays byte-identical — but results differ from full-length runs,
+	// so the flag is part of CacheKey.
+	ConvergeStop bool
 	// Ctx, when non-nil, makes the experiment cancellable: pending sweep
 	// points are skipped, in-flight simulations abort at their next
 	// cycle-level check, and the runner returns quickly with a partial
@@ -96,12 +102,15 @@ type CacheKey struct {
 	Measure int64
 	Seed    uint64
 	Tech    phys.Tech
+	// ConvergeStop is omitted when false so that keys hashed before the
+	// flag existed keep identifying the same full-length runs.
+	ConvergeStop bool `json:"converge_stop,omitempty"`
 }
 
 // CacheKey returns the run's cacheable identity (see type CacheKey).
 func (o Opts) CacheKey() CacheKey {
 	o = o.norm()
-	return CacheKey{Warmup: o.Warmup, Measure: o.Measure, Seed: o.Seed, Tech: o.Tech}
+	return CacheKey{Warmup: o.Warmup, Measure: o.Measure, Seed: o.Seed, Tech: o.Tech, ConvergeStop: o.ConvergeStop}
 }
 
 // RunCtx runs the registered experiment id at the given fidelity under

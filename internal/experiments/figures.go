@@ -132,6 +132,7 @@ func Fig10(o Opts) *Table {
 			Traffic: traffic.Uniform{Radix: d.Cfg.Radix},
 			Load:    loads[li] / cost.FreqGHz,
 			Warmup:  o.Warmup, Measure: o.Measure, Seed: o.seedFor("fig10", k, 0),
+			ConvergeStop: o.ConvergeStop,
 		})
 		if err != nil {
 			panic(err)
@@ -201,6 +202,7 @@ func Fig11a(o Opts) *Table {
 			Traffic: traffic.Hotspot{Target: 63},
 			Load:    load,
 			Warmup:  o.Warmup * 4, Measure: o.Measure * 4, Seed: o.seedFor("fig11a", di, 0),
+			ConvergeStop: o.ConvergeStop,
 		})
 		if err != nil {
 			panic(err)
@@ -259,6 +261,7 @@ func Fig11b(o Opts) *Table {
 			Traffic: traffic.Uniform{Radix: 64},
 			Load:    loads[li] / cost.FreqGHz,
 			Warmup:  o.Warmup, Measure: o.Measure, Seed: o.seedFor("fig11b", k, 0),
+			ConvergeStop: o.ConvergeStop,
 		})
 		if err != nil {
 			panic(err)
@@ -307,6 +310,7 @@ func Fig11c(o Opts) *Table {
 			Traffic: traffic.Adversarial(),
 			Load:    1.0,
 			Warmup:  o.Warmup, Measure: o.Measure, Seed: o.seedFor("fig11c", di, 0),
+			ConvergeStop: o.ConvergeStop,
 		})
 		if err != nil {
 			panic(err)

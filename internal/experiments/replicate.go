@@ -45,7 +45,8 @@ func TableIVReplicated(o Opts) *Table {
 			Switch:  d.NewSwitch(),
 			Traffic: traffic.Uniform{Radix: d.Cfg.Radix},
 			Warmup:  o.Warmup, Measure: o.Measure,
-			Seed: o.seedFor("table4-ci", di, rep),
+			ConvergeStop: o.ConvergeStop,
+			Seed:         o.seedFor("table4-ci", di, rep),
 		})
 		if err != nil {
 			panic(err)

@@ -124,12 +124,14 @@ func SchedShootout(o Opts) *Table {
 				Ctx: o.Ctx, Switch: d.NewSwitch(), Traffic: p.make(),
 				Load: load, PacketFlits: 1,
 				Warmup: o.Warmup, Measure: o.Measure, Seed: seed, Obs: ob,
+				ConvergeStop: o.ConvergeStop,
 			})
 		} else {
 			res, err = sim.RunVOQ(sim.VOQConfig{
 				Ctx: o.Ctx, Radix: shootoutRadix, Sched: v.newSched(),
 				Traffic: p.make(), Load: load, Speedup: v.speedup,
 				Warmup: o.Warmup, Measure: o.Measure, Seed: seed, Obs: ob,
+				ConvergeStop: o.ConvergeStop,
 			})
 		}
 		if err != nil {

@@ -19,6 +19,7 @@ func costRow(d Design, o Opts, seed uint64) []string {
 		Switch:  d.NewSwitch(),
 		Traffic: traffic.Uniform{Radix: d.Cfg.Radix},
 		Warmup:  o.Warmup, Measure: o.Measure, Seed: seed,
+		ConvergeStop: o.ConvergeStop,
 	})
 	if err != nil {
 		panic(err)
@@ -124,6 +125,7 @@ func CornerCase(o Opts) *Table {
 			Switch:  designs[i].NewSwitch(),
 			Traffic: pattern,
 			Warmup:  o.Warmup, Measure: o.Measure, Seed: o.seedFor("corner", i, 0),
+			ConvergeStop: o.ConvergeStop,
 		})
 		if err != nil {
 			panic(err)

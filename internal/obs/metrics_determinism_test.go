@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// populate registers the same metrics in the given name order,
+// exercising map-iteration paths in the writers.
+func populate(names []string) *Registry {
+	r := NewRegistry()
+	for _, n := range names {
+		r.Counter("c." + n).Add(int64(len(n)))
+		r.Gauge("g." + n).Set(float64(len(n)) + 0.5)
+		h := r.Histogram("h."+n, 5, 8)
+		h.Observe(float64(len(n)))
+		h.Observe(float64(len(n) * 7))
+	}
+	return r
+}
+
+// TestWriteTextDeterministic pins WriteText's sorted-line contract:
+// two registries holding identical metrics registered in opposite
+// orders must serialize to identical bytes.
+func TestWriteTextDeterministic(t *testing.T) {
+	names := []string{"zeta", "alpha", "mid", "beta2", "a.very.long.metric.name"}
+	rev := make([]string, len(names))
+	for i, n := range names {
+		rev[len(names)-1-i] = n
+	}
+	var a, b bytes.Buffer
+	if err := populate(names).WriteText(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := populate(rev).WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("WriteText depends on registration order:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	if a.Len() == 0 {
+		t.Fatal("WriteText wrote nothing")
+	}
+}
+
+// TestWriteJSONDeterministic pins the same contract for WriteJSON and
+// WriteRegistriesJSON (encoding/json sorts map keys; this test keeps
+// that load-bearing assumption visible if the marshal shape changes).
+func TestWriteJSONDeterministic(t *testing.T) {
+	names := []string{"zeta", "alpha", "mid"}
+	rev := []string{"mid", "alpha", "zeta"}
+	var a, b bytes.Buffer
+	if err := populate(names).WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := populate(rev).WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("WriteJSON depends on registration order:\n%s\nvs\n%s", a.String(), b.String())
+	}
+
+	var ma, mb bytes.Buffer
+	if err := WriteRegistriesJSON(&ma, []*Registry{populate(names), nil}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteRegistriesJSON(&mb, []*Registry{populate(rev), nil}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ma.Bytes(), mb.Bytes()) {
+		t.Fatal("WriteRegistriesJSON depends on registration order")
+	}
+}
+
+// TestHistogramEdgeBins pins the bin-edge semantics: exact boundary
+// values land in the upper bin, the top boundary lands in overflow,
+// negatives clamp to bin 0, +Inf overflows, NaN is counted apart.
+func TestHistogramEdgeBins(t *testing.T) {
+	h := NewRegistry().Histogram("h", 10, 4) // bins [0,10) [10,20) [20,30) [30,40)
+	h.Observe(0)                             // exact lower edge → bin 0
+	h.Observe(10)                            // exact boundary → bin 1
+	h.Observe(29.999)                        // just under → bin 2
+	h.Observe(30)                            // exact boundary → bin 3
+	h.Observe(39.999)                        // top of last bin → bin 3
+	h.Observe(40)                            // exact top boundary → overflow
+	h.Observe(-0.001)                        // negative clamps to bin 0
+	h.Observe(math.Inf(1))                   // +Inf → overflow
+	h.Observe(math.NaN())                    // counted apart
+
+	wantBins := []int64{2, 1, 1, 2}
+	for i, want := range wantBins {
+		if h.bins[i] != want {
+			t.Fatalf("bins = %v, want %v", h.bins, wantBins)
+		}
+	}
+	if h.overflow != 2 {
+		t.Fatalf("overflow = %d, want 2", h.overflow)
+	}
+	if h.nan != 1 {
+		t.Fatalf("nan = %d, want 1", h.nan)
+	}
+	// NaN is excluded from count, sum, min, max.
+	if h.Count() != 8 {
+		t.Fatalf("count = %d, want 8", h.Count())
+	}
+	if h.min != -0.001 {
+		t.Fatalf("min = %g, want -0.001", h.min)
+	}
+	if !math.IsInf(h.max, 1) {
+		t.Fatalf("max = %g, want +Inf", h.max)
+	}
+}
+
+// TestHistogramEdgeBinsSurviveMerge: edge-bin placement is preserved
+// bin-for-bin when merged into a fresh registry (the per-point →
+// switch-wide fold).
+func TestHistogramEdgeBinsSurviveMerge(t *testing.T) {
+	point := NewRegistry()
+	h := point.Histogram("h", 10, 4)
+	h.Observe(10)
+	h.Observe(40)
+	h.Observe(-5)
+	h.Observe(math.NaN())
+
+	global := NewRegistry()
+	global.Merge(point)
+	g := global.Histogram("h", 10, 4)
+	if g.bins[0] != 1 || g.bins[1] != 1 || g.overflow != 1 || g.nan != 1 {
+		t.Fatalf("merged edge bins = %v overflow=%d nan=%d", g.bins, g.overflow, g.nan)
+	}
+}

@@ -16,6 +16,8 @@
 // stdout byte-identical to an uninstrumented run.
 package obs
 
+import "github.com/reprolab/hirise/internal/tele"
+
 // Observer bundles the optional observability sinks threaded through
 // the simulators. A nil *Observer — and a nil field inside a non-nil
 // one — is fully functional: every accessor and every sink method
@@ -28,6 +30,9 @@ type Observer struct {
 	// Fairness receives per-(input, class) grant/denial observations
 	// from the arbitration layer.
 	Fairness *FairnessAudit
+	// Tele receives windowed time-series samples (counter-delta and
+	// gauge tracks) from the simulation loop.
+	Tele *tele.Sampler
 }
 
 // Rec returns the trace recorder, or nil.
@@ -36,6 +41,14 @@ func (o *Observer) Rec() *Recorder {
 		return nil
 	}
 	return o.Trace
+}
+
+// Sampler returns the telemetry sampler, or nil.
+func (o *Observer) Sampler() *tele.Sampler {
+	if o == nil {
+		return nil
+	}
+	return o.Tele
 }
 
 // Audit returns the fairness audit, or nil.

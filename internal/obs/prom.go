@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PrometheusContentType is the Content-Type of WritePrometheus output
+// (text exposition format 0.0.4).
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promName maps a registry metric name onto the Prometheus name
+// charset [a-zA-Z0-9_:]: dots and any other foreign byte become
+// underscores, and a leading digit gets a '_' prefix.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (0.0.4): every metric gets # HELP and # TYPE
+// lines, counters and gauges one sample each, histograms cumulative
+// _bucket samples (one per occupied bin boundary plus the mandatory
+// le="+Inf"), _sum, and _count. Metric names are sanitized via
+// promName; families are emitted in sorted sanitized-name order, so
+// output is deterministic regardless of registration order. Negative
+// observations were clamped into the first bin by Observe and NaN
+// observations are outside the distribution, mirroring the JSON dump.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	type family struct {
+		name string
+		emit func(bw *bufio.Writer)
+	}
+	var fams []family
+	for name, c := range r.counters {
+		name, c := promName(name), c
+		fams = append(fams, family{name, func(bw *bufio.Writer) {
+			fmt.Fprintf(bw, "# HELP %s Monotonic event count.\n", name)
+			fmt.Fprintf(bw, "# TYPE %s counter\n", name)
+			fmt.Fprintf(bw, "%s %d\n", name, c.v)
+		}})
+	}
+	for name, g := range r.gauges {
+		name, g := promName(name), g
+		fams = append(fams, family{name, func(bw *bufio.Writer) {
+			fmt.Fprintf(bw, "# HELP %s Last observed value.\n", name)
+			fmt.Fprintf(bw, "# TYPE %s gauge\n", name)
+			fmt.Fprintf(bw, "%s %s\n", name, promFloat(g.v))
+		}})
+	}
+	for name, h := range r.hists {
+		name, h := promName(name), h
+		fams = append(fams, family{name, func(bw *bufio.Writer) {
+			fmt.Fprintf(bw, "# HELP %s Fixed-bin-width distribution (width %s).\n", name, promFloat(h.binWidth))
+			fmt.Fprintf(bw, "# TYPE %s histogram\n", name)
+			// Cumulative buckets at occupied bin upper bounds. Emitting
+			// only occupied boundaries keeps sparse latency histograms
+			// small and is valid exposition: buckets are cumulative at
+			// whatever le values are present.
+			var cum int64
+			for i, c := range h.bins {
+				if c == 0 {
+					continue
+				}
+				cum += c
+				fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", name, promFloat(h.binWidth*float64(i+1)), cum)
+			}
+			fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", name, h.count)
+			fmt.Fprintf(bw, "%s_sum %s\n", name, promFloat(h.sum))
+			fmt.Fprintf(bw, "%s_count %d\n", name, h.count)
+		}})
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		f.emit(bw)
+	}
+	return bw.Flush()
+}
+
+// Merge folds another histogram into h: bin counts, overflow, NaN,
+// count, and sum add; min/max widen. Both histograms must share the
+// same shape (bin width and bin count) — merging differently shaped
+// histograms is a programming error and panics. Merging nil into
+// anything (or anything into nil) is a no-op, matching the package's
+// nil-safety contract.
+func (h *Histogram) Merge(o *Histogram) {
+	if h == nil || o == nil || o.count == 0 && o.nan == 0 {
+		return
+	}
+	if h.binWidth != o.binWidth || len(h.bins) != len(o.bins) {
+		panic(fmt.Sprintf("obs: merging histograms of different shapes: %gx%d vs %gx%d",
+			h.binWidth, len(h.bins), o.binWidth, len(o.bins)))
+	}
+	if h.count == 0 {
+		h.min, h.max = o.min, o.max
+	} else if o.count > 0 {
+		if o.min < h.min {
+			h.min = o.min
+		}
+		if o.max > h.max {
+			h.max = o.max
+		}
+	}
+	for i, c := range o.bins {
+		h.bins[i] += c
+	}
+	h.overflow += o.overflow
+	h.nan += o.nan
+	h.count += o.count
+	h.sum += o.sum
+}
+
+// Merge folds another registry into r: counters add, gauges take the
+// other registry's value (it is the later observation — sweeps merge
+// in point order), histograms Merge bin-wise. Metrics absent from r
+// are created. The per-point registries of a sweep fold into one
+// switch-wide registry this way. No-op when either side is nil.
+func (r *Registry) Merge(o *Registry) {
+	if r == nil || o == nil {
+		return
+	}
+	for name, c := range o.counters {
+		r.Counter(name).Add(c.v)
+	}
+	for name, g := range o.gauges {
+		r.Gauge(name).Set(g.v)
+	}
+	for name, h := range o.hists {
+		r.Histogram(name, h.binWidth, len(h.bins)).Merge(h)
+	}
+}

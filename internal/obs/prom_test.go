@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exact exposition bytes for a
+// registry with one metric of each type: HELP/TYPE lines, cumulative
+// occupied-bin buckets, the mandatory +Inf bucket, _sum and _count,
+// and name sanitization (dots to underscores).
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("serve.jobs.submitted").Add(7)
+	r.Gauge("serve.queue.depth").Set(2.5)
+	h := r.Histogram("sim.latency.cycles", 10, 4)
+	h.Observe(3)  // bin 0
+	h.Observe(3)  // bin 0
+	h.Observe(25) // bin 2
+	h.Observe(99) // overflow
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	const want = `# HELP serve_jobs_submitted Monotonic event count.
+# TYPE serve_jobs_submitted counter
+serve_jobs_submitted 7
+# HELP serve_queue_depth Last observed value.
+# TYPE serve_queue_depth gauge
+serve_queue_depth 2.5
+# HELP sim_latency_cycles Fixed-bin-width distribution (width 10).
+# TYPE sim_latency_cycles histogram
+sim_latency_cycles_bucket{le="10"} 2
+sim_latency_cycles_bucket{le="30"} 3
+sim_latency_cycles_bucket{le="+Inf"} 4
+sim_latency_cycles_sum 130
+sim_latency_cycles_count 4
+`
+	if got := buf.String(); got != want {
+		t.Fatalf("WritePrometheus output:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestWritePrometheusDeterministic: registration order must not leak
+// into the exposition (families are sorted by sanitized name).
+func TestWritePrometheusDeterministic(t *testing.T) {
+	mk := func(reverse bool) string {
+		r := NewRegistry()
+		names := []string{"a.zeta", "b.alpha", "a.mid"}
+		if reverse {
+			names = []string{"a.mid", "b.alpha", "a.zeta"}
+		}
+		for _, n := range names {
+			r.Counter(n).Add(int64(len(n)))
+		}
+		r.Gauge("g.one").Set(1)
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if mk(false) != mk(true) {
+		t.Fatalf("WritePrometheus depends on registration order:\n%s\nvs\n%s", mk(false), mk(true))
+	}
+}
+
+// TestPromName: sanitization to the Prometheus charset.
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"serve.jobs.submitted": "serve_jobs_submitted",
+		"already_fine:x":       "already_fine:x",
+		"9starts.with.digit":   "_9starts_with_digit",
+		"sim latency-µs":       "sim_latency___s", // µ is 2 bytes
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestWritePrometheusNil: a nil registry writes nothing and no error.
+func TestWritePrometheusNil(t *testing.T) {
+	var r *Registry
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil registry wrote %q, err %v", buf.String(), err)
+	}
+}
+
+// TestHistogramMerge: bin-wise addition, min/max widening, overflow
+// and NaN accumulation.
+func TestHistogramMerge(t *testing.T) {
+	mk := func() *Histogram {
+		return NewRegistry().Histogram("h", 10, 4)
+	}
+	a, b := mk(), mk()
+	a.Observe(5)
+	a.Observe(15)
+	b.Observe(35)
+	b.Observe(1000) // overflow
+	b.Observe(math.NaN())
+	b.Observe(-3) // clamps to bin 0
+	a.Merge(b)
+	if a.Count() != 5 {
+		t.Fatalf("merged count = %d, want 5", a.Count())
+	}
+	if a.min != -3 || a.max != 1000 {
+		t.Fatalf("merged min/max = %g/%g, want -3/1000", a.min, a.max)
+	}
+	if a.bins[0] != 2 || a.bins[1] != 1 || a.bins[3] != 1 || a.overflow != 1 || a.nan != 1 {
+		t.Fatalf("merged bins = %v overflow=%d nan=%d", a.bins, a.overflow, a.nan)
+	}
+	if got, want := a.sum, 5.0+15+35+1000-3; got != want {
+		t.Fatalf("merged sum = %g, want %g", got, want)
+	}
+}
+
+// TestHistogramMergeEmptyAndNil: merging an empty or nil histogram
+// changes nothing; nil receivers are no-ops.
+func TestHistogramMergeEmptyAndNil(t *testing.T) {
+	h := NewRegistry().Histogram("h", 10, 4)
+	h.Observe(5)
+	empty := NewRegistry().Histogram("h", 10, 4)
+	h.Merge(empty)
+	h.Merge(nil)
+	if h.Count() != 1 || h.min != 5 || h.max != 5 {
+		t.Fatalf("merge of empty/nil perturbed histogram: count=%d min=%g max=%g", h.Count(), h.min, h.max)
+	}
+	var nilH *Histogram
+	nilH.Merge(h) // must not panic
+}
+
+// TestHistogramMergeShapeMismatch: merging differently shaped
+// histograms is a programming error and must panic loudly.
+func TestHistogramMergeShapeMismatch(t *testing.T) {
+	a := NewRegistry().Histogram("a", 10, 4)
+	b := NewRegistry().Histogram("b", 5, 4)
+	a.Observe(1)
+	b.Observe(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape-mismatched merge did not panic")
+		}
+	}()
+	a.Merge(b)
+}
+
+// TestRegistryMerge: per-point registries fold into one — counters
+// add, gauges take the later value, histograms merge, absent metrics
+// are created.
+func TestRegistryMerge(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("n").Add(3)
+	b.Counter("n").Add(4)
+	b.Counter("only.b").Add(1)
+	a.Gauge("g").Set(1)
+	b.Gauge("g").Set(2)
+	a.Histogram("h", 10, 4).Observe(5)
+	b.Histogram("h", 10, 4).Observe(15)
+	a.Merge(b)
+	if got := a.Counter("n").Value(); got != 7 {
+		t.Fatalf("merged counter = %d, want 7", got)
+	}
+	if got := a.Counter("only.b").Value(); got != 1 {
+		t.Fatalf("created counter = %d, want 1", got)
+	}
+	if got := a.Gauge("g").Value(); got != 2 {
+		t.Fatalf("merged gauge = %g, want 2 (later value wins)", got)
+	}
+	if got := a.Histogram("h", 10, 4).Count(); got != 2 {
+		t.Fatalf("merged histogram count = %d, want 2", got)
+	}
+	// Nil on either side is a no-op.
+	var nilR *Registry
+	nilR.Merge(a)
+	a.Merge(nilR)
+	if got := a.Counter("n").Value(); got != 7 {
+		t.Fatalf("nil merge perturbed registry: %d", got)
+	}
+}
+
+// TestRegistryMergeMatchesPrometheus: merging two point registries and
+// scraping gives the same exposition as observing everything into one
+// registry — the property serve relies on for /metrics.
+func TestRegistryMergeMatchesPrometheus(t *testing.T) {
+	one := NewRegistry()
+	for _, v := range []float64{3, 25, 99} {
+		one.Histogram("lat", 10, 4).Observe(v)
+	}
+	one.Counter("n").Add(5)
+
+	merged := NewRegistry()
+	p1, p2 := NewRegistry(), NewRegistry()
+	p1.Histogram("lat", 10, 4).Observe(3)
+	p1.Counter("n").Add(2)
+	p2.Histogram("lat", 10, 4).Observe(25)
+	p2.Histogram("lat", 10, 4).Observe(99)
+	p2.Counter("n").Add(3)
+	merged.Merge(p1)
+	merged.Merge(p2)
+
+	var w1, w2 bytes.Buffer
+	if err := one.WritePrometheus(&w1); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.WritePrometheus(&w2); err != nil {
+		t.Fatal(err)
+	}
+	if w1.String() != w2.String() {
+		t.Fatalf("merged exposition differs:\n%s\nvs\n%s", w1.String(), w2.String())
+	}
+	if !strings.Contains(w1.String(), `lat_bucket{le="+Inf"} 3`) {
+		t.Fatalf("missing +Inf bucket:\n%s", w1.String())
+	}
+}

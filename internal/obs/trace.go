@@ -5,6 +5,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
+	"strconv"
+
+	"github.com/reprolab/hirise/internal/tele"
 )
 
 // EventKind identifies one step of a flit/packet lifecycle.
@@ -161,6 +165,19 @@ func WriteJSONL(w io.Writer, runs []*Recorder) error {
 // occupancy; every other kind becomes a thread-scoped instant ("i").
 // Like WriteJSONL, output is byte-deterministic at any worker count.
 func WriteChromeTrace(w io.Writer, runs []*Recorder) error {
+	return WriteChromeTraceWithCounters(w, runs, nil)
+}
+
+// WriteChromeTraceWithCounters is WriteChromeTrace plus telemetry: each
+// run's sampler series become Chrome counter-track ("C") events on the
+// same pid timeline, so Perfetto shows queue occupancy, accepted
+// throughput, in-flight flits, and retry pressure as step plots
+// alongside the flit slices. Counter samples are stamped at their
+// window's start (Perfetto holds the value until the next sample);
+// non-finite samples are skipped. runs[i] and samps[i] describe the
+// same simulation; either slice may be shorter or hold nils. Output
+// stays byte-deterministic at any worker count.
+func WriteChromeTraceWithCounters(w io.Writer, runs []*Recorder, samps []*tele.Sampler) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprint(bw, `{"displayTimeUnit":"ms","traceEvents":[`)
 	first := true
@@ -171,24 +188,43 @@ func WriteChromeTrace(w io.Writer, runs []*Recorder) error {
 		first = false
 		fmt.Fprintf(bw, format, args...)
 	}
-	for run, r := range runs {
-		if r == nil {
-			continue
+	n := len(runs)
+	if len(samps) > n {
+		n = len(samps)
+	}
+	for run := 0; run < n; run++ {
+		var r *Recorder
+		if run < len(runs) {
+			r = runs[run]
 		}
-		for _, e := range r.events {
-			switch e.Kind {
-			case EvArbWin:
-				// One arbitration cycle plus the data cycles of occupancy.
-				emit(`{"name":"conn->%d","ph":"X","ts":%d,"dur":%d,"pid":%d,"tid":%d,"args":{"out":%d,"data_cycles":%d}}`,
-					e.Out, e.Cycle, e.Aux+1, run, e.In, e.Out, e.Aux)
-			default:
-				emit(`{"name":%q,"ph":"i","ts":%d,"pid":%d,"tid":%d,"s":"t","args":{"out":%d,"aux":%d}}`,
-					e.Kind.String(), e.Cycle, run, e.In, e.Out, e.Aux)
+		if r != nil {
+			for _, e := range r.events {
+				switch e.Kind {
+				case EvArbWin:
+					// One arbitration cycle plus the data cycles of occupancy.
+					emit(`{"name":"conn->%d","ph":"X","ts":%d,"dur":%d,"pid":%d,"tid":%d,"args":{"out":%d,"data_cycles":%d}}`,
+						e.Out, e.Cycle, e.Aux+1, run, e.In, e.Out, e.Aux)
+				default:
+					emit(`{"name":%q,"ph":"i","ts":%d,"pid":%d,"tid":%d,"s":"t","args":{"out":%d,"aux":%d}}`,
+						e.Kind.String(), e.Cycle, run, e.In, e.Out, e.Aux)
+				}
+			}
+			if r.dropped > 0 {
+				emit(`{"name":"trace_truncated","ph":"i","ts":0,"pid":%d,"tid":0,"s":"p","args":{"dropped":%d}}`,
+					run, r.dropped)
 			}
 		}
-		if r.dropped > 0 {
-			emit(`{"name":"trace_truncated","ph":"i","ts":0,"pid":%d,"tid":0,"s":"p","args":{"dropped":%d}}`,
-				run, r.dropped)
+		if run < len(samps) && samps[run] != nil {
+			for _, series := range samps[run].Series() {
+				for i, v := range series.Values {
+					if math.IsNaN(v) || math.IsInf(v, 0) {
+						continue
+					}
+					emit(`{"name":%q,"ph":"C","ts":%d,"pid":%d,"tid":0,"args":{"value":%s}}`,
+						series.Name, int64(i)*series.Window, run,
+						strconv.FormatFloat(v, 'g', -1, 64))
+				}
+			}
 		}
 	}
 	fmt.Fprint(bw, "]}\n")
@@ -209,10 +245,11 @@ type chromeEvent struct {
 }
 
 // ValidateChromeTrace checks that data is a well-formed Chrome
-// trace-event JSON document as emitted by WriteChromeTrace: a
-// traceEvents array whose entries all carry name/ph/ts/pid/tid, with
-// ph limited to complete ("X", requiring a non-negative dur) and
-// instant ("i", requiring a scope) events. It returns the event count.
+// trace-event JSON document as emitted by WriteChromeTrace[WithCounters]:
+// a traceEvents array whose entries all carry name/ph/ts/pid/tid, with
+// ph limited to complete ("X", requiring a non-negative dur), instant
+// ("i", requiring a scope), and counter ("C", requiring args) events.
+// It returns the event count.
 func ValidateChromeTrace(data []byte) (int, error) {
 	var doc struct {
 		TraceEvents []chromeEvent `json:"traceEvents"`
@@ -241,6 +278,10 @@ func ValidateChromeTrace(data []byte) (int, error) {
 		case "i":
 			if e.S == "" {
 				return 0, fmt.Errorf("%s (%s): instant event needs a scope", where, e.Name)
+			}
+		case "C":
+			if e.Args == nil {
+				return 0, fmt.Errorf("%s (%s): counter event needs args", where, e.Name)
 			}
 		default:
 			return 0, fmt.Errorf("%s (%s): unexpected phase %q", where, e.Name, e.Ph)

@@ -48,6 +48,12 @@ type Event struct {
 	CacheHit bool `json:"cache_hit,omitempty"`
 	// Error carries the failure message on "failed".
 	Error string `json:"error,omitempty"`
+	// Windows and Telemetry surface the job's live time-series sampler
+	// on "progress" events: the closed-window count and the most recent
+	// window's value per series. Absent until the first window closes
+	// or when telemetry is disabled.
+	Windows   int                `json:"windows,omitempty"`
+	Telemetry map[string]float64 `json:"telemetry,omitempty"`
 }
 
 // job is one submitted computation.
@@ -73,6 +79,9 @@ type job struct {
 	result   []byte
 	cacheHit bool
 	err      error
+	// tele is the job's live progress sampler, attached when the job
+	// starts running (nil while queued or when telemetry is disabled).
+	tele *jobTelemetry
 
 	created  time.Time
 	started  time.Time
@@ -148,6 +157,14 @@ func (j *job) finish(result []byte, cacheHit bool, err error, cancelled, timedOu
 	default:
 		j.transition(Done, Event{Event: "done", CacheHit: cacheHit})
 	}
+}
+
+// telemetry returns the job's sampler, nil until the job starts (or
+// forever, when telemetry is disabled).
+func (j *job) telemetry() *jobTelemetry {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.tele
 }
 
 // snapshot returns the state, the events at or after fromSeq, and the

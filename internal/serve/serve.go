@@ -8,10 +8,11 @@
 //	GET    /jobs/{id}         job status (state, cache_hit, progress, result key)
 //	GET    /jobs/{id}/result  the result body once done
 //	GET    /jobs/{id}/events  NDJSON lifecycle + progress stream, live until terminal
+//	GET    /jobs/{id}/telemetry  windowed progress time series of a started job
 //	DELETE /jobs/{id}         cancel: pending jobs are dropped, running jobs abort
 //	                          at the simulators' next cycle-level ctx check
 //	GET    /healthz           liveness + queue depth
-//	GET    /metrics           server counters rendered from an obs registry
+//	GET    /metrics           Prometheus text exposition of server counters
 //
 // Identical submissions share one computation (store singleflight) and
 // later ones are served byte-identical from cache; a DELETE or a
@@ -55,6 +56,11 @@ type Config struct {
 	// state, so stuck or oversized submissions cannot pin a worker
 	// forever.
 	JobTimeout time.Duration
+	// TelemetryWindow is the wall-clock sampling cadence for per-job
+	// live telemetry (progress time series surfaced through the events
+	// stream and GET /jobs/{id}/telemetry). 0 selects the 250ms
+	// default; a negative value disables job telemetry entirely.
+	TelemetryWindow time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -63,6 +69,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Workers == 0 {
 		c.Workers = 1
+	}
+	if c.TelemetryWindow == 0 {
+		c.TelemetryWindow = 250 * time.Millisecond
 	}
 	return c
 }
@@ -87,6 +96,12 @@ type Server struct {
 	workers sync.WaitGroup
 
 	submitted, rejected, completed, failed, cancelled, timedout atomic.Int64
+
+	// jobStats is the persistent cross-job registry (the job-duration
+	// histogram). obs registries are single-writer by contract, so both
+	// the per-job Observe and the per-scrape Merge hold statsMu.
+	statsMu  sync.Mutex
+	jobStats *obs.Registry
 }
 
 // New starts a Server's worker pool and returns it.
@@ -103,6 +118,7 @@ func New(cfg Config) (*Server, error) {
 		cancelBase: cancel,
 		jobs:       map[string]*job{},
 		queue:      make(chan *job, cfg.QueueDepth),
+		jobStats:   obs.NewRegistry(),
 	}
 	s.workers.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -130,6 +146,8 @@ func (s *Server) run(j *job) {
 	s.running.Add(1)
 	defer s.running.Add(-1)
 	j.transition(Running, Event{Event: "started"})
+	stopTele := s.startTelemetry(j)
+	start := time.Now()
 
 	// The wall-clock budget starts when the job starts running, not when
 	// it was queued: a long queue must not eat a job's timeout.
@@ -142,6 +160,10 @@ func (s *Server) run(j *job) {
 	data, hit, err := s.store.GetOrCompute(ctx, j.key, func(cctx context.Context) ([]byte, error) {
 		return s.compute(cctx, j)
 	})
+	stopTele()
+	s.statsMu.Lock()
+	s.jobStats.Histogram("serve.job.duration.seconds", 0.5, 40).Observe(time.Since(start).Seconds())
+	s.statsMu.Unlock()
 	cancelled := j.ctx.Err() != nil && errors.Is(err, context.Canceled)
 	// Timeout: the per-job deadline fired and the run errored, but the
 	// job itself was never cancelled by a client or a drain.
@@ -197,6 +219,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /jobs/{id}/telemetry", s.handleTelemetry)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -348,7 +371,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			lastProgress = p
 			// Progress snapshots are observations, not recorded events;
 			// they carry no sequence number of their own.
-			if !emit(Event{Seq: next, Event: "progress", Time: time.Now().UTC().Format(time.RFC3339Nano), Completed: p, Total: j.total}) {
+			e := Event{Seq: next, Event: "progress", Time: time.Now().UTC().Format(time.RFC3339Nano), Completed: p, Total: j.total}
+			e.Windows, e.Telemetry = j.telemetry().latest()
+			if !emit(e) {
 				return
 			}
 		}
@@ -403,11 +428,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleMetrics renders the server's counters through an obs metrics
-// registry — the same registry/serialization machinery the simulators
-// use, so the text format and ordering match the rest of the tooling.
-// The registry is rebuilt per scrape: obs registries are single-writer
-// by contract, so sharing one across request goroutines would race.
+// handleMetrics renders the server's counters in the Prometheus text
+// exposition format (version 0.0.4) through an obs metrics registry —
+// the same registry machinery the simulators use, so families sort
+// deterministically. The scrape registry is rebuilt per request: obs
+// registries are single-writer by contract, so sharing one across
+// request goroutines would race. The persistent cross-job state (the
+// job-duration histogram) is merged in under statsMu.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	reg := obs.NewRegistry()
 	reg.Counter("serve.jobs.submitted").Add(s.submitted.Load())
@@ -427,7 +454,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	reg.Gauge("serve.queue.depth").Set(float64(len(s.queue)))
 	s.mu.Unlock()
 	reg.Gauge("serve.jobs.running").Set(float64(s.running.Load()))
+	s.statsMu.Lock()
+	reg.Merge(s.jobStats)
+	s.statsMu.Unlock()
 
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	reg.WriteText(w)
+	w.Header().Set("Content-Type", obs.PrometheusContentType)
+	reg.WritePrometheus(w)
 }

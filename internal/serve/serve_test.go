@@ -391,7 +391,8 @@ func TestDrainTimeoutCancelsJobs(t *testing.T) {
 }
 
 // TestMetricsAndHealth: the counters surface through /metrics in the
-// obs text format.
+// Prometheus text exposition format, including the cross-job duration
+// histogram with its _bucket/_sum/_count family.
 func TestMetricsAndHealth(t *testing.T) {
 	_, ts := newTestServer(t, serve.Config{Workers: 1, SimWorkers: 1})
 
@@ -409,10 +410,18 @@ func TestMetricsAndHealth(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("metrics content type = %q, want Prometheus text exposition", ct)
+	}
 	text := string(body)
 	for _, want := range []string{
-		"serve.jobs.submitted", "serve.jobs.completed",
-		"store.misses", "store.hits.memory",
+		"# TYPE serve_jobs_submitted counter",
+		"serve_jobs_submitted 2",
+		"serve_jobs_completed 2",
+		"store_misses", "store_hits_memory",
+		"# TYPE serve_job_duration_seconds histogram",
+		`serve_job_duration_seconds_bucket{le="+Inf"} 2`,
+		"serve_job_duration_seconds_count 2",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics output missing %q:\n%s", want, text)
@@ -433,6 +442,115 @@ func TestMetricsAndHealth(t *testing.T) {
 	}
 }
 
+// TestJobTelemetry: a running job's progress time series is live on
+// GET /jobs/{id}/telemetry, keeps its final state after the job ends,
+// and the sampler goroutine shuts down cleanly (leakcheck).
+func TestJobTelemetry(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{
+		Workers: 1, SimWorkers: 1, TelemetryWindow: 2 * time.Millisecond,
+	})
+
+	st := submit(t, ts, longSweep())
+	waitState(t, ts, st.ID, "running", func(s serve.Status) bool { return s.State == serve.Running })
+
+	getTele := func() (serve.TelemetrySnapshot, int) {
+		resp, err := http.Get(ts.URL + "/jobs/" + st.ID + "/telemetry")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var snap serve.TelemetrySnapshot
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			io.Copy(io.Discard, resp.Body)
+		}
+		return snap, resp.StatusCode
+	}
+
+	// Windows accumulate while the job runs.
+	var snap serve.TelemetrySnapshot
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var code int
+		snap, code = getTele()
+		if code == http.StatusOK && snap.Windows >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("telemetry never accumulated windows (last: HTTP %d, %+v)", code, snap)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if snap.IntervalMS != 2 || snap.WindowTicks < 1 {
+		t.Fatalf("snapshot shape wrong: %+v", snap)
+	}
+	for _, series := range []string{"serve.job.tasks.completed", "serve.job.progress"} {
+		vals, ok := snap.Series[series]
+		if !ok {
+			t.Fatalf("snapshot missing series %q: %+v", series, snap)
+		}
+		if len(vals) != snap.Windows {
+			t.Fatalf("series %q has %d values, want %d windows", series, len(vals), snap.Windows)
+		}
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+st.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	waitState(t, ts, st.ID, "cancelled", func(s serve.Status) bool { return s.State.Terminal() })
+
+	// Telemetry survives the job for post-mortem queries.
+	final, code := getTele()
+	if code != http.StatusOK || final.Windows < snap.Windows {
+		t.Fatalf("post-mortem telemetry: HTTP %d, %+v", code, final)
+	}
+}
+
+// TestJobTelemetryQueuedAndDisabled: a queued job answers 409 (it has
+// not run), and a server with telemetry disabled answers 409 even for
+// finished jobs.
+func TestJobTelemetryQueuedAndDisabled(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{Workers: 1, SimWorkers: 1, QueueDepth: 4})
+	blocker := submit(t, ts, longSweep())
+	waitState(t, ts, blocker.ID, "running", func(s serve.Status) bool { return s.State == serve.Running })
+	queued := submit(t, ts, quickSweep())
+	resp, err := http.Get(ts.URL + "/jobs/" + queued.ID + "/telemetry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("telemetry of queued job: HTTP %d, want 409", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+blocker.ID, nil)
+	r2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	waitState(t, ts, queued.ID, "done", func(s serve.Status) bool { return s.State.Terminal() })
+
+	_, ts2 := newTestServer(t, serve.Config{Workers: 1, SimWorkers: 1, TelemetryWindow: -1})
+	st := submit(t, ts2, quickSweep())
+	waitState(t, ts2, st.ID, "done", func(s serve.Status) bool { return s.State == serve.Done })
+	resp, err = http.Get(ts2.URL + "/jobs/" + st.ID + "/telemetry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("telemetry when disabled: HTTP %d, want 409", resp.StatusCode)
+	}
+}
+
 // TestUnknownJob: status, result, events, and cancel all 404 on an
 // unknown ID.
 func TestUnknownJob(t *testing.T) {
@@ -441,6 +559,7 @@ func TestUnknownJob(t *testing.T) {
 		{http.MethodGet, "/jobs/nope"},
 		{http.MethodGet, "/jobs/nope/result"},
 		{http.MethodGet, "/jobs/nope/events"},
+		{http.MethodGet, "/jobs/nope/telemetry"},
 		{http.MethodDelete, "/jobs/nope"},
 	} {
 		req, _ := http.NewRequest(probe.method, ts.URL+probe.path, nil)

@@ -21,6 +21,7 @@ import (
 	"github.com/reprolab/hirise/internal/pool"
 	"github.com/reprolab/hirise/internal/prng"
 	"github.com/reprolab/hirise/internal/stats"
+	"github.com/reprolab/hirise/internal/tele"
 	"github.com/reprolab/hirise/internal/topo"
 )
 
@@ -108,6 +109,18 @@ type Config struct {
 	// returns an error on the first violation. It observes the run
 	// without changing it; tests keep it always on.
 	Check bool
+	// ConvergeStop lets the run end before Warmup+Measure: once the
+	// telemetry sampler's MSER steady-state detector declares the
+	// delivered-packet series converged — checked at window closes,
+	// after at least Warmup + Measure/8 cycles and convergeMinWindows
+	// closed windows — the run stops at that window boundary and all
+	// rates are normalized by the cycles actually measured. The
+	// decision depends only on this run's own series, so sweeps remain
+	// deterministic at any worker count (though early-stopped results
+	// differ from full-length ones — the flag is part of experiment
+	// cache keys). When no sampler is attached via Obs, a private one
+	// with default cadence is created.
+	ConvergeStop bool
 }
 
 // Defaults fills unset fields with the paper's parameters. Zero means
@@ -180,6 +193,16 @@ type Result struct {
 	// nil when the run had no fault plane, so fault-free results
 	// serialize exactly as before.
 	Fault *FaultStats `json:",omitempty"`
+	// Converged reports the MSER steady-state detector's verdict on
+	// the delivered-packet series. Only set when a telemetry sampler
+	// was attached (Config.Obs.Tele or ConvergeStop), and omitted from
+	// JSON otherwise, so telemetry-free results serialize exactly as
+	// before.
+	Converged bool `json:",omitempty"`
+	// WarmupCycles is the detector's suggested warmup truncation in
+	// cycles from run start (the MSER cut × the sampler window); 0
+	// when not converged or not sampled.
+	WarmupCycles int64 `json:",omitempty"`
 }
 
 // Saturated reports whether offered traffic exceeded what the switch
@@ -192,6 +215,16 @@ func (r Result) Saturated() bool { return r.DroppedInjections > 0 }
 // wall time) against hot-loop overhead; 1024 makes the check unmeasurable
 // while still stopping a cancelled run long before one sweep point ends.
 const ctxCheckInterval = 1024
+
+// teleDeliveredSeries is the telemetry series the MSER steady-state
+// detector judges: delivered packets per window, switch-wide.
+const teleDeliveredSeries = "sim.packets.delivered"
+
+// convergeMinWindows is the fewest closed telemetry windows a
+// ConvergeStop run must accumulate before the detector may end it;
+// together with the Warmup + Measure/8 cycle floor it keeps the
+// detector from declaring victory on a handful of samples.
+const convergeMinWindows = 16
 
 type packet struct {
 	birth int64
@@ -275,6 +308,21 @@ func Run(cfg Config) (Result, error) {
 	mLatency := cfg.Obs.Histogram("sim.latency.cycles", 4, 4096)
 	cfg.Obs.Gauge("sim.offered.load").Set(cfg.Load)
 
+	// Telemetry plane: windowed time-series tracks over the whole run.
+	// The sampler is nil unless attached via Obs (or implied by
+	// ConvergeStop), and every tele handle no-ops on nil, so the
+	// disabled path costs one nil check per hook like the obs sinks.
+	samp := cfg.Obs.Sampler()
+	if samp == nil && cfg.ConvergeStop {
+		samp = tele.NewSampler(0, 0)
+	}
+	tInjected := samp.Counter("sim.packets.injected")
+	tDelivered := samp.Counter(teleDeliveredSeries)
+	tDropped := samp.Counter("sim.packets.dropped")
+	tFlits := samp.Counter("sim.flits.delivered")
+	tWins := samp.Counter("sim.arb.wins")
+	tLosses := samp.Counter("sim.arb.losses")
+
 	// Fault plane. Everything below is nil/false when the plan is empty,
 	// so the fault-free run stays on the exact pre-fault hot path (and
 	// registers no fault counters, keeping metrics output unchanged).
@@ -283,6 +331,7 @@ func Run(cfg Config) (Result, error) {
 	var holder channelHolder
 	var blocker pathBlocker
 	var mFlitDrop, mRetrans, mRetryDrop, mDeadFlow, mFailEv, mRepairEv *obs.Counter
+	var tFlitDrop, tRetrans, tRetryDrop, tDeadFlow, tFailEv, tRepairEv *tele.Counter
 	if hasFaults {
 		inj = fault.NewInjector(cfg.Faults, cfg.Switch)
 		holder, _ = cfg.Switch.(channelHolder)
@@ -293,13 +342,21 @@ func Run(cfg Config) (Result, error) {
 		mDeadFlow = cfg.Obs.Counter("sim.fault.dead_flows")
 		mFailEv = cfg.Obs.Counter("sim.fault.fail_events")
 		mRepairEv = cfg.Obs.Counter("sim.fault.repair_events")
+		tFlitDrop = samp.Counter("sim.fault.flits_dropped")
+		tRetrans = samp.Counter("sim.fault.retransmissions")
+		tRetryDrop = samp.Counter("sim.fault.retry_exhausted")
+		tDeadFlow = samp.Counter("sim.fault.dead_flows")
+		tFailEv = samp.Counter("sim.fault.fail_events")
+		tRepairEv = samp.Counter("sim.fault.repair_events")
 		inj.Hook = func(cycle int64, f fault.Fault, repair bool) {
 			if repair {
 				mRepairEv.Inc()
+				tRepairEv.Inc()
 				rec.Record(cycle, obs.EvRepair, f.ID, -1, int(f.Kind))
 				return
 			}
 			mFailEv.Inc()
+			tFailEv.Inc()
 			rec.Record(cycle, obs.EvFault, f.ID, -1, int(f.Kind))
 		}
 	}
@@ -332,6 +389,33 @@ func Run(cfg Config) (Result, error) {
 		}
 	}
 
+	if samp != nil {
+		// Level tracks, snapshotted at each window close: total packets
+		// waiting in source queues + VCs, and flits still crossing the
+		// switch on active connections.
+		samp.GaugeFunc("sim.queue.occupancy", func() float64 {
+			var occ int
+			for in := range ports {
+				occ += ports[in].srcQ.n
+				for _, ok := range ports[in].vcOk {
+					if ok {
+						occ++
+					}
+				}
+			}
+			return float64(occ)
+		})
+		samp.GaugeFunc("sim.flits.inflight", func() float64 {
+			var fl int
+			for in := range ports {
+				if ports[in].connected {
+					fl += ports[in].remaining
+				}
+			}
+			return float64(fl)
+		})
+	}
+
 	req := make([]int, n)
 	hist := stats.NewHistogram(4, 4096)
 	perLat := stats.NewPerPort(n)
@@ -340,6 +424,7 @@ func Run(cfg Config) (Result, error) {
 	releases := make([]int, 0, n)
 
 	total := cfg.Warmup + cfg.Measure
+	var stoppedAt int64 // cycle count at a ConvergeStop early exit, 0 = ran full length
 	for cycle := int64(0); cycle < total; cycle++ {
 		if cfg.Ctx != nil && cycle%ctxCheckInterval == 0 && cfg.Ctx.Err() != nil {
 			return Result{}, fmt.Errorf("sim: run cancelled at cycle %d: %w", cycle, cfg.Ctx.Err())
@@ -372,6 +457,7 @@ func Run(cfg Config) (Result, error) {
 					p.corrupt = true
 					fstats.FlitsDropped++
 					mFlitDrop.Inc()
+					tFlitDrop.Inc()
 					rec.Record(cycle, obs.EvFlitDrop, in, p.vc[p.connVC].dest, cid)
 				}
 			}
@@ -393,11 +479,13 @@ func Run(cfg Config) (Result, error) {
 					p.vcOk[p.connVC] = false
 					fstats.RetryExhausted++
 					mRetryDrop.Inc()
+					tRetryDrop.Inc()
 					rec.Record(cycle, obs.EvRetryDrop, in, pkt.dest, pkt.retries)
 				} else {
 					pkt.retries++
 					fstats.Retransmissions++
 					mRetrans.Inc()
+					tRetrans.Inc()
 					rec.Record(cycle, obs.EvRetransmit, in, pkt.dest, pkt.retries)
 				}
 				continue
@@ -413,6 +501,8 @@ func Run(cfg Config) (Result, error) {
 			}
 			mDelivered.Inc()
 			mFlits.Add(int64(cfg.PacketFlits))
+			tDelivered.Inc()
+			tFlits.Add(int64(cfg.PacketFlits))
 			mLatency.Observe(float64(lat))
 			rec.Record(cycle, obs.EvEject, in, pkt.dest, int(lat))
 			if chk != nil {
@@ -446,6 +536,7 @@ func Run(cfg Config) (Result, error) {
 					p.vcOk[v] = false
 					fstats.DeadFlows++
 					mDeadFlow.Inc()
+					tDeadFlow.Inc()
 					rec.Record(cycle, obs.EvDeadFlow, in, p.vc[v].dest, int(cycle-p.vc[v].birth))
 					continue
 				}
@@ -468,14 +559,16 @@ func Run(cfg Config) (Result, error) {
 			p.connected = true
 			p.remaining = cfg.PacketFlits
 			mWins.Inc()
+			tWins.Inc()
 			rec.Record(cycle, obs.EvArbWin, g.In, g.Out, cfg.PacketFlits)
 		}
-		if cfg.Obs != nil {
+		if cfg.Obs != nil || samp != nil {
 			// A requesting input left unconnected lost its arbitration
 			// round (to a contender, a busy output, or a busy channel).
 			for in := range ports {
 				if req[in] >= 0 && !ports[in].connected {
 					mLosses.Inc()
+					tLosses.Inc()
 					rec.Record(cycle, obs.EvArbLose, in, req[in], 0)
 				}
 			}
@@ -495,6 +588,7 @@ func Run(cfg Config) (Result, error) {
 						dropped++
 					}
 					mDropped.Inc()
+					tDropped.Inc()
 					rec.Record(cycle, obs.EvDrop, in, dest, 0)
 				} else {
 					p.srcQ.push(packet{birth: cycle, dest: dest, seq: p.nextSeq})
@@ -506,6 +600,7 @@ func Run(cfg Config) (Result, error) {
 						chk.injected++
 					}
 					mInjected.Inc()
+					tInjected.Inc()
 					rec.Record(cycle, obs.EvInject, in, dest, 0)
 				}
 			}
@@ -517,12 +612,30 @@ func Run(cfg Config) (Result, error) {
 				}
 			}
 		}
+
+		// 6. Close the telemetry window when its cadence is due (a
+		// single compare when telemetry is off or mid-window) and, under
+		// ConvergeStop, consult the steady-state detector at each close.
+		if samp.Tick(cycle+1) && cfg.ConvergeStop &&
+			cycle+1 >= cfg.Warmup+(cfg.Measure+7)/8 &&
+			samp.Windows() >= convergeMinWindows {
+			if _, ok := tele.MSER(samp.Values(teleDeliveredSeries)); ok {
+				stoppedAt = cycle + 1
+				break
+			}
+		}
 	}
 
+	// An early-stopped run measured fewer cycles than configured; rates
+	// normalize by what actually ran so they stay comparable.
+	measured := float64(cfg.Measure)
+	if stoppedAt > 0 {
+		measured = float64(stoppedAt - cfg.Warmup)
+	}
 	res := Result{
 		OfferedLoad:       cfg.Load,
-		AcceptedFlits:     float64(flits) / float64(cfg.Measure),
-		AcceptedPackets:   float64(delivered) / float64(cfg.Measure),
+		AcceptedFlits:     float64(flits) / measured,
+		AcceptedPackets:   float64(delivered) / measured,
 		AvgLatency:        hist.Mean(),
 		P50Latency:        hist.Quantile(0.5),
 		P99Latency:        hist.Quantile(0.99),
@@ -533,7 +646,14 @@ func Run(cfg Config) (Result, error) {
 		DroppedInjections: dropped,
 	}
 	for i, c := range perPkt {
-		res.PerInputPackets[i] = float64(c) / float64(cfg.Measure)
+		res.PerInputPackets[i] = float64(c) / measured
+	}
+	if samp != nil {
+		cut, conv := tele.MSER(samp.Values(teleDeliveredSeries))
+		res.Converged = conv
+		if conv {
+			res.WarmupCycles = int64(cut) * samp.Window()
+		}
 	}
 	if hasFaults {
 		ist := inj.Stats()

@@ -10,6 +10,7 @@ import (
 	"github.com/reprolab/hirise/internal/prng"
 	"github.com/reprolab/hirise/internal/sched"
 	"github.com/reprolab/hirise/internal/stats"
+	"github.com/reprolab/hirise/internal/tele"
 )
 
 // VOQConfig parameterizes one virtual-output-queued simulation run
@@ -59,6 +60,9 @@ type VOQConfig struct {
 	// audit sees one Observe call per requesting input per scheduling
 	// phase, all under class 0.
 	Obs *obs.Observer
+	// ConvergeStop ends the run early once the MSER steady-state
+	// detector converges, exactly as in Config.ConvergeStop.
+	ConvergeStop bool
 }
 
 // Defaults fills unset fields. As in Config.Defaults, zero means
@@ -135,6 +139,17 @@ func RunVOQ(cfg VOQConfig) (Result, error) {
 	mLatency := cfg.Obs.Histogram("sim.latency.cycles", 4, 4096)
 	cfg.Obs.Gauge("sim.offered.load").Set(cfg.Load)
 
+	// Telemetry plane (see Run): nil-safe windowed series over the run.
+	samp := cfg.Obs.Sampler()
+	if samp == nil && cfg.ConvergeStop {
+		samp = tele.NewSampler(0, 0)
+	}
+	tInjected := samp.Counter("sim.packets.injected")
+	tDelivered := samp.Counter(teleDeliveredSeries)
+	tDropped := samp.Counter("sim.packets.dropped")
+	tWins := samp.Counter("sim.arb.wins")
+	tLosses := samp.Counter("sim.arb.losses")
+
 	root := prng.New(cfg.Seed)
 	rngs := make([]*prng.Source, n)
 	for i := range rngs {
@@ -160,12 +175,32 @@ func RunVOQ(cfg VOQConfig) (Result, error) {
 	outLen := make([]int32, n)
 	match := make([]int, n)
 
+	if samp != nil {
+		// Level tracks: cells waiting across all VOQs, and cells parked
+		// in output queues awaiting their drain slot.
+		samp.GaugeFunc("sim.queue.occupancy", func() float64 {
+			var occ int32
+			for _, l := range voqLen {
+				occ += l
+			}
+			return float64(occ)
+		})
+		samp.GaugeFunc("sim.flits.inflight", func() float64 {
+			var fl int32
+			for _, l := range outLen {
+				fl += l
+			}
+			return float64(fl)
+		})
+	}
+
 	hist := stats.NewHistogram(4, 4096)
 	perLat := stats.NewPerPort(n)
 	perPkt := make([]int64, n)
 	var injected, delivered, dropped int64
 
 	total := cfg.Warmup + cfg.Measure
+	var stoppedAt int64 // cycle count at a ConvergeStop early exit, 0 = ran full length
 	for cycle := int64(0); cycle < total; cycle++ {
 		if cfg.Ctx != nil && cycle%ctxCheckInterval == 0 && cfg.Ctx.Err() != nil {
 			return Result{}, fmt.Errorf("sim: run cancelled at cycle %d: %w", cycle, cfg.Ctx.Err())
@@ -196,11 +231,13 @@ func RunVOQ(cfg VOQConfig) (Result, error) {
 				if o < 0 {
 					if requested {
 						mLosses.Inc()
+						tLosses.Inc()
 						rec.Record(cycle, obs.EvArbLose, in, req[in].First(), phase)
 					}
 					continue
 				}
 				mWins.Inc()
+				tWins.Inc()
 				rec.Record(cycle, obs.EvArbWin, in, o, phase)
 				// Move the VOQ head cell into the output queue.
 				vi := in*n + o
@@ -240,6 +277,7 @@ func RunVOQ(cfg VOQConfig) (Result, error) {
 			}
 			mDelivered.Inc()
 			mFlits.Inc()
+			tDelivered.Inc()
 			mLatency.Observe(float64(lat))
 			rec.Record(cycle, obs.EvEject, in, o, int(lat))
 		}
@@ -256,6 +294,7 @@ func RunVOQ(cfg VOQConfig) (Result, error) {
 					dropped++
 				}
 				mDropped.Inc()
+				tDropped.Inc()
 				rec.Record(cycle, obs.EvDrop, in, dest, 0)
 				continue
 			}
@@ -267,14 +306,29 @@ func RunVOQ(cfg VOQConfig) (Result, error) {
 				injected++
 			}
 			mInjected.Inc()
+			tInjected.Inc()
 			rec.Record(cycle, obs.EvInject, in, dest, 0)
+		}
+
+		// 4. Telemetry window close and ConvergeStop check (see Run).
+		if samp.Tick(cycle+1) && cfg.ConvergeStop &&
+			cycle+1 >= cfg.Warmup+(cfg.Measure+7)/8 &&
+			samp.Windows() >= convergeMinWindows {
+			if _, ok := tele.MSER(samp.Values(teleDeliveredSeries)); ok {
+				stoppedAt = cycle + 1
+				break
+			}
 		}
 	}
 
+	measured := float64(cfg.Measure)
+	if stoppedAt > 0 {
+		measured = float64(stoppedAt - cfg.Warmup)
+	}
 	res := Result{
 		OfferedLoad:       cfg.Load,
-		AcceptedFlits:     float64(delivered) / float64(cfg.Measure),
-		AcceptedPackets:   float64(delivered) / float64(cfg.Measure),
+		AcceptedFlits:     float64(delivered) / measured,
+		AcceptedPackets:   float64(delivered) / measured,
 		AvgLatency:        hist.Mean(),
 		P50Latency:        hist.Quantile(0.5),
 		P99Latency:        hist.Quantile(0.99),
@@ -285,7 +339,14 @@ func RunVOQ(cfg VOQConfig) (Result, error) {
 		DroppedInjections: dropped,
 	}
 	for i, c := range perPkt {
-		res.PerInputPackets[i] = float64(c) / float64(cfg.Measure)
+		res.PerInputPackets[i] = float64(c) / measured
+	}
+	if samp != nil {
+		cut, conv := tele.MSER(samp.Values(teleDeliveredSeries))
+		res.Converged = conv
+		if conv {
+			res.WarmupCycles = int64(cut) * samp.Window()
+		}
 	}
 	return res, nil
 }

@@ -1,0 +1,128 @@
+package tele
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// WriteNDJSON serializes the samplers' series as newline-delimited
+// JSON, one object per (run, series) pair:
+//
+//	{"run":0,"series":"sim.packets.delivered","kind":"counter",
+//	 "window":256,"samples":40,"values":[12,15,...]}
+//
+// runs indexes the samplers (e.g. one per sweep point); nil entries
+// are skipped, so a sparse sweep keeps stable run indices. Counter
+// values are per-window deltas, gauge values window-close snapshots;
+// "window" is the post-decimation cycles-per-sample. Non-finite gauge
+// samples serialize as null. Lines are emitted in run order and, per
+// run, in series registration order, so output is deterministic.
+func WriteNDJSON(w io.Writer, runs []*Sampler) error {
+	bw := bufio.NewWriter(w)
+	for run, s := range runs {
+		if s == nil {
+			continue
+		}
+		for _, t := range s.tracks {
+			fmt.Fprintf(bw, `{"run":%d,"series":%q,"kind":%q,"window":%d,"samples":%d,"values":[`,
+				run, t.name, t.kind.String(), s.window, len(t.vals))
+			for i, v := range t.vals {
+				if i > 0 {
+					bw.WriteByte(',')
+				}
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					bw.WriteString("null")
+				} else {
+					bw.Write(strconv.AppendFloat(nil, v, 'g', -1, 64))
+				}
+			}
+			if _, err := bw.WriteString("]}\n"); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ndjsonLine mirrors one WriteNDJSON output object for validation.
+// Pointer fields distinguish "absent" from zero values.
+type ndjsonLine struct {
+	Run     *int       `json:"run"`
+	Series  *string    `json:"series"`
+	Kind    *string    `json:"kind"`
+	Window  *int64     `json:"window"`
+	Samples *int       `json:"samples"`
+	Values  []*float64 `json:"values"`
+}
+
+// ValidateNDJSON structurally checks a telemetry NDJSON stream as
+// produced by WriteNDJSON and returns the total number of samples
+// seen. Every line must be a JSON object carrying a non-negative run,
+// a non-empty series name, kind "counter" or "gauge", a positive
+// window, and a samples count equal to len(values). Duplicate
+// (run, series) pairs are rejected. Null values (non-finite gauges)
+// are allowed.
+func ValidateNDJSON(r io.Reader) (samples int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	seen := make(map[string]bool)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			return samples, fmt.Errorf("line %d: empty line", lineNo)
+		}
+		var l ndjsonLine
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&l); err != nil {
+			return samples, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		switch {
+		case l.Run == nil || *l.Run < 0:
+			return samples, fmt.Errorf("line %d: missing or negative run", lineNo)
+		case l.Series == nil || *l.Series == "":
+			return samples, fmt.Errorf("line %d: missing series name", lineNo)
+		case l.Kind == nil || (*l.Kind != "counter" && *l.Kind != "gauge"):
+			return samples, fmt.Errorf("line %d: bad kind %v", lineNo, deref(l.Kind))
+		case l.Window == nil || *l.Window <= 0:
+			return samples, fmt.Errorf("line %d: missing or non-positive window", lineNo)
+		case l.Samples == nil || *l.Samples != len(l.Values):
+			return samples, fmt.Errorf("line %d: samples count %v != %d values",
+				lineNo, derefInt(l.Samples), len(l.Values))
+		}
+		key := fmt.Sprintf("%d\x00%s", *l.Run, *l.Series)
+		if seen[key] {
+			return samples, fmt.Errorf("line %d: duplicate series %q for run %d", lineNo, *l.Series, *l.Run)
+		}
+		seen[key] = true
+		samples += len(l.Values)
+	}
+	if err := sc.Err(); err != nil {
+		return samples, err
+	}
+	if lineNo == 0 {
+		return 0, fmt.Errorf("empty telemetry stream")
+	}
+	return samples, nil
+}
+
+func deref(s *string) any {
+	if s == nil {
+		return "<missing>"
+	}
+	return *s
+}
+
+func derefInt(i *int) any {
+	if i == nil {
+		return "<missing>"
+	}
+	return *i
+}
