@@ -9,6 +9,7 @@ import (
 	"github.com/reprolab/hirise/internal/bitvec"
 	"github.com/reprolab/hirise/internal/core"
 	"github.com/reprolab/hirise/internal/crossbar"
+	"github.com/reprolab/hirise/internal/fabric"
 	"github.com/reprolab/hirise/internal/prng"
 	"github.com/reprolab/hirise/internal/sched"
 	"github.com/reprolab/hirise/internal/sim"
@@ -73,6 +74,29 @@ func perfSuite() []struct {
 			}
 			return sw
 		})},
+		{"fabric/DragonflySaturation/routers=72", perfFabric()},
+	}
+}
+
+// perfFabric benchmarks one saturated steady-state fabric simulation per
+// op: a 72-router dragonfly (9 groups x 8 routers, 144 cores) under
+// fully-backlogged uniform traffic, 200 warmup + 800 measured cycles.
+// This is the multi-switch routing/credit hot loop end to end — route
+// computation, VC-band credit scans, arbitration, and link transfers at
+// every router every cycle.
+func perfFabric() func(b *testing.B) {
+	return func(b *testing.B) {
+		d := fabric.Dragonfly{Groups: 9, GroupSize: 8, GlobalPorts: 1, Conc: 2, Lanes: 1}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := fabric.Run(fabric.Config{
+				Topo: d, Routing: fabric.Minimal,
+				Traffic: traffic.Uniform{Radix: d.Nodes() * d.Conc},
+				Load:    1.0, Warmup: 200, Measure: 800,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
 	}
 }
 

@@ -15,6 +15,15 @@
 //	hirise-sim -design voq -sched wavefront -speedup 2 -sweep 0.1:1.0:0.1
 //	hirise-sim -design voq -sched mwm -radix 16 -measure 5000 -load 0.9
 //
+// Multi-switch fabric mode (every router a full switch wired by a
+// pluggable topology with credit-based link flow control and VC-class
+// deadlock avoidance):
+//
+//	hirise-sim -design fabric -topo mesh -nodes 16 -conc 4 -load 0.2
+//	hirise-sim -design fabric -topo dragonfly -groups 9 -groupsize 4 -globalports 2 -routing valiant -traffic shift -load 1 -check
+//	hirise-sim -design fabric -topo fbfly -mesh-w 4 -mesh-h 4 -sweep 0.1:1.0:0.1 -parallel 4
+//	hirise-sim -design fabric -topo mesh -lanes 2 -fail-links 4 -fail-routers 1 -check
+//
 // Fault injection (hirise design only; deterministic in the fault seed):
 //
 //	hirise-sim -fail-channels 8 -load 1 -check
@@ -88,7 +97,7 @@ func writeFile(path string, fn func(io.Writer) error) {
 
 func main() {
 	var (
-		design   = flag.String("design", "hirise", "switch design: 2d | folded | hirise | voq")
+		design   = flag.String("design", "hirise", "switch design: 2d | folded | hirise | voq | fabric")
 		radix    = flag.Int("radix", 64, "switch radix")
 		layers   = flag.Int("layers", 4, "stacked layers (folded, hirise)")
 		channels = flag.Int("channels", 4, "L2LC multiplicity (hirise)")
@@ -112,6 +121,21 @@ func main() {
 		speedupS  = flag.Int("speedup", 1, "internal crossbar speedup S: scheduling phases per cell time")
 		voqCap    = flag.Int("voqcap", 32, "per-(input,output) VOQ capacity in cells")
 		outqCap   = flag.Int("outqcap", 16, "output queue capacity in cells (binds when speedup > 1)")
+
+		// Multi-switch fabric mode (-design fabric): every router a full
+		// switch wired by a pluggable topology (fabric.go).
+		topoName    = flag.String("topo", "mesh", "fabric topology: mesh | fbfly | dragonfly (-design fabric)")
+		nodes       = flag.Int("nodes", 0, "fabric router count; square grids take W=H=sqrt(N), dragonfly geometry must agree (0 = use the shape flags)")
+		meshW       = flag.Int("mesh-w", 4, "fabric grid width (mesh, fbfly)")
+		meshH       = flag.Int("mesh-h", 4, "fabric grid height (mesh, fbfly)")
+		conc        = flag.Int("conc", 2, "fabric cores per router")
+		lanes       = flag.Int("lanes", 1, "fabric parallel lanes per logical link")
+		groups      = flag.Int("groups", 9, "dragonfly group count")
+		groupSize   = flag.Int("groupsize", 4, "dragonfly routers per group")
+		globalPorts = flag.Int("globalports", 2, "dragonfly global link bundles per router (groupsize*globalports must equal groups-1)")
+		routing     = flag.String("routing", "min", "fabric routing: min | valiant")
+		failLinks   = flag.Int("fail-links", 0, "fabric: permanently fail this many link lanes, chosen deterministically from the fault seed (at most lanes-1 per bundle, so routing reroutes around every one)")
+		failRouters = flag.Int("fail-routers", 0, "fabric: fail-stop this many routers (flows they sever retire as dead flows)")
 
 		sweep    = flag.String("sweep", "", "sweep loads lo:hi:step (packets/cycle/input) instead of a single run")
 		workers  = flag.Int("parallel", 0, "concurrent sweep points (0 = all CPUs, 1 = serial); results are identical at any value")
@@ -207,10 +231,18 @@ func main() {
 		// Flat VOQ crossbar (voq.go): no hierarchical structure and no
 		// physical model; cost stays unused. The scheduler flags are
 		// validated below once the voqCLI is assembled.
+	case "fabric":
+		// Multi-switch fabric (fabric.go): topology and routing flags are
+		// validated below once the fabricCLI is assembled; no physical
+		// model (the fabric studies interconnects, not one die stack).
 	default:
 		fail("unknown design %q", *design)
 	}
 	isVOQ := strings.ToLower(*design) == "voq"
+	isFabric := strings.ToLower(*design) == "fabric"
+	if (*failLinks > 0 || *failRouters > 0) && !isFabric {
+		fail("-fail-links/-fail-routers need -design fabric (use -fail-channels for the hirise fault plane)")
+	}
 	// Fault plane: build the plan once (it is immutable and shared by
 	// concurrent sweep points). Only the Hi-Rise design has L2LCs to
 	// fault. With no fault flags set, faultPlan stays nil and every code
@@ -364,7 +396,11 @@ func main() {
 		}
 	}
 
-	makeTraffic() // reject unknown patterns before anything runs
+	if !isFabric {
+		makeTraffic() // reject unknown patterns before anything runs
+		// (the fabric builds traffic over its cores and validates its own
+		// pattern set in fabricCLI.base)
+	}
 
 	var loads []float64
 	if *sweep != "" {
@@ -498,6 +534,17 @@ func main() {
 		pattern: strings.ToLower(*pattern), target: *target, burst: *burst,
 		makeTraffic: makeTraffic, newObserver: newObserver, writeObs: writeObsOutputs,
 	}
+	fc := fabricCLI{
+		topoName: strings.ToLower(*topoName), nodes: *nodes,
+		meshW: *meshW, meshH: *meshH, conc: *conc, lanes: *lanes,
+		groups: *groups, groupSize: *groupSize, globalPorts: *globalPorts,
+		routingName: strings.ToLower(*routing), vcs: *vcs, flits: *flits,
+		load: *load, loads: loads, warmup: *warmup, measure: *measure,
+		seed: *seed, workers: *workers, check: *check, heartbeat: *heartbeat,
+		faultSeed: *faultSeed, failLinks: *failLinks, failRouters: *failRouters,
+		pattern: strings.ToLower(*pattern), target: *target,
+		newObserver: newObserver, writeObs: writeObsOutputs,
+	}
 	runOutput := runSingle
 	if *sweep != "" {
 		runOutput = runSweep
@@ -509,6 +556,16 @@ func main() {
 		runOutput = vc.runSingle
 		if *sweep != "" {
 			runOutput = vc.runSweep
+		}
+	}
+	if isFabric {
+		// Reject bad topology/routing/traffic flags before the store path.
+		if _, ferr := fc.base(ctx); ferr != nil {
+			fail("%v", ferr)
+		}
+		runOutput = fc.runSingle
+		if *sweep != "" {
+			runOutput = fc.runSweep
 		}
 	}
 
@@ -526,9 +583,12 @@ func main() {
 		}
 		var key store.Key
 		var kerr error
-		if isVOQ {
+		switch {
+		case isFabric:
+			key, kerr = fc.storeKey(st)
+		case isVOQ:
 			key, kerr = vc.storeKey(st)
-		} else {
+		default:
 			key, kerr = st.KeyOf("sim", struct {
 				Design, Scheme, Alloc, Traffic   string
 				Radix, Layers, Channels, Classes int

@@ -34,6 +34,7 @@ import (
 	"github.com/reprolab/hirise/internal/core"
 	"github.com/reprolab/hirise/internal/crossbar"
 	"github.com/reprolab/hirise/internal/experiments"
+	"github.com/reprolab/hirise/internal/fabric"
 	"github.com/reprolab/hirise/internal/fault"
 	"github.com/reprolab/hirise/internal/manycore"
 	"github.com/reprolab/hirise/internal/noc"
@@ -405,6 +406,9 @@ type (
 	BurstyTraffic = traffic.Bursty
 	// PermutationTraffic sends each input to a fixed distinct output.
 	PermutationTraffic = traffic.Permutation
+	// ShiftTraffic sends input i to output (i+By) mod N — the classic
+	// adversarial permutation for multi-hop fabrics.
+	ShiftTraffic = traffic.Shift
 )
 
 // AdversarialTraffic returns the paper's §III-B worked adversarial
@@ -493,6 +497,61 @@ type (
 
 // NewMesh builds a mesh network-on-chip from the configuration.
 func NewMesh(cfg MeshConfig) (*Mesh, error) { return noc.New(cfg) }
+
+// Multi-switch fabric (internal/fabric): a first-class interconnect
+// simulator where every router is a full sim.Switch wired by a pluggable
+// topology (mesh, flattened butterfly, dragonfly) with credit-based
+// link-level flow control, minimal or Valiant routing, VC-class deadlock
+// avoidance, a static link/router fail-set plane, and an always-on
+// deadlock watchdog. A 1-node fabric reproduces Simulate byte for byte.
+type (
+	// FabricConfig parameterizes one fabric simulation run.
+	FabricConfig = fabric.Config
+	// FabricResult is a fabric run's measurements.
+	FabricResult = fabric.Result
+	// FabricTopology wires a fabric's routers; FabricMesh,
+	// FabricFlattenedButterfly, and FabricDragonfly are the instances.
+	FabricTopology = fabric.Topology
+	// FabricMesh is a W×H 2D mesh with XY dimension-ordered routing.
+	FabricMesh = fabric.Mesh
+	// FabricFlattenedButterfly has direct row and column links.
+	FabricFlattenedButterfly = fabric.FlattenedButterfly
+	// FabricDragonfly is a two-level group topology with global links.
+	FabricDragonfly = fabric.Dragonfly
+	// FabricRouting selects minimal or Valiant route computation.
+	FabricRouting = fabric.Routing
+	// FabricFaultSpec derives a deterministic static fail-set from a seed.
+	FabricFaultSpec = fabric.FaultSpec
+	// FabricFaultSet is a built, immutable fail-set (FabricConfig.Faults).
+	FabricFaultSet = fabric.FaultSet
+)
+
+// Fabric routing policies.
+const (
+	// FabricMinimal routes every packet along a shortest path.
+	FabricMinimal = fabric.Minimal
+	// FabricValiant routes via a random intermediate waypoint.
+	FabricValiant = fabric.Valiant
+)
+
+// ParseFabricRouting maps the CLI spelling (min | valiant) to a routing.
+func ParseFabricRouting(s string) (FabricRouting, error) { return fabric.ParseRouting(s) }
+
+// SimulateFabric runs one multi-switch fabric simulation.
+func SimulateFabric(cfg FabricConfig) (FabricResult, error) { return fabric.Run(cfg) }
+
+// FabricLoadSweep runs the base configuration at each offered load on at
+// most workers concurrent simulations (0 selects all CPUs) and returns
+// results in load order; results are identical at every worker count.
+func FabricLoadSweep(base FabricConfig, loads []float64, workers int) ([]FabricResult, error) {
+	return fabric.LoadSweep(base, loads, workers)
+}
+
+// FabricLoadSweepObserved is FabricLoadSweep with per-point
+// observability, with the same obsFor contract as LoadSweepObserved.
+func FabricLoadSweepObserved(base FabricConfig, loads []float64, workers int, obsFor func(i int) *Observer) ([]FabricResult, error) {
+	return fabric.LoadSweepObserved(base, loads, workers, obsFor)
+}
 
 // Experiments.
 type (

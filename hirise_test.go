@@ -146,3 +146,56 @@ func TestFacadeTraffic(t *testing.T) {
 		t.Error("bursty radix")
 	}
 }
+
+// TestFacadeFabric drives the multi-switch fabric simulator through
+// the facade: a single run with the invariant checker on, a faulted
+// run that must retire dead flows, and a two-point load sweep.
+func TestFacadeFabric(t *testing.T) {
+	topo := hirise.FabricMesh{W: 3, H: 3, Conc: 2, Lanes: 2}
+	base := hirise.FabricConfig{
+		Topo:    topo,
+		Routing: hirise.FabricMinimal,
+		Traffic: hirise.UniformTraffic{Radix: topo.Nodes() * topo.Conc},
+		Load:    0.3,
+		Warmup:  500, Measure: 2000, Seed: 1,
+		Check: true,
+	}
+	res, err := hirise.SimulateFabric(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered == 0 {
+		t.Fatalf("fabric delivered nothing: %+v", res)
+	}
+
+	if _, err := hirise.ParseFabricRouting("valiant"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hirise.ParseFabricRouting("bogus"); err == nil {
+		t.Fatal("bogus routing accepted")
+	}
+
+	faults, err := hirise.FabricFaultSpec{
+		Seed: 7, FailLinks: 2, FailRouters: 1,
+	}.Build(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degraded := base
+	degraded.Faults = faults
+	dres, err := hirise.SimulateFabric(degraded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dres.DeadFlows == 0 {
+		t.Fatalf("router fail-stop severed no flows: %+v", dres)
+	}
+
+	sweep, err := hirise.FabricLoadSweep(base, []float64{0.1, 0.5}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep) != 2 || sweep[0].Delivered == 0 || sweep[1].Delivered == 0 {
+		t.Fatalf("fabric sweep incomplete: %+v", sweep)
+	}
+}

@@ -40,7 +40,7 @@ var order = []string{
 	"fig9a", "fig9b", "fig9c", "fig10", "fig11a", "fig11b", "fig11c", "fig12",
 	"corner", "discussion", "kilocore", "locality", "breakdown", "cache-mpki", "degradation",
 	"ablate-classes", "ablate-alloc", "ablate-vcs", "ablate-bursty", "ablate-islip", "ablate-qos", "ablate-pktlen",
-	"sched-shootout",
+	"sched-shootout", "fabric", "fabric-degradation",
 }
 
 // register adds a runner from another file in this package.

@@ -1,0 +1,36 @@
+package fabric
+
+import (
+	"testing"
+
+	"github.com/reprolab/hirise/internal/traffic"
+)
+
+// TestRunSteadyStateAllocs pins the fabric's hot-loop property: with
+// Obs disabled, every allocation happens during setup (routers, VC
+// rings, source queues, histogram, candidate scratch), so simulating
+// four times as many cycles must allocate no more than the baseline.
+// Run on the dragonfly with Valiant routing — the path that touches
+// every mechanism: two-phase routes, class bumps, and lane rotation.
+func TestRunSteadyStateAllocs(t *testing.T) {
+	topo := Dragonfly{Groups: 5, GroupSize: 2, GlobalPorts: 2, Conc: 2, Lanes: 2}
+	allocs := func(cycles int64) float64 {
+		return testing.AllocsPerRun(3, func() {
+			if _, err := Run(Config{
+				Topo:    topo,
+				Routing: Valiant,
+				Traffic: traffic.Uniform{Radix: topo.Nodes() * topo.Conc},
+				Load:    0.3, Warmup: 500, Measure: cycles, Seed: 7,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	short, long := allocs(2000), allocs(8000)
+	// Both runs pay identical setup; a small slack absorbs
+	// runtime-internal noise without masking a per-cycle leak.
+	if long > short+2 {
+		t.Errorf("6000 extra cycles allocated %.0f extra times (%.0f -> %.0f); hot loop no longer allocation-free",
+			long-short, short, long)
+	}
+}

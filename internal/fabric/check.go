@@ -1,0 +1,131 @@
+package fabric
+
+import "fmt"
+
+// checker is the fabric's self-checking invariant layer (Config.Check).
+// It verifies online, at checkInterval cadence, that the credit
+// bookkeeping and the VC-class discipline hold structurally, verifies
+// every grant as it lands, and at end of run that every injected packet
+// is accounted for. It observes the simulation without changing it; the
+// campaigns and CLI keep it on for every shipped configuration.
+//
+// The checks, mapped to the deadlock argument in DESIGN.md §25:
+//
+//   - Grant sanity: a grant matches the request the fabric issued and
+//     never lands on a failed lane or toward a failed router.
+//   - Credit conservation: for every (input port, VC) the occupancy
+//     plus outstanding reservations never exceeds the buffer bound, and
+//     the reservation count equals exactly the in-flight transfers
+//     targeting that slot.
+//   - No VC-cycle occupancy: every buffered packet sits in a VC of the
+//     band matching its class, and classes stay below the topology's
+//     class count — so the class-banded channel order that makes the
+//     wait-for graph acyclic is actually respected, never just assumed.
+//   - Flit conservation (end of run): injected == delivered + in-flight
+//     (source queues + VC buffers) + dead.
+type checker struct {
+	n *network
+	// expect is scratch for recomputing reservation counts.
+	expect []uint8
+}
+
+func newChecker(n *network) *checker {
+	return &checker{n: n, expect: make([]uint8, n.radix*n.vcs)}
+}
+
+// checkGrant validates one grant as the switch hands it out.
+func (c *checker) checkGrant(cycle int64, ni, in, out int) error {
+	n := c.n
+	nd := &n.nodes[ni]
+	if in < 0 || in >= n.radix || nd.req[in] != out {
+		return fmt.Errorf("fabric: checker: cycle %d router %d: grant in=%d out=%d does not match request %d",
+			cycle, ni, in, out, nd.req[in])
+	}
+	if fs := n.cfg.Faults; fs != nil && out >= n.conc {
+		if fs.LinkFailed(ni, out) {
+			return fmt.Errorf("fabric: checker: cycle %d router %d: grant on failed link port %d", cycle, ni, out)
+		}
+		if nb, _ := n.topo.LinkDest(ni, out); fs.RouterFailed(nb) {
+			return fmt.Errorf("fabric: checker: cycle %d router %d: grant toward failed router %d", cycle, ni, nb)
+		}
+	}
+	return nil
+}
+
+// scan runs the periodic structural invariants over the whole fabric.
+func (c *checker) scan(cycle int64) error {
+	n := c.n
+	classes := len(n.bandLo)
+	for ni := range n.nodes {
+		nd := &n.nodes[ni]
+		for p := 0; p < n.radix; p++ {
+			for v := 0; v < n.vcs; v++ {
+				slot := p*n.vcs + v
+				q := &nd.vcq[slot]
+				if q.n+int(nd.resv[slot]) > n.cfg.VCBufPkts {
+					return fmt.Errorf("fabric: checker: cycle %d router %d port %d vc %d: occupancy %d + reserved %d exceeds buffer %d",
+						cycle, ni, p, v, q.n, nd.resv[slot], n.cfg.VCBufPkts)
+				}
+				for i := 0; i < q.n; i++ {
+					j := q.head + i
+					if j >= len(q.buf) {
+						j -= len(q.buf)
+					}
+					cl := int(q.buf[j].class)
+					if cl >= classes {
+						return fmt.Errorf("fabric: checker: cycle %d router %d port %d vc %d: packet class %d out of range (%d classes)",
+							cycle, ni, p, v, cl, classes)
+					}
+					if v < n.bandLo[cl] || v >= n.bandHi[cl] {
+						return fmt.Errorf("fabric: checker: cycle %d router %d port %d: class-%d packet occupies vc %d outside band [%d,%d)",
+							cycle, ni, p, cl, v, n.bandLo[cl], n.bandHi[cl])
+					}
+				}
+			}
+		}
+	}
+	// Credit conservation: recompute every router's reservation counts
+	// from the in-flight transfers targeting it and compare.
+	for ni := range n.nodes {
+		down := &n.nodes[ni]
+		for i := range c.expect {
+			c.expect[i] = 0
+		}
+		for ui := range n.nodes {
+			up := &n.nodes[ui]
+			for in := range up.active {
+				if !up.active[in] || up.connOut[in] < n.conc {
+					continue
+				}
+				nb, inPort := n.topo.LinkDest(ui, up.connOut[in])
+				if nb == ni {
+					c.expect[inPort*n.vcs+up.downVC[in]]++
+				}
+			}
+		}
+		for slot := range c.expect {
+			if c.expect[slot] != down.resv[slot] {
+				return fmt.Errorf("fabric: checker: cycle %d router %d slot %d: reserved %d, in-flight transfers %d",
+					cycle, ni, slot, down.resv[slot], c.expect[slot])
+			}
+		}
+	}
+	return nil
+}
+
+// conservation closes the books: every packet that entered a source
+// queue over the whole run (warmup included) must be delivered, still
+// buffered somewhere, or retired dead.
+func (c *checker) conservation() error {
+	n := c.n
+	var inFlight int64
+	for i := range n.src {
+		inFlight += int64(n.src[i].q.n)
+	}
+	inFlight += n.inNet
+	if n.injTotal != n.delivTotal+inFlight+n.deadTotal {
+		return fmt.Errorf("fabric: checker: flit conservation violated: injected %d != delivered %d + in-flight %d + dead %d",
+			n.injTotal, n.delivTotal, inFlight, n.deadTotal)
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package fabric
+
+import (
+	"testing"
+
+	"github.com/reprolab/hirise/internal/crossbar"
+	"github.com/reprolab/hirise/internal/sim"
+	"github.com/reprolab/hirise/internal/traffic"
+)
+
+// TestOneNodeFabricMatchesSim pins the degenerate-fabric contract: a
+// 1×1 mesh with no links is a single switch, and its results equal
+// internal/sim's byte for byte on the same seed — same per-port rng
+// split order, same round-robin VC selection, same source-queue
+// discipline, same histogram resolution. The fabric is sim's superset,
+// not a reimplementation that drifts.
+func TestOneNodeFabricMatchesSim(t *testing.T) {
+	const radix = 8
+	for _, tc := range []struct {
+		name string
+		tr   sim.Traffic
+	}{
+		{"uniform", traffic.Uniform{Radix: radix}},
+		{"hotspot", traffic.Hotspot{Target: 3}},
+		{"permutation", traffic.NewRandomPermutation(radix, 42)},
+	} {
+		for _, load := range []float64{0.2, 0.6, 1.0} {
+			ref, err := sim.Run(sim.Config{
+				Switch:  crossbar.New(radix),
+				Traffic: tc.tr,
+				Load:    load,
+				Warmup:  500,
+				Measure: 4000,
+				Seed:    5,
+				Check:   true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Run(Config{
+				Topo:      Mesh{W: 1, H: 1, Conc: radix, Lanes: 0},
+				NewSwitch: func() sim.Switch { return crossbar.New(radix) },
+				Traffic:   tc.tr,
+				Load:      load,
+				Warmup:    500,
+				Measure:   4000,
+				Seed:      5,
+				Check:     true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			type scalar struct {
+				name       string
+				ref, fabri float64
+			}
+			for _, s := range []scalar{
+				{"OfferedLoad", ref.OfferedLoad, got.OfferedLoad},
+				{"AcceptedFlits", ref.AcceptedFlits, got.AcceptedFlits},
+				{"AcceptedPackets", ref.AcceptedPackets, got.AcceptedPackets},
+				{"AvgLatency", ref.AvgLatency, got.AvgLatency},
+				{"P50Latency", ref.P50Latency, got.P50Latency},
+				{"P99Latency", ref.P99Latency, got.P99Latency},
+				{"Injected", float64(ref.Injected), float64(got.Injected)},
+				{"Delivered", float64(ref.Delivered), float64(got.Delivered)},
+				{"DroppedInjections", float64(ref.DroppedInjections), float64(got.DroppedInjections)},
+			} {
+				if s.ref != s.fabri {
+					t.Errorf("%s load %v: %s: sim %v, fabric %v", tc.name, load, s.name, s.ref, s.fabri)
+				}
+			}
+			if got.AvgHops != 1 && got.Delivered > 0 {
+				t.Errorf("%s load %v: 1-node fabric AvgHops = %v, want 1", tc.name, load, got.AvgHops)
+			}
+		}
+	}
+}

@@ -1,0 +1,777 @@
+package fabric
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/reprolab/hirise/internal/crossbar"
+	"github.com/reprolab/hirise/internal/obs"
+	"github.com/reprolab/hirise/internal/pool"
+	"github.com/reprolab/hirise/internal/prng"
+	"github.com/reprolab/hirise/internal/sim"
+	"github.com/reprolab/hirise/internal/stats"
+	"github.com/reprolab/hirise/internal/tele"
+)
+
+// Config parameterizes one fabric simulation. The per-router discipline
+// matches internal/sim exactly — one arbitration cycle plus PacketFlits
+// data cycles per traversal, round-robin VC selection, bounded source
+// queues — so a 1-node fabric reproduces sim.Run byte for byte (pinned
+// by TestOneNodeFabricMatchesSim).
+type Config struct {
+	// Topo wires the routers.
+	Topo Topology
+	// NewSwitch builds one router's switch; its radix must equal the
+	// topology's. Nil selects a flat crossbar of the right radix.
+	NewSwitch func() sim.Switch
+	// Routing selects minimal or Valiant route computation.
+	Routing Routing
+	// Traffic produces the offered load over cores (destinations are
+	// core indices). Implementations come from internal/traffic.
+	Traffic sim.Traffic
+	// Load is the offered load in packets per cycle per core.
+	Load float64
+	// PacketFlits is the packet length (default 4).
+	PacketFlits int
+	// VCs is the number of virtual channels per input port (default 4).
+	// The VCs split into equal contiguous bands, one per deadlock class
+	// (Topology.Classes); VCs must be >= the class count.
+	VCs int
+	// VCBufPkts bounds each VC's input buffer in packets (default 1,
+	// matching internal/sim's one-packet-per-VC discipline).
+	VCBufPkts int
+	// SourceQueueCap bounds per-core injection queues (default 64).
+	SourceQueueCap int
+	// Warmup and Measure are window lengths in cycles.
+	Warmup, Measure int64
+	// Seed drives injection, Valiant waypoint draws, and the
+	// seed-derived lane tie-break.
+	Seed uint64
+	// Ctx, when non-nil, makes the run cancellable (polled every
+	// ctxCheckInterval cycles, like internal/sim).
+	Ctx context.Context
+	// Obs attaches observability sinks: fabric.* counters, the latency
+	// histogram, per-hop-count latency histograms, per-link busy-cycle
+	// counters, and flit lifecycle trace events. Nil is free — no hook
+	// allocates or branches beyond a nil check — and results are
+	// byte-identical either way.
+	Obs *obs.Observer
+	// Faults, when non-nil, applies a static link/router fail-set from
+	// cycle 0: failed lanes are never requested (surviving lanes of the
+	// bundle reroute around the failure) and packets whose destination
+	// router or every next-hop lane is failed are retired as dead
+	// flows. Nil costs nothing.
+	Faults *FaultSet
+	// Check enables the invariant checker: credit conservation,
+	// VC-class/band occupancy (the no-VC-cycle rule), grant sanity, and
+	// end-of-run flit conservation (injected == delivered + in-flight +
+	// dead). The deadlock watchdog is always on regardless.
+	Check bool
+}
+
+// Defaults fills unset fields with the paper's parameters (same
+// convention as sim.Config: zero means unset, Seed 0 becomes 1).
+func (c *Config) Defaults() {
+	if c.PacketFlits == 0 {
+		c.PacketFlits = 4
+	}
+	if c.VCs == 0 {
+		c.VCs = 4
+	}
+	if c.VCBufPkts == 0 {
+		c.VCBufPkts = 1
+	}
+	if c.SourceQueueCap == 0 {
+		c.SourceQueueCap = 64
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 10000
+	}
+	if c.Measure == 0 {
+		c.Measure = 50000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.NewSwitch == nil && c.Topo != nil {
+		radix := c.Topo.Radix()
+		c.NewSwitch = func() sim.Switch { return crossbar.New(radix) }
+	}
+}
+
+func (c *Config) validate() error {
+	switch {
+	case c.Topo == nil:
+		return fmt.Errorf("fabric: no topology")
+	case c.Traffic == nil:
+		return fmt.Errorf("fabric: no traffic")
+	case c.Load < 0:
+		return fmt.Errorf("fabric: negative load %v", c.Load)
+	case c.PacketFlits < 1 || c.VCs < 1 || c.VCBufPkts < 1 || c.SourceQueueCap < 1:
+		return fmt.Errorf("fabric: non-positive structural parameter")
+	case c.Warmup < 0 || c.Measure <= 0:
+		return fmt.Errorf("fabric: bad windows warmup=%d measure=%d", c.Warmup, c.Measure)
+	}
+	if err := c.Topo.validate(); err != nil {
+		return err
+	}
+	if classes := c.Topo.Classes(c.Routing); c.VCs < classes {
+		return fmt.Errorf("fabric: %d VCs cannot hold the %d deadlock classes %v routing needs",
+			c.VCs, classes, c.Routing)
+	}
+	if got := c.NewSwitch().Radix(); got != c.Topo.Radix() {
+		return fmt.Errorf("fabric: switch radix %d, topology needs %d", got, c.Topo.Radix())
+	}
+	if c.Faults != nil {
+		if err := c.Faults.compatible(c.Topo); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Result aggregates one fabric run's measurements. All rates are per
+// cycle; all latencies are in cycles.
+type Result struct {
+	// OfferedLoad echoes the configured load.
+	OfferedLoad float64
+	// AcceptedFlits is the aggregate delivered flit rate (flits/cycle).
+	AcceptedFlits float64
+	// AcceptedPackets is the aggregate delivered packet rate.
+	AcceptedPackets float64
+	// AvgLatency is the mean packet latency, injection to last flit.
+	AvgLatency float64
+	// P50Latency and P99Latency are latency quantiles.
+	P50Latency, P99Latency float64
+	// AvgHops is the mean number of switch traversals per packet
+	// (delivery included, so a 1-node fabric reports 1).
+	AvgHops float64
+	// Injected and Delivered count packets during measurement.
+	Injected, Delivered int64
+	// DroppedInjections counts packets discarded at full source queues
+	// during measurement.
+	DroppedInjections int64
+	// DeadFlows counts packets retired over the whole run because the
+	// fail-set severed every route to their destination; 0 without
+	// faults, so fault-free results serialize exactly as before.
+	DeadFlows int64 `json:",omitempty"`
+}
+
+// Saturated reports whether offered traffic exceeded acceptance.
+func (r Result) Saturated() bool { return r.DroppedInjections > 0 }
+
+// ctxCheckInterval matches internal/sim's cancellation cadence.
+const ctxCheckInterval = 1024
+
+// watchdogCycles is the forward-progress horizon of the always-on
+// deadlock watchdog: a fabric holding buffered packets that forms no
+// connection and delivers nothing for this many consecutive cycles is
+// declared deadlocked. The longest legitimate fabric-wide quiet gap is
+// one packet flight (PacketFlits+1 cycles, grant to delivery), so the
+// horizon has two orders of magnitude of slack while still firing
+// inside short test runs — a silent wedge must be an error, not a
+// zero-throughput Result.
+const watchdogCycles = 1024
+
+// checkInterval is the cadence of the periodic structural invariant
+// scans (credit conservation, band occupancy) under Config.Check.
+const checkInterval = 1024
+
+type packet struct {
+	birth int64
+	flow  uint32 // seed-derived flow hash; lane tie-break
+	dest  int32  // destination core
+	via   int32  // Valiant waypoint (router or group), -1 when minimal
+	hops  uint16
+	class uint8
+	phase uint8 // 0 = toward the waypoint, 1 = toward the destination
+}
+
+// fifo is a fixed-capacity ring buffer of packets (same rationale as
+// internal/sim: one allocation for the whole run).
+type fifo struct {
+	buf  []packet
+	head int
+	n    int
+}
+
+func (q *fifo) full() bool { return q.n == len(q.buf) }
+
+func (q *fifo) push(p packet) {
+	i := q.head + q.n
+	if i >= len(q.buf) {
+		i -= len(q.buf)
+	}
+	q.buf[i] = p
+	q.n++
+}
+
+func (q *fifo) peek() *packet { return &q.buf[q.head] }
+
+func (q *fifo) pop() packet {
+	p := q.buf[q.head]
+	if q.head++; q.head == len(q.buf) {
+		q.head = 0
+	}
+	q.n--
+	return p
+}
+
+// router is one switch plus its input buffering and connection state.
+type router struct {
+	sw   sim.Switch
+	vcq  []fifo  // input buffers, indexed port*VCs+vc
+	resv []uint8 // credits reserved by in-flight link transfers, same index
+	req  []int   // per input port: requested output this cycle
+	rr   []int   // per input port: round-robin VC pointer
+	// Active connections, per input port.
+	active    []bool
+	connVC    []int
+	connOut   []int
+	downVC    []int
+	downClass []uint8
+	remaining []int
+}
+
+// source is one core's injection state.
+type source struct {
+	rng  *prng.Source
+	q    fifo
+	next int64 // injection sequence, feeds the flow hash
+}
+
+// network is the run state; built fresh by Run.
+type network struct {
+	cfg   Config
+	topo  Topology
+	conc  int
+	radix int
+	cores int
+	vcs   int
+	nodes []router
+	src   []source
+	// VC bands: class c owns VCs [bandLo[c], bandHi[c]).
+	bandLo, bandHi []int
+
+	cand []int // route-candidate scratch
+	rel  []int // pending releases, encoded node*radix+port
+
+	hist *stats.Histogram
+	hops stats.Summary
+
+	// Conservation and watchdog state.
+	injTotal, delivTotal, deadTotal int64 // whole run, warmup included
+	inNet                           int64 // packets buffered in VCs
+	lastActivity                    int64
+
+	// Observability handles (nil and free when cfg.Obs is nil).
+	rec                                     *obs.Recorder
+	mInjected, mDelivered, mDropped, mFlits *obs.Counter
+	mWins, mLosses, mDead                   *obs.Counter
+	mLatency                                *obs.Histogram
+	hopHist                                 []*obs.Histogram
+	linkBusy                                []*obs.Counter
+	tInjected, tDelivered, tDropped, tFlits *tele.Counter
+	tWins, tLosses, tDead                   *tele.Counter
+}
+
+// Run executes one fabric simulation and returns its measurements. It
+// returns an error on configuration mistakes, context cancellation,
+// invariant violations (Config.Check), and deadlock (always checked).
+func Run(cfg Config) (Result, error) {
+	cfg.Defaults()
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	n := newNetwork(cfg)
+	return n.run()
+}
+
+func newNetwork(cfg Config) *network {
+	t := cfg.Topo
+	n := &network{
+		cfg:   cfg,
+		topo:  t,
+		conc:  t.Concentration(),
+		radix: t.Radix(),
+		cores: t.Nodes() * t.Concentration(),
+		vcs:   cfg.VCs,
+		nodes: make([]router, t.Nodes()),
+		src:   make([]source, t.Nodes()*t.Concentration()),
+		cand:  make([]int, 0, 8),
+		hist:  stats.NewHistogram(4, 4096),
+	}
+	classes := t.Classes(cfg.Routing)
+	n.bandLo = make([]int, classes)
+	n.bandHi = make([]int, classes)
+	for c := 0; c < classes; c++ {
+		n.bandLo[c] = c * cfg.VCs / classes
+		n.bandHi[c] = (c + 1) * cfg.VCs / classes
+	}
+	for i := range n.nodes {
+		nd := &n.nodes[i]
+		nd.sw = cfg.NewSwitch()
+		nd.vcq = make([]fifo, n.radix*cfg.VCs)
+		for j := range nd.vcq {
+			nd.vcq[j] = fifo{buf: make([]packet, cfg.VCBufPkts)}
+		}
+		nd.resv = make([]uint8, n.radix*cfg.VCs)
+		nd.req = make([]int, n.radix)
+		nd.rr = make([]int, n.radix)
+		nd.active = make([]bool, n.radix)
+		nd.connVC = make([]int, n.radix)
+		nd.connOut = make([]int, n.radix)
+		nd.downVC = make([]int, n.radix)
+		nd.downClass = make([]uint8, n.radix)
+		nd.remaining = make([]int, n.radix)
+	}
+	root := prng.New(cfg.Seed)
+	for i := range n.src {
+		n.src[i] = source{
+			rng: root.Split(),
+			q:   fifo{buf: make([]packet, cfg.SourceQueueCap)},
+		}
+	}
+	n.rel = make([]int, 0, t.Nodes()*n.radix)
+	return n
+}
+
+// nodeOfCore returns the router hosting a core and its local port.
+func (n *network) nodeOfCore(core int) (node, port int) {
+	return core / n.conc, core % n.conc
+}
+
+// route computes the request for a head packet at router ni: the output
+// port and, for link hops, the downstream VC and post-hop class. ok is
+// false when every candidate lane lacks credit this cycle (the packet
+// holds); retire is true when the static fail-set severed every route
+// (the packet can never be delivered).
+func (n *network) route(ni int, pkt *packet) (out, downVC int, downClass uint8, ok, retire bool) {
+	destNode := int(pkt.dest) / n.conc
+	if ni == destNode {
+		return int(pkt.dest) % n.conc, -1, pkt.class, true, false
+	}
+	fs := n.cfg.Faults
+	if fs != nil && fs.RouterFailed(destNode) {
+		return 0, 0, 0, false, true
+	}
+	if pkt.phase == 0 {
+		n.cand = n.topo.ViaCandidates(n.cand[:0], ni, int(pkt.via))
+	} else {
+		n.cand = n.topo.RouteCandidates(n.cand[:0], ni, destNode)
+	}
+	// Reroute around failures: drop dead lanes, keeping the surviving
+	// lanes of the bundle. The fail-set's per-bundle budget guarantees
+	// link faults alone never empty a candidate set; router faults can,
+	// and then the flow is dead.
+	live := n.cand
+	if fs != nil {
+		live = live[:0]
+		for _, o := range n.cand {
+			if fs.LinkFailed(ni, o) {
+				continue
+			}
+			if nb, _ := n.topo.LinkDest(ni, o); fs.RouterFailed(nb) {
+				continue
+			}
+			live = append(live, o)
+		}
+		if len(live) == 0 {
+			return 0, 0, 0, false, true
+		}
+	}
+	// Seed-derived lane tie-break (the flow hash is derived from the
+	// run seed at injection), then first credited lane in rotation so
+	// backpressure on one lane spills to its siblings.
+	start := (int(pkt.flow) + int(pkt.hops)) % len(live)
+	for k := 0; k < len(live); k++ {
+		o := live[(start+k)%len(live)]
+		nb, inPort := n.topo.LinkDest(ni, o)
+		ca := n.topo.ClassAfter(int(pkt.class), ni, o)
+		if pkt.phase == 1 && pkt.via >= 0 && n.topo.AtVia(ni, int(pkt.via)) {
+			// Dateline: the class bump happens on departure FROM the
+			// waypoint, not on the hop into it, so each grid class band
+			// carries one uninterrupted dimension-ordered route segment
+			// (src->via in class 0, via->dst in class 1) and its channel
+			// dependency graph stays acyclic. Bumping a hop early would
+			// mix the tail of phase 0 into the class-1 band and admit
+			// Y->X dependencies there — a real deadlock, caught by
+			// TestSaturationTerminates when tried.
+			ca += n.topo.ViaBump()
+		}
+		down := &n.nodes[nb]
+		base := inPort * n.vcs
+		for v := n.bandLo[ca]; v < n.bandHi[ca]; v++ {
+			if down.vcq[base+v].n+int(down.resv[base+v]) < n.cfg.VCBufPkts {
+				return o, v, uint8(ca), true, false
+			}
+		}
+	}
+	return 0, 0, 0, false, false
+}
+
+func (n *network) run() (Result, error) {
+	cfg := n.cfg
+	obsOn := cfg.Obs != nil
+	n.rec = cfg.Obs.Rec()
+	n.mInjected = cfg.Obs.Counter("fabric.packets.injected")
+	n.mDelivered = cfg.Obs.Counter("fabric.packets.delivered")
+	n.mDropped = cfg.Obs.Counter("fabric.packets.dropped")
+	n.mFlits = cfg.Obs.Counter("fabric.flits.delivered")
+	n.mWins = cfg.Obs.Counter("fabric.arb.wins")
+	n.mLosses = cfg.Obs.Counter("fabric.arb.losses")
+	n.mDead = cfg.Obs.Counter("fabric.packets.dead")
+	n.mLatency = cfg.Obs.Histogram("fabric.latency.cycles", 4, 4096)
+	cfg.Obs.Gauge("fabric.offered.load").Set(cfg.Load)
+	if obsOn {
+		n.linkBusy = make([]*obs.Counter, len(n.nodes)*n.radix)
+	}
+
+	samp := cfg.Obs.Sampler()
+	n.tInjected = samp.Counter("fabric.packets.injected")
+	n.tDelivered = samp.Counter("fabric.packets.delivered")
+	n.tDropped = samp.Counter("fabric.packets.dropped")
+	n.tFlits = samp.Counter("fabric.flits.delivered")
+	n.tWins = samp.Counter("fabric.arb.wins")
+	n.tLosses = samp.Counter("fabric.arb.losses")
+	n.tDead = samp.Counter("fabric.packets.dead")
+	if samp != nil {
+		samp.GaugeFunc("fabric.queue.occupancy", func() float64 {
+			var occ int64 = n.inNet
+			for i := range n.src {
+				occ += int64(n.src[i].q.n)
+			}
+			return float64(occ)
+		})
+		samp.GaugeFunc("fabric.flits.inflight", func() float64 {
+			var fl int
+			for i := range n.nodes {
+				nd := &n.nodes[i]
+				for p := range nd.active {
+					if nd.active[p] {
+						fl += nd.remaining[p]
+					}
+				}
+			}
+			return float64(fl)
+		})
+	}
+
+	var chk *checker
+	if cfg.Check {
+		chk = newChecker(n)
+	}
+
+	var injected, delivered, dropped, flits int64
+	total := cfg.Warmup + cfg.Measure
+	for cycle := int64(0); cycle < total; cycle++ {
+		if cfg.Ctx != nil && cycle%ctxCheckInterval == 0 && cfg.Ctx.Err() != nil {
+			return Result{}, fmt.Errorf("fabric: run cancelled at cycle %d: %w", cycle, cfg.Ctx.Err())
+		}
+		measuring := cycle >= cfg.Warmup
+
+		// 1. Advance active transmissions; completions deliver locally
+		// or arrive on the linked neighbour input, consuming the credit
+		// reserved at grant time. Resources release only after this
+		// cycle's arbitration, matching the priority-bus reuse.
+		n.rel = n.rel[:0]
+		for ni := range n.nodes {
+			nd := &n.nodes[ni]
+			for in := range nd.active {
+				if !nd.active[in] {
+					continue
+				}
+				nd.remaining[in]--
+				if nd.remaining[in] > 0 {
+					continue
+				}
+				nd.active[in] = false
+				n.rel = append(n.rel, ni*n.radix+in)
+				pkt := nd.vcq[in*n.vcs+nd.connVC[in]].pop()
+				n.inNet--
+				pkt.hops++
+				out := nd.connOut[in]
+				if obsOn && out >= n.conc {
+					n.linkBusyCounter(ni, out).Add(int64(cfg.PacketFlits) + 1)
+				}
+				if out < n.conc {
+					lat := cycle - pkt.birth
+					if measuring {
+						n.hist.Add(float64(lat))
+						n.hops.Add(float64(pkt.hops))
+						delivered++
+						flits += int64(cfg.PacketFlits)
+					}
+					n.delivTotal++
+					n.lastActivity = cycle
+					n.mDelivered.Inc()
+					n.mFlits.Add(int64(cfg.PacketFlits))
+					n.tDelivered.Inc()
+					n.tFlits.Add(int64(cfg.PacketFlits))
+					n.mLatency.Observe(float64(lat))
+					if obsOn {
+						n.hopHistFor(int(pkt.hops)).Observe(float64(lat))
+					}
+					n.rec.Record(cycle, obs.EvEject, int(pkt.dest), int(pkt.dest), int(lat))
+					continue
+				}
+				nb, inPort := n.topo.LinkDest(ni, out)
+				pkt.class = nd.downClass[in]
+				if pkt.phase == 0 && n.topo.AtVia(nb, int(pkt.via)) {
+					pkt.phase = 1
+				}
+				down := &n.nodes[nb]
+				slot := inPort*n.vcs + nd.downVC[in]
+				down.vcq[slot].push(pkt)
+				down.resv[slot]--
+				n.inNet++
+			}
+		}
+
+		// 2. Build requests from unconnected inputs with waiting
+		// packets, selecting the candidate VC round-robin; statically
+		// unroutable heads are retired as dead flows.
+		for ni := range n.nodes {
+			if cfg.Faults != nil && cfg.Faults.RouterFailed(ni) {
+				continue // fail-stop: the router arbitrates nothing
+			}
+			nd := &n.nodes[ni]
+			for in := range nd.req {
+				nd.req[in] = -1
+				if nd.active[in] {
+					continue
+				}
+				for k := 0; k < n.vcs; k++ {
+					v := (nd.rr[in] + k) % n.vcs
+					q := &nd.vcq[in*n.vcs+v]
+					if q.n == 0 {
+						continue
+					}
+					pkt := q.peek()
+					out, dvc, dclass, ok, retire := n.route(ni, pkt)
+					if retire {
+						dead := q.pop()
+						n.inNet--
+						n.deadTotal++
+						n.lastActivity = cycle
+						n.mDead.Inc()
+						n.tDead.Inc()
+						n.rec.Record(cycle, obs.EvDeadFlow, ni*n.radix+in, int(dead.dest), int(cycle-dead.birth))
+						continue
+					}
+					if !ok {
+						continue
+					}
+					nd.rr[in] = (v + 1) % n.vcs
+					nd.req[in] = out
+					nd.connVC[in] = v
+					nd.connOut[in] = out
+					nd.downVC[in] = dvc
+					nd.downClass[in] = dclass
+					break
+				}
+			}
+
+			// 3. Arbitrate and start new connections; link grants
+			// reserve the downstream credit for the whole flight.
+			for _, g := range nd.sw.Arbitrate(nd.req) {
+				if chk != nil {
+					if err := chk.checkGrant(cycle, ni, g.In, g.Out); err != nil {
+						return Result{}, err
+					}
+				}
+				nd.active[g.In] = true
+				nd.remaining[g.In] = cfg.PacketFlits
+				if g.Out >= n.conc {
+					nb, inPort := n.topo.LinkDest(ni, g.Out)
+					n.nodes[nb].resv[inPort*n.vcs+nd.downVC[g.In]]++
+				}
+				n.lastActivity = cycle
+				n.mWins.Inc()
+				n.tWins.Inc()
+				n.rec.Record(cycle, obs.EvArbWin, ni*n.radix+g.In, ni*n.radix+g.Out, cfg.PacketFlits)
+			}
+			if obsOn || samp != nil {
+				for in := range nd.req {
+					if nd.req[in] >= 0 && !nd.active[in] {
+						n.mLosses.Inc()
+						n.tLosses.Inc()
+						n.rec.Record(cycle, obs.EvArbLose, ni*n.radix+in, ni*n.radix+nd.req[in], 0)
+					}
+				}
+			}
+		}
+
+		// 4. Release the connections that finished this cycle.
+		for _, id := range n.rel {
+			n.nodes[id/n.radix].sw.Release(id % n.radix)
+		}
+
+		// 5. Inject new packets and refill the class-0 VC band from the
+		// source queues.
+		for core := range n.src {
+			if cfg.Faults != nil && cfg.Faults.RouterFailed(core/n.conc) {
+				continue // cores behind a failed router cannot inject
+			}
+			s := &n.src[core]
+			if dest, okInj := cfg.Traffic.Next(core, cycle, cfg.Load, s.rng); okInj {
+				if s.q.full() {
+					if measuring {
+						dropped++
+					}
+					n.mDropped.Inc()
+					n.tDropped.Inc()
+					n.rec.Record(cycle, obs.EvDrop, core, dest, 0)
+				} else {
+					pkt := packet{
+						birth: cycle,
+						dest:  int32(dest),
+						via:   -1,
+						phase: 1,
+						flow:  uint32(pool.SeedFor(cfg.Seed, uint64(core), uint64(s.next))),
+					}
+					if cfg.Routing == Valiant {
+						srcNode, _ := n.nodeOfCore(core)
+						if via := n.topo.ValiantVia(srcNode, dest/n.conc, s.rng); via >= 0 {
+							pkt.via = int32(via)
+							pkt.phase = 0
+						}
+					}
+					s.q.push(pkt)
+					s.next++
+					n.injTotal++
+					if measuring {
+						injected++
+					}
+					n.mInjected.Inc()
+					n.tInjected.Inc()
+					n.rec.Record(cycle, obs.EvInject, core, dest, 0)
+				}
+			}
+			if s.q.n > 0 {
+				ni, port := n.nodeOfCore(core)
+				nd := &n.nodes[ni]
+				base := port * n.vcs
+				for v := n.bandLo[0]; v < n.bandHi[0] && s.q.n > 0; v++ {
+					if nd.vcq[base+v].full() {
+						continue
+					}
+					p := s.q.pop()
+					nd.vcq[base+v].push(p)
+					n.inNet++
+					n.rec.Record(cycle, obs.EvVCAlloc, core, int(p.dest), v)
+				}
+			}
+		}
+
+		// 6. Deadlock watchdog (always on) and periodic structural
+		// invariants (Config.Check), then the telemetry window tick.
+		if n.inNet > 0 && cycle-n.lastActivity > watchdogCycles {
+			return Result{}, fmt.Errorf(
+				"fabric: deadlock at cycle %d: %d packets buffered, no progress for %d cycles",
+				cycle, n.inNet, watchdogCycles)
+		}
+		if chk != nil && cycle%checkInterval == checkInterval-1 {
+			if err := chk.scan(cycle); err != nil {
+				return Result{}, err
+			}
+		}
+		samp.Tick(cycle + 1)
+	}
+
+	if chk != nil {
+		if err := chk.conservation(); err != nil {
+			return Result{}, err
+		}
+	}
+	measured := float64(cfg.Measure)
+	return Result{
+		OfferedLoad:       cfg.Load,
+		AcceptedFlits:     float64(flits) / measured,
+		AcceptedPackets:   float64(delivered) / measured,
+		AvgLatency:        n.hist.Mean(),
+		P50Latency:        n.hist.Quantile(0.5),
+		P99Latency:        n.hist.Quantile(0.99),
+		AvgHops:           n.hops.Mean(),
+		Injected:          injected,
+		Delivered:         delivered,
+		DroppedInjections: dropped,
+		DeadFlows:         n.deadTotal,
+	}, nil
+}
+
+// hopHistFor returns (creating lazily) the per-hop-count latency
+// histogram. Only called when an observer is attached.
+func (n *network) hopHistFor(hops int) *obs.Histogram {
+	for hops >= len(n.hopHist) {
+		n.hopHist = append(n.hopHist, nil)
+	}
+	if n.hopHist[hops] == nil {
+		n.hopHist[hops] = n.cfg.Obs.Histogram(fmt.Sprintf("fabric.latency.hops=%02d", hops), 4, 4096)
+		if n.hopHist[hops] == nil {
+			// No metrics registry attached: cache a no-op histogram so
+			// the lookup stays cheap.
+			n.hopHist[hops] = noopHist
+		}
+	}
+	return n.hopHist[hops]
+}
+
+// noopHist absorbs per-hop observations when the observer carries no
+// metrics registry; Observe on it is harmless.
+var noopHist = &obs.Histogram{}
+
+// linkBusyCounter returns (creating lazily) the busy-cycle counter for
+// output port out of router ni. Only called when an observer is
+// attached; links that never carry traffic never appear.
+func (n *network) linkBusyCounter(ni, out int) *obs.Counter {
+	id := ni*n.radix + out
+	if n.linkBusy[id] == nil {
+		c := n.cfg.Obs.Counter(fmt.Sprintf("fabric.link.busy[n%03d.p%02d]", ni, out))
+		if c == nil {
+			c = noopCounter
+		}
+		n.linkBusy[id] = c
+	}
+	return n.linkBusy[id]
+}
+
+var noopCounter = &obs.Counter{}
+
+// LoadSweep runs the configuration at each load on at most workers
+// concurrent simulations and returns results in load order. Each point
+// builds a fresh network and derives its seed from (base.Seed, index)
+// via pool.SeedFor, so results are identical at every worker count.
+// The first error by point index wins, mirroring serial execution.
+func LoadSweep(base Config, loads []float64, workers int) ([]Result, error) {
+	return LoadSweepObserved(base, loads, workers, nil)
+}
+
+// LoadSweepObserved is LoadSweep with per-point observability: obsFor,
+// when non-nil, supplies each point its own Observer (points run
+// concurrently and obs sinks are single-writer; base.Obs is ignored).
+// Merging the per-point sinks in point order afterwards keeps the
+// serialized output byte-identical at every worker count.
+func LoadSweepObserved(base Config, loads []float64, workers int, obsFor func(i int) *obs.Observer) ([]Result, error) {
+	out := make([]Result, len(loads))
+	errs := make([]error, len(loads))
+	pool.DoCtx(base.Ctx, len(loads), workers, func(i int) {
+		cfg := base
+		cfg.Load = loads[i]
+		cfg.Seed = pool.SeedFor(base.Seed, uint64(i))
+		cfg.Obs = nil
+		if obsFor != nil {
+			cfg.Obs = obsFor(i)
+		}
+		out[i], errs[i] = Run(cfg)
+	})
+	if base.Ctx != nil && base.Ctx.Err() != nil {
+		return nil, base.Ctx.Err()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,182 @@
+package fabric
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/reprolab/hirise/internal/obs"
+	"github.com/reprolab/hirise/internal/tele"
+	"github.com/reprolab/hirise/internal/traffic"
+)
+
+// testTopos returns one small instance of every topology, sized so a
+// few thousand cycles exercise multi-hop routes of every class.
+func testTopos() []struct {
+	name string
+	topo Topology
+} {
+	return []struct {
+		name string
+		topo Topology
+	}{
+		{"mesh3x3", Mesh{W: 3, H: 3, Conc: 2, Lanes: 1}},
+		{"fbfly3x3", FlattenedButterfly{W: 3, H: 3, Conc: 2, Lanes: 1}},
+		{"dragonfly5x2", Dragonfly{Groups: 5, GroupSize: 2, GlobalPorts: 2, Conc: 2, Lanes: 1}},
+	}
+}
+
+func baseConfig(t Topology) Config {
+	return Config{
+		Topo:    t,
+		Traffic: traffic.Uniform{Radix: t.Nodes() * t.Concentration()},
+		Load:    0.3,
+		Warmup:  500,
+		Measure: 4000,
+		Seed:    7,
+		Check:   true,
+	}
+}
+
+func TestRunBasics(t *testing.T) {
+	for _, tc := range testTopos() {
+		for _, r := range []Routing{Minimal, Valiant} {
+			t.Run(tc.name+"/"+r.String(), func(t *testing.T) {
+				cfg := baseConfig(tc.topo)
+				cfg.Routing = r
+				res, err := Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Delivered == 0 {
+					t.Fatal("nothing delivered")
+				}
+				if res.AvgHops < 1 {
+					t.Fatalf("AvgHops = %v, want >= 1", res.AvgHops)
+				}
+				if res.DeadFlows != 0 {
+					t.Fatalf("DeadFlows = %d without faults", res.DeadFlows)
+				}
+			})
+		}
+	}
+}
+
+func TestSameSeedReproduces(t *testing.T) {
+	for _, tc := range testTopos() {
+		cfg := baseConfig(tc.topo)
+		cfg.Routing = Valiant
+		a, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: same seed diverged:\n%+v\n%+v", tc.name, a, b)
+		}
+	}
+}
+
+// TestLoadSweepWorkerInvariance pins the determinism contract: a sweep
+// produces byte-identical results at any worker count.
+func TestLoadSweepWorkerInvariance(t *testing.T) {
+	loads := []float64{0.1, 0.4, 0.7, 1.0}
+	for _, tc := range testTopos() {
+		cfg := baseConfig(tc.topo)
+		cfg.Measure = 2000
+		want, err := LoadSweep(cfg, loads, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 7} {
+			got, err := LoadSweep(cfg, loads, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s: workers=%d diverged from serial", tc.name, workers)
+			}
+		}
+	}
+}
+
+// TestObsDoesNotPerturb pins the nil-safe observability contract: an
+// attached observer changes no simulated behaviour, and the fabric's
+// counters and per-hop latency histograms actually fill.
+func TestObsDoesNotPerturb(t *testing.T) {
+	cfg := baseConfig(Mesh{W: 3, H: 3, Conc: 2, Lanes: 1})
+	plain, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := &obs.Observer{
+		Metrics: obs.NewRegistry(),
+		Trace:   obs.NewRecorder(1 << 16),
+		Tele:    tele.NewSampler(64, 0),
+	}
+	cfg.Obs = o
+	observed, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, observed) {
+		t.Fatalf("observer perturbed the run:\n%+v\n%+v", plain, observed)
+	}
+	if got := o.Counter("fabric.packets.delivered").Value(); got == 0 {
+		t.Fatal("fabric.packets.delivered counter empty")
+	}
+	if o.Histogram("fabric.latency.cycles", 4, 4096).Count() == 0 {
+		t.Fatal("latency histogram empty")
+	}
+	// Multi-hop traffic on a 3×3 mesh spans several hop counts; at
+	// least the 2-hop histogram must exist and hold samples.
+	if o.Histogram("fabric.latency.hops=02", 4, 4096).Count() == 0 {
+		t.Fatal("per-hop-count latency histogram empty")
+	}
+	if len(o.Trace.Events()) == 0 {
+		t.Fatal("trace recorder empty")
+	}
+	if o.Tele.Windows() == 0 {
+		t.Fatal("telemetry sampler closed no windows")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := baseConfig(Mesh{W: 2, H: 2, Conc: 2, Lanes: 1})
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"no topology", func(c *Config) { c.Topo = nil }},
+		{"no traffic", func(c *Config) { c.Traffic = nil }},
+		{"negative load", func(c *Config) { c.Load = -1 }},
+		{"bad mesh", func(c *Config) { c.Topo = Mesh{W: 0, H: 2, Conc: 2, Lanes: 1} }},
+		{"1x1 with lanes", func(c *Config) { c.Topo = Mesh{W: 1, H: 1, Conc: 2, Lanes: 1} }},
+		{"too few VCs for valiant", func(c *Config) {
+			c.Topo = Dragonfly{Groups: 3, GroupSize: 2, GlobalPorts: 1, Conc: 2, Lanes: 1}
+			c.Routing = Valiant
+			c.VCs = 2
+		}},
+		{"unbalanced dragonfly", func(c *Config) {
+			c.Topo = Dragonfly{Groups: 4, GroupSize: 2, GlobalPorts: 2, Conc: 2, Lanes: 1}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := good
+			tc.mutate(&cfg)
+			if _, err := Run(cfg); err == nil {
+				t.Fatal("bad config accepted")
+			}
+		})
+	}
+	// The degenerate single-switch mesh is explicitly legal.
+	cfg := good
+	cfg.Topo = Mesh{W: 1, H: 1, Conc: 4, Lanes: 0}
+	cfg.Traffic = traffic.Uniform{Radix: 4}
+	if _, err := Run(cfg); err != nil {
+		t.Fatalf("1x1 mesh rejected: %v", err)
+	}
+}

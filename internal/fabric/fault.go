@@ -1,0 +1,164 @@
+package fabric
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/reprolab/hirise/internal/pool"
+)
+
+// FaultSpec describes a static fabric fail-set: FailLinks unidirectional
+// link lanes and FailRouters whole routers, failed from cycle 0 for the
+// whole run (dynamic fault timelines remain the single-switch fault
+// plane's business — a fabric fail-set models the post-repair steady
+// state a degradation curve sweeps over).
+//
+// Selection is rank-based like internal/fault.Spec: every candidate gets
+// a deterministic priority derived from Seed, and a spec selects the
+// first K in rank order — so the fail-set for K faults is a strict
+// subset of the fail-set for K' > K faults. Nested sets are what make
+// degradation curves meaningful: throughput measured over them is
+// monotone in the failure count by construction, not by luck.
+//
+// Link faults respect a per-bundle budget of LaneCount-1: the parallel
+// lanes of one logical hop are a redundancy bundle, and at least one
+// lane per bundle always survives, so minimal routes stay connected and
+// the fabric reroutes around every link fault. Router faults carry no
+// such guarantee — flows whose every route dies are retired as dead
+// flows and reported in Result.DeadFlows.
+type FaultSpec struct {
+	// Seed drives the rank ordering; specs with equal seeds produce
+	// nested sets across fault counts.
+	Seed uint64
+	// FailLinks is the number of unidirectional link lanes to fail.
+	FailLinks int
+	// FailRouters is the number of routers to fail-stop.
+	FailRouters int
+}
+
+// FaultSet is a built, immutable fail-set; safe to share across
+// concurrent runs.
+type FaultSet struct {
+	nodes, radix, conc int
+	shape              string // topology fingerprint, e.g. "fabric.Mesh{W:3 ...}"
+	link               []bool // indexed node*radix+out
+	router             []bool
+	links, routers     int
+}
+
+// Build ranks the topology's lanes and routers and selects the spec's
+// fail-set. It errors when the spec asks for more faults than the
+// budget allows: at most LaneCount-1 lanes per bundle, and at most
+// Nodes-1 routers (a fabric with every router dead is not degraded, it
+// is absent).
+func (s FaultSpec) Build(t Topology) (*FaultSet, error) {
+	if err := t.validate(); err != nil {
+		return nil, err
+	}
+	if s.FailLinks < 0 || s.FailRouters < 0 {
+		return nil, fmt.Errorf("fabric: negative fault count in %+v", s)
+	}
+	nodes, radix, conc := t.Nodes(), t.Radix(), t.Concentration()
+	fs := &FaultSet{
+		nodes: nodes, radix: radix, conc: conc,
+		shape:  fmt.Sprintf("%T%+v", t, t),
+		link:   make([]bool, nodes*radix),
+		router: make([]bool, nodes),
+	}
+	if s.FailLinks > 0 {
+		lanes := t.LaneCount()
+		if lanes < 2 {
+			return nil, fmt.Errorf("fabric: cannot fail links on a %d-lane topology: the per-bundle budget of lanes-1 is zero", lanes)
+		}
+		type ranked struct {
+			prio uint64
+			id   int // node*radix+out
+		}
+		var cands []ranked
+		ns := pool.StringID("fabric/links")
+		for node := 0; node < nodes; node++ {
+			for out := conc; out < radix; out++ {
+				if !t.wired(node, out) {
+					continue
+				}
+				id := node*radix + out
+				cands = append(cands, ranked{pool.SeedFor(s.Seed, ns, uint64(id)), id})
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].prio != cands[j].prio {
+				return cands[i].prio < cands[j].prio
+			}
+			return cands[i].id < cands[j].id
+		})
+		budget := make(map[int]int) // bundle -> lanes already failed
+		taken := 0
+		for _, c := range cands {
+			if taken == s.FailLinks {
+				break
+			}
+			node, out := c.id/radix, c.id%radix
+			b := bundleOf(t, node, out)
+			if budget[b] >= lanes-1 {
+				continue
+			}
+			budget[b]++
+			fs.link[c.id] = true
+			taken++
+		}
+		if taken < s.FailLinks {
+			return nil, fmt.Errorf("fabric: %d link faults exceed the bundle budget (max %d)", s.FailLinks, taken)
+		}
+		fs.links = taken
+	}
+	if s.FailRouters > 0 {
+		if s.FailRouters >= nodes {
+			return nil, fmt.Errorf("fabric: %d router faults on a %d-router fabric", s.FailRouters, nodes)
+		}
+		type ranked struct {
+			prio uint64
+			id   int
+		}
+		cands := make([]ranked, nodes)
+		ns := pool.StringID("fabric/routers")
+		for node := 0; node < nodes; node++ {
+			cands[node] = ranked{pool.SeedFor(s.Seed, ns, uint64(node)), node}
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].prio != cands[j].prio {
+				return cands[i].prio < cands[j].prio
+			}
+			return cands[i].id < cands[j].id
+		})
+		for i := 0; i < s.FailRouters; i++ {
+			fs.router[cands[i].id] = true
+		}
+		fs.routers = s.FailRouters
+	}
+	return fs, nil
+}
+
+// LinkFailed reports whether the lane behind output port out of node is
+// failed.
+func (f *FaultSet) LinkFailed(node, out int) bool {
+	return f.link[node*f.radix+out]
+}
+
+// RouterFailed reports whether a router is fail-stopped.
+func (f *FaultSet) RouterFailed(node int) bool {
+	return f.router[node]
+}
+
+// Links and Routers report the fail-set's sizes.
+func (f *FaultSet) Links() int   { return f.links }
+func (f *FaultSet) Routers() int { return f.routers }
+
+// compatible checks the set was built for this exact topology — not
+// merely one with matching counts: a mesh and a flattened butterfly can
+// share (nodes, radix, conc) yet wire their ports differently.
+func (f *FaultSet) compatible(t Topology) error {
+	if shape := fmt.Sprintf("%T%+v", t, t); f.shape != shape {
+		return fmt.Errorf("fabric: fault set built for %s, topology is %s", f.shape, shape)
+	}
+	return nil
+}

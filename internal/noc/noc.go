@@ -16,6 +16,8 @@ import (
 	"context"
 	"fmt"
 
+	"github.com/reprolab/hirise/internal/obs"
+	"github.com/reprolab/hirise/internal/pool"
 	"github.com/reprolab/hirise/internal/prng"
 	"github.com/reprolab/hirise/internal/sim"
 	"github.com/reprolab/hirise/internal/stats"
@@ -75,8 +77,15 @@ type Config struct {
 	AdaptiveLanes bool
 	// Warmup and Measure are window lengths in cycles.
 	Warmup, Measure int64
-	// Seed drives injection.
+	// Seed drives injection and the per-flow lane tie-break.
 	Seed uint64
+	// Obs attaches observability sinks: noc.* counters, the end-to-end
+	// latency histogram, and per-hop-count latency histograms
+	// ("noc.latency.hops=NN"), which split the latency distribution by
+	// path length — the cheapest way to see whether congestion or
+	// distance dominates. Nil is free and results are byte-identical
+	// either way.
+	Obs *obs.Observer
 }
 
 // Radix returns the node switch radix the configuration implies.
@@ -155,6 +164,10 @@ type packet struct {
 	born     int64
 	destCore int
 	hops     int
+	// flow is a seed-derived hash of (run seed, source core, injection
+	// sequence), drawn without consuming the injection rng stream. It
+	// spreads a flow's packets over equivalent lanes in pickRoute.
+	flow uint32
 }
 
 // node is one switch plus its port queues.
@@ -176,9 +189,12 @@ type Network struct {
 	nodes []*node
 	srcQ  [][]packet // per core
 	rng   []*prng.Source
+	seq   []int64 // per core: injection sequence, feeds the flow hash
 	hist  *stats.Histogram
 	hops  stats.Summary
 	cand  []int // scratch: route candidates
+
+	hopHist []*obs.Histogram // per-hop-count latency, lazily created
 }
 
 // New builds the network.
@@ -194,6 +210,7 @@ func New(cfg Config) (*Network, error) {
 		nodes: make([]*node, topo.Nodes()),
 		srcQ:  make([][]packet, cfg.Cores()),
 		rng:   make([]*prng.Source, cfg.Cores()),
+		seq:   make([]int64, cfg.Cores()),
 		hist:  stats.NewHistogram(8, 8192),
 	}
 	radix := topo.Radix()
@@ -246,12 +263,40 @@ func (n *Network) pickRoute(idx int, pkt packet) int {
 		}
 		return best
 	}
-	out := n.cand[(pkt.destCore+pkt.hops)%len(n.cand)]
+	// The lane hash must be seed-derived, not structural: hashing on
+	// (destCore + hops) pins every same-destination flow to the same
+	// lane at each hop, so hotspot traffic serializes on one lane of a
+	// multi-lane bundle no matter how many lanes exist. The flow hash
+	// varies per (source, packet) while staying a pure function of the
+	// run seed, so lane balance is statistical and every run — at any
+	// sweep worker count — reproduces exactly. The hop count stays in
+	// the hash so one packet doesn't ride lane k of every bundle on its
+	// path.
+	out := n.cand[(int(pkt.flow)+pkt.hops)%len(n.cand)]
 	if credit(out) <= 0 {
 		return -1 // hold until the fixed lane has credit
 	}
 	return out
 }
+
+// hopHistFor returns (creating lazily) the per-hop-count latency
+// histogram. Only called when an observer is attached.
+func (n *Network) hopHistFor(hops int) *obs.Histogram {
+	for hops >= len(n.hopHist) {
+		n.hopHist = append(n.hopHist, nil)
+	}
+	if n.hopHist[hops] == nil {
+		h := n.cfg.Obs.Histogram(fmt.Sprintf("noc.latency.hops=%02d", hops), 8, 8192)
+		if h == nil {
+			h = noopHist // observer without a metrics registry
+		}
+		n.hopHist[hops] = h
+	}
+	return n.hopHist[hops]
+}
+
+// noopHist absorbs observations when the observer has no registry.
+var noopHist = &obs.Histogram{}
 
 // Run drives the network for the configured windows. Traffic is uniform
 // random over all cores at the given load (packets/cycle/core).
@@ -273,6 +318,11 @@ const ctxCheckInterval = 1024
 func (n *Network) RunCtx(ctx context.Context, load float64) (Result, error) {
 	cfg := n.cfg
 	conc := n.topo.Concentration()
+	obsOn := cfg.Obs != nil
+	mInjected := cfg.Obs.Counter("noc.packets.injected")
+	mDelivered := cfg.Obs.Counter("noc.packets.delivered")
+	mDropped := cfg.Obs.Counter("noc.packets.dropped")
+	mLatency := cfg.Obs.Histogram("noc.latency.cycles", 8, 8192)
 	var injected, delivered, dropped int64
 	total := cfg.Warmup + cfg.Measure
 
@@ -334,10 +384,16 @@ func (n *Network) RunCtx(ctx context.Context, load float64) (Result, error) {
 			out := nd.sendOut[d.port]
 			if out < conc {
 				// Delivered to a local core.
+				lat := cycle - pkt.born
 				if measuring {
 					delivered++
-					n.hist.Add(float64(cycle - pkt.born))
+					n.hist.Add(float64(lat))
 					n.hops.Add(float64(pkt.hops))
+				}
+				mDelivered.Inc()
+				mLatency.Observe(float64(lat))
+				if obsOn {
+					n.hopHistFor(pkt.hops).Observe(float64(lat))
 				}
 				continue
 			}
@@ -356,11 +412,18 @@ func (n *Network) RunCtx(ctx context.Context, load float64) (Result, error) {
 					if measuring {
 						dropped++
 					}
+					mDropped.Inc()
 				} else {
-					n.srcQ[core] = append(n.srcQ[core], packet{born: cycle, destCore: dest})
+					n.srcQ[core] = append(n.srcQ[core], packet{
+						born:     cycle,
+						destCore: dest,
+						flow:     uint32(pool.SeedFor(cfg.Seed, uint64(core), uint64(n.seq[core]))),
+					})
+					n.seq[core]++
 					if measuring {
 						injected++
 					}
+					mInjected.Inc()
 				}
 			}
 			if len(n.srcQ[core]) > 0 {

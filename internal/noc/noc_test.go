@@ -1,10 +1,13 @@
 package noc
 
 import (
+	"reflect"
 	"testing"
 
 	"github.com/reprolab/hirise/internal/core"
 	"github.com/reprolab/hirise/internal/crossbar"
+	"github.com/reprolab/hirise/internal/obs"
+	"github.com/reprolab/hirise/internal/pool"
 	"github.com/reprolab/hirise/internal/sim"
 	"github.com/reprolab/hirise/internal/topo"
 )
@@ -225,5 +228,81 @@ func TestSaturationBoundedByCapacity(t *testing.T) {
 	}
 	if res.Dropped == 0 {
 		t.Error("full backlog should drop at source queues")
+	}
+}
+
+func TestFlowHashSpreadsSameDestAcrossLanes(t *testing.T) {
+	// The regression the seed-derived flow hash fixes: hashing on
+	// (destCore + hops) pinned every same-destination flow to one lane,
+	// so hotspot traffic serialized on 1/Lanes of the bundle capacity.
+	// Distinct packets toward the same core must now spread over lanes.
+	cfg := smallMesh(2, 1, 2, 4)
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lanes := map[int]bool{}
+	for i := 0; i < 64; i++ {
+		pkt := packet{
+			destCore: 3, // on the other node
+			flow:     uint32(pool.SeedFor(cfg.Seed, 0, uint64(i))),
+		}
+		lanes[n.pickRoute(0, pkt)] = true
+	}
+	if len(lanes) < 2 {
+		t.Fatalf("64 same-destination flows all picked the same lane %v", lanes)
+	}
+}
+
+func TestSweepWorkerInvariance(t *testing.T) {
+	// Kilo-core sweeps parallelize over load points; the flow hash is a
+	// pure function of the seed, so results must be identical at any
+	// worker count.
+	loads := []float64{0.02, 0.05, 0.1, 0.3}
+	sweep := func(workers int) []Result {
+		out := make([]Result, len(loads))
+		pool.Do(len(loads), workers, func(i int) {
+			n, err := New(smallMesh(3, 3, 2, 2))
+			if err != nil {
+				panic(err)
+			}
+			out[i] = n.Run(loads[i])
+		})
+		return out
+	}
+	want := sweep(1)
+	for _, workers := range []int{2, 4} {
+		if got := sweep(workers); !reflect.DeepEqual(got, want) {
+			t.Fatalf("sweep diverged at %d workers", workers)
+		}
+	}
+}
+
+func TestObsDoesNotPerturbNoc(t *testing.T) {
+	run := func(o *obs.Observer) Result {
+		cfg := smallMesh(3, 3, 2, 1)
+		cfg.Obs = o
+		n, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n.Run(0.05)
+	}
+	plain := run(nil)
+	o := &obs.Observer{Metrics: obs.NewRegistry()}
+	observed := run(o)
+	if plain != observed {
+		t.Fatalf("observer perturbed the run:\n%+v\n%+v", plain, observed)
+	}
+	if o.Counter("noc.packets.delivered").Value() == 0 {
+		t.Fatal("noc.packets.delivered counter empty")
+	}
+	if o.Histogram("noc.latency.cycles", 8, 8192).Count() == 0 {
+		t.Fatal("latency histogram empty")
+	}
+	// 3x3 mesh uniform traffic spans several hop counts; the 2-hop
+	// histogram must exist and hold samples.
+	if o.Histogram("noc.latency.hops=02", 8, 8192).Count() == 0 {
+		t.Fatal("per-hop-count latency histogram empty")
 	}
 }

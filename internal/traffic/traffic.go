@@ -116,6 +116,26 @@ func (b *Bursty) Next(input int, _ int64, load float64, rng *prng.Source) (int, 
 	return rng.Intn(b.Radix), true
 }
 
+// Shift sends input i to output (i+By) mod N — the classic adversarial
+// permutation for multi-hop fabrics: with By = N/2 every mesh packet
+// crosses the bisection, and with By equal to one dragonfly group every
+// packet takes a global link, the worst case minimal routing admits and
+// the case Valiant routing exists to balance.
+type Shift struct {
+	// N is the endpoint count.
+	N int
+	// By is the shift distance.
+	By int
+}
+
+// Next implements sim.Traffic.
+func (t Shift) Next(input int, _ int64, load float64, rng *prng.Source) (int, bool) {
+	if !rng.Bernoulli(load) {
+		return 0, false
+	}
+	return (input + t.By) % t.N, true
+}
+
 // Permutation sends input i to a fixed output perm[i]; a contention-free
 // pattern on a flat crossbar.
 type Permutation struct {

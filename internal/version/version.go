@@ -14,4 +14,6 @@ package version
 // History:
 //
 //	model-3  first cached release (PR 3): store/serve subsystem landed
-const Model = "model-3"
+//	model-4  noc lane tie-break rehashed on a seed-derived flow hash
+//	         (kilocore output changes); fabric simulator landed
+const Model = "model-4"
