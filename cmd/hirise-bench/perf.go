@@ -4,12 +4,16 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
 	"testing"
+	"time"
 
 	"github.com/reprolab/hirise/internal/bitvec"
 	"github.com/reprolab/hirise/internal/core"
 	"github.com/reprolab/hirise/internal/crossbar"
 	"github.com/reprolab/hirise/internal/fabric"
+	"github.com/reprolab/hirise/internal/pool"
 	"github.com/reprolab/hirise/internal/prng"
 	"github.com/reprolab/hirise/internal/sched"
 	"github.com/reprolab/hirise/internal/sim"
@@ -76,6 +80,137 @@ func perfSuite() []struct {
 		})},
 		{"fabric/DragonflySaturation/routers=72", perfFabric()},
 	}
+}
+
+// Campaign-throughput benchmarks: one op is a table4-ci-shaped campaign
+// of campaignPoints points, each point campaignReplicates replicates of
+// a radix-64 LRG crossbar under saturated uniform traffic (the Table IV
+// operating point). The seq arm runs every replicate as its own
+// sim.Run with a fresh switch — the pre-batching campaign path — while
+// the batched arm drives each point through a recycled sim.Batch. The
+// perf gate holds the batched arm to at least twice the sequential
+// arm's throughput at every worker count (see campaignRatioFloor).
+//
+// Unlike the hot-kernel suite, the four arms are NOT measured as
+// isolated testing.Benchmark runs: the gated quantity is their ratio,
+// and on a shared machine minutes of drift between two isolated runs
+// lands entirely on one arm. measureCampaigns instead times the arms
+// round-robin — every round exposes every arm to the same machine
+// state, so drift cancels out of the ratio.
+const (
+	campaignPoints     = 4
+	campaignReplicates = 4
+	campaignRounds     = 8
+)
+
+func campaignCfg() sim.Config {
+	return sim.Config{
+		Traffic: traffic.Uniform{Radix: 64},
+		Load:    1.0, Warmup: 500, Measure: 2000,
+	}
+}
+
+func campaignSeeds(point int) []uint64 {
+	seeds := make([]uint64, campaignReplicates)
+	for rep := range seeds {
+		seeds[rep] = pool.SeedFor(9, uint64(point), uint64(rep))
+	}
+	return seeds
+}
+
+// campaignSeqOp runs one sequential campaign on the given worker
+// count: every replicate is its own sim.Run with a fresh switch.
+func campaignSeqOp(workers int) error {
+	cfg := campaignCfg()
+	var firstErr error
+	pool.Do(campaignPoints, workers, func(point int) {
+		for _, seed := range campaignSeeds(point) {
+			c := cfg
+			c.Switch = crossbar.New(64)
+			c.Seed = seed
+			if _, err := sim.Run(c); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	})
+	return firstErr
+}
+
+// campaignBatchedArm returns a closure running one batched campaign;
+// workers draw recycled Batches from a shared pool, the per-worker
+// arena-reuse pattern of the experiment drivers.
+func campaignBatchedArm(workers int) func() error {
+	cfg := campaignCfg()
+	batches := sync.Pool{New: func() any {
+		return sim.NewBatch(func() sim.Switch { return crossbar.New(64) }, nil)
+	}}
+	return func() error {
+		var firstErr error
+		pool.Do(campaignPoints, workers, func(point int) {
+			bt := batches.Get().(*sim.Batch)
+			if _, err := bt.Run(cfg, campaignSeeds(point)); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			batches.Put(bt)
+		})
+		return firstErr
+	}
+}
+
+// measureCampaigns times the four campaign arms over campaignRounds
+// interleaved rounds (after one untimed warmup round that also fills
+// the batched arms' arena pools) and returns one perfResult per arm,
+// in suite order. Allocations are read from runtime.MemStats around
+// each timed op.
+func measureCampaigns() ([]perfResult, error) {
+	n := runtime.GOMAXPROCS(0)
+	arms := []struct {
+		name string
+		op   func() error
+	}{
+		{"campaign/PointsPerSec/seq/parallel=1", func() error { return campaignSeqOp(1) }},
+		{"campaign/PointsPerSec/batched/parallel=1", campaignBatchedArm(1)},
+		{"campaign/PointsPerSec/seq/parallel=N", func() error { return campaignSeqOp(n) }},
+		{"campaign/PointsPerSec/batched/parallel=N", campaignBatchedArm(n)},
+	}
+	elapsed := make([]time.Duration, len(arms))
+	allocs := make([]uint64, len(arms))
+	bytesA := make([]uint64, len(arms))
+	for round := -1; round < campaignRounds; round++ {
+		for i, arm := range arms {
+			// Collect before each timed slot so one arm's garbage (the
+			// sequential arm allocates per replicate) is never collected
+			// on another arm's clock — the same isolation testing.B
+			// applies between benchmarks.
+			runtime.GC()
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			start := time.Now()
+			err := arm.op()
+			d := time.Since(start)
+			runtime.ReadMemStats(&after)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", arm.name, err)
+			}
+			if round < 0 {
+				continue // warmup round: untimed
+			}
+			elapsed[i] += d
+			allocs[i] += after.Mallocs - before.Mallocs
+			bytesA[i] += after.TotalAlloc - before.TotalAlloc
+		}
+	}
+	out := make([]perfResult, len(arms))
+	for i, arm := range arms {
+		out[i] = perfResult{
+			Name:        arm.name,
+			NsPerOp:     float64(elapsed[i].Nanoseconds()) / campaignRounds,
+			AllocsPerOp: int64(allocs[i] / campaignRounds),
+			BytesPerOp:  int64(bytesA[i] / campaignRounds),
+			Iterations:  campaignRounds,
+		}
+	}
+	return out, nil
 }
 
 // perfFabric benchmarks one saturated steady-state fabric simulation per
@@ -231,15 +366,25 @@ func perfSched(s sched.Scheduler, n int) func(b *testing.B) {
 
 // perfSim benchmarks one full simulation per op: 500 warmup + 2000
 // measured cycles of uniform traffic at 20% load, matching the sim
-// package's end-to-end benchmarks.
+// package's end-to-end benchmarks. The simulation runs through a warmed
+// width-1 sim.Batch, so after the untimed first run recycles its arena
+// the steady state is allocation-free — the perf gate pins both models
+// at 0 allocs/op.
 func perfSim(mk func() sim.Switch) func(b *testing.B) {
 	return func(b *testing.B) {
+		bt := sim.NewBatch(mk, nil)
+		cfg := sim.Config{
+			Traffic: traffic.Uniform{Radix: 64},
+			Load:    0.2, Warmup: 500, Measure: 2000,
+		}
+		seeds := []uint64{1}
+		if _, err := bt.Run(cfg, seeds); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := sim.Run(sim.Config{
-				Switch:  mk(),
-				Traffic: traffic.Uniform{Radix: 64},
-				Load:    0.2, Warmup: 500, Measure: 2000,
-			}); err != nil {
+			if _, err := bt.Run(cfg, seeds); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -281,7 +426,14 @@ func runPerf(outPath, baselinePath string) error {
 	}
 
 	doc := perfFile{Schema: perfSchema, Baseline: baseline}
-	fmt.Printf("%-40s %15s %12s %10s\n", "benchmark", "ns/op", "allocs/op", "vs base")
+	row := func(pr perfResult) {
+		speedup := "-"
+		if prev, ok := baseNs[pr.Name]; ok && pr.NsPerOp > 0 {
+			speedup = fmt.Sprintf("%.2fx", prev/pr.NsPerOp)
+		}
+		fmt.Printf("%-42s %15.1f %12d %10s\n", pr.Name, pr.NsPerOp, pr.AllocsPerOp, speedup)
+	}
+	fmt.Printf("%-42s %15s %12s %10s\n", "benchmark", "ns/op", "allocs/op", "vs base")
 	for _, bench := range perfSuite() {
 		res := testing.Benchmark(bench.fn)
 		pr := perfResult{
@@ -292,11 +444,15 @@ func runPerf(outPath, baselinePath string) error {
 			Iterations:  res.N,
 		}
 		doc.Benchmarks = append(doc.Benchmarks, pr)
-		speedup := "-"
-		if prev, ok := baseNs[pr.Name]; ok && pr.NsPerOp > 0 {
-			speedup = fmt.Sprintf("%.2fx", prev/pr.NsPerOp)
-		}
-		fmt.Printf("%-40s %15.1f %12d %10s\n", pr.Name, pr.NsPerOp, pr.AllocsPerOp, speedup)
+		row(pr)
+	}
+	campaigns, err := measureCampaigns()
+	if err != nil {
+		return err
+	}
+	for _, pr := range campaigns {
+		doc.Benchmarks = append(doc.Benchmarks, pr)
+		row(pr)
 	}
 
 	out, err := json.MarshalIndent(doc, "", "  ")

@@ -59,23 +59,42 @@ type BitArbiter interface {
 type LRG struct {
 	order []int // order[0] is the highest-priority requestor
 	pos   []int // pos[r] is r's index within order
+	init  []int // initial order for Reset; nil means identity
 }
 
 // NewLRG returns an LRG arbiter over n requestors with initial priority
 // order 0 > 1 > ... > n-1.
 func NewLRG(n int) *LRG {
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
+	l := &LRG{order: make([]int, n), pos: make([]int, n)}
+	l.Reset()
+	return l
+}
+
+// NewLRGs returns count independent LRG arbiters over n requestors each
+// (identity initial order), backed by three allocations total instead of
+// 3*count: the arbiter structs and their order/pos arrays are carved from
+// shared slabs. The arbiters share no mutable state.
+func NewLRGs(n, count int) []LRG {
+	ls := make([]LRG, count)
+	orders := make([]int, n*count)
+	poss := make([]int, n*count)
+	for k := range ls {
+		ls[k].order = orders[k*n : (k+1)*n : (k+1)*n]
+		ls[k].pos = poss[k*n : (k+1)*n : (k+1)*n]
+		ls[k].Reset()
 	}
-	return NewLRGFromOrder(order)
+	return ls
 }
 
 // NewLRGFromOrder returns an LRG arbiter with the given initial priority
 // order, order[0] highest. The order must be a permutation of [0,len).
 func NewLRGFromOrder(order []int) *LRG {
 	n := len(order)
-	l := &LRG{order: append([]int(nil), order...), pos: make([]int, n)}
+	l := &LRG{
+		order: append([]int(nil), order...),
+		pos:   make([]int, n),
+		init:  append([]int(nil), order...),
+	}
 	seen := make([]bool, n)
 	for i, r := range l.order {
 		if r < 0 || r >= n || seen[r] {
@@ -85,6 +104,20 @@ func NewLRGFromOrder(order []int) *LRG {
 		l.pos[r] = i
 	}
 	return l
+}
+
+// Reset restores the initial priority order, as if freshly constructed.
+func (l *LRG) Reset() {
+	if l.init == nil {
+		for i := range l.order {
+			l.order[i], l.pos[i] = i, i
+		}
+		return
+	}
+	copy(l.order, l.init)
+	for i, r := range l.order {
+		l.pos[r] = i
+	}
 }
 
 // N returns the number of requestor slots.
@@ -202,6 +235,9 @@ func (r *RoundRobin) GrantBits(req bitvec.Vec) int {
 // winners whose grant stands.
 func (r *RoundRobin) Update(winner int) { r.next = (winner + 1) % r.n }
 
+// Reset rewinds the scan position to slot 0, as if freshly constructed.
+func (r *RoundRobin) Reset() { r.next = 0 }
+
 // Fixed grants the lowest-index requestor and never changes priority. It
 // exists as an intentionally unfair baseline for fairness experiments.
 type Fixed struct{ n int }
@@ -227,3 +263,6 @@ func (f *Fixed) GrantBits(req bitvec.Vec) int { return req.First() }
 
 // Update is a no-op for fixed priority.
 func (f *Fixed) Update(int) {}
+
+// Reset is a no-op: fixed priority carries no state.
+func (f *Fixed) Reset() {}

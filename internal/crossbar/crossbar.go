@@ -29,6 +29,7 @@ type Switch struct {
 	held    []int            // held[in] = output held by in, or -1
 	outIn   []int            // outIn[out] = input holding out, or -1
 	reqMask []bitvec.Vec     // per output: request bitset, rebuilt each cycle
+	reqOuts bitvec.Vec       // outputs whose reqMask is non-empty this cycle
 	reqBuf  []bool           // scratch for arbiters without a bitset grant path
 	grants  []topo.Grant     // Arbitrate's return buffer, valid until the next call
 
@@ -42,21 +43,34 @@ type Switch struct {
 	faultActive bool
 
 	audit *obs.FairnessAudit // nil when observability is disabled
+
+	// stockLRG marks a switch built by New (identity-order LRG at every
+	// column); see PlainLRG.
+	stockLRG bool
 }
 
 // New returns an N×N crossbar with LRG arbitration at every output, the
 // configuration the paper's 2D baseline uses.
 func New(radix int) *Switch {
+	lrgs := arb.NewLRGs(radix, radix) // slab-backed: 3 allocs for all columns
 	arbs := make([]arb.Arbiter, radix)
 	for i := range arbs {
-		arbs[i] = arb.NewLRG(radix)
+		arbs[i] = &lrgs[i]
 	}
 	s, err := NewWithArbiters(radix, arbs)
 	if err != nil {
 		panic(err) // cannot happen: we built a well-formed arbiter set
 	}
+	s.stockLRG = true
 	return s
 }
+
+// PlainLRG reports whether the switch currently behaves exactly like a
+// stock New(radix) instance: identity-order LRG arbitration at every
+// column, no runtime fault active, and no fairness audit attached. The
+// lockstep batch engine in internal/sim keys its fused arbitration fast
+// path off this — that path re-implements precisely this configuration.
+func (s *Switch) PlainLRG() bool { return s.stockLRG && !s.faultActive && s.audit == nil }
 
 // NewFolded returns the 3D folded baseline: a radix-N switch folded over
 // the given number of layers. Arbitration is identical to the flat 2D
@@ -85,20 +99,66 @@ func NewWithArbiters(radix int, arbs []arb.Arbiter) (*Switch, error) {
 		n:       radix,
 		arbs:    arbs,
 		bitArbs: make([]arb.BitArbiter, radix),
-		held:    make([]int, radix),
-		outIn:   make([]int, radix),
 		reqMask: make([]bitvec.Vec, radix),
-		reqBuf:  make([]bool, radix),
 	}
+	// All column request bitsets plus the dirty-column set come from one
+	// words slab, and both connection maps from one int slab: a radix-64
+	// switch costs a few allocations instead of dozens of small ones
+	// (fabric builds one switch per router, so constructor allocs scale
+	// with network size).
+	words := bitvec.WordsFor(radix)
+	slab := make([]uint64, words*(radix+1))
+	s.reqOuts = bitvec.Vec(slab[radix*words : (radix+1)*words : (radix+1)*words])
+	conns := make([]int, 2*radix)
+	s.held = conns[:radix:radix]
+	s.outIn = conns[radix : 2*radix : 2*radix]
+	allBits := true
 	for i := range s.held {
 		s.held[i] = -1
 		s.outIn[i] = -1
-		s.reqMask[i] = bitvec.New(radix)
+		s.reqMask[i] = bitvec.Vec(slab[i*words : (i+1)*words : (i+1)*words])
 		if ba, ok := arbs[i].(arb.BitArbiter); ok {
 			s.bitArbs[i] = ba
+		} else {
+			allBits = false
 		}
 	}
+	if !allBits {
+		// Bool-scratch only for arbiters without a bitset grant path.
+		s.reqBuf = make([]bool, radix)
+	}
 	return s, nil
+}
+
+// Reset restores the as-constructed state: every connection drops, all
+// arbiters return to their initial priority order, runtime faults are
+// restored, and scratch is cleared. An attached audit stays attached.
+// It panics if any arbiter lacks a Reset method (all arbiters in
+// internal/arb have one).
+func (s *Switch) Reset() {
+	for i := range s.held {
+		s.held[i] = -1
+		s.outIn[i] = -1
+		s.reqMask[i].Zero()
+	}
+	for i := range s.reqBuf {
+		s.reqBuf[i] = false
+	}
+	s.reqOuts.Zero()
+	s.grants = s.grants[:0]
+	s.inFailed.Zero()
+	s.outFailed.Zero()
+	for _, v := range s.xpFailed {
+		v.Zero()
+	}
+	s.faultActive = false
+	for o, a := range s.arbs {
+		r, ok := a.(interface{ Reset() })
+		if !ok {
+			panic(fmt.Sprintf("crossbar: output %d arbiter %T has no Reset", o, a))
+		}
+		r.Reset()
+	}
 }
 
 // Radix returns the port count.
@@ -125,60 +185,78 @@ func (s *Switch) Arbitrate(req []int) []topo.Grant {
 	// One pass over the inputs builds every output's request bitset:
 	// each input requests at most one output, so a granted input can
 	// never reappear in a later output's mask and prebuilding is
-	// equivalent to the per-output scan it replaces.
-	for out := range s.reqMask {
-		s.reqMask[out].Zero()
+	// equivalent to the per-output scan it replaces. Columns dirtied
+	// last cycle are zeroed lazily here (reqOuts tracks them), so an
+	// Arbitrate under light load touches only the contended columns
+	// rather than sweeping all n masks every cycle.
+	for w, word := range s.reqOuts {
+		for word != 0 {
+			out := w<<6 | bits.TrailingZeros64(word)
+			word &= word - 1
+			s.reqMask[out].Zero()
+		}
 	}
+	s.reqOuts.Zero()
 	for in, out := range req {
 		if out >= 0 && s.held[in] < 0 && s.outIn[out] < 0 {
 			s.reqMask[out].Set(in)
+			s.reqOuts.Set(out)
 		}
 	}
 	if s.faultActive {
 		// Failed inputs and failed crosspoints drop out of every
-		// column's request bitset with a word-parallel AndNot.
-		for out := range s.reqMask {
-			s.reqMask[out].AndNot(s.inFailed)
-			if s.xpFailed != nil {
-				s.reqMask[out].AndNot(s.xpFailed[out])
+		// dirtied column's request bitset with a word-parallel AndNot
+		// (clean columns are already empty).
+		for w, word := range s.reqOuts {
+			for word != 0 {
+				out := w<<6 | bits.TrailingZeros64(word)
+				word &= word - 1
+				s.reqMask[out].AndNot(s.inFailed)
+				if s.xpFailed != nil {
+					s.reqMask[out].AndNot(s.xpFailed[out])
+				}
 			}
 		}
 	}
 	grants := s.grants[:0]
-	for out := 0; out < s.n; out++ {
-		if s.outIn[out] >= 0 {
-			continue // output bus busy carrying flits; no priority lines free
-		}
-		if s.faultActive && s.outFailed.Get(out) {
-			continue // failed output: its column never arbitrates
-		}
-		m := s.reqMask[out]
-		if m.None() {
-			continue
-		}
-		var win int
-		if ba := s.bitArbs[out]; ba != nil {
-			win = ba.GrantBits(m)
-		} else {
-			m.FillBools(s.reqBuf)
-			win = s.arbs[out].Grant(s.reqBuf)
-		}
-		if s.audit != nil {
-			for w, word := range m {
-				for word != 0 {
-					in := w<<6 | bits.TrailingZeros64(word)
-					word &= word - 1
-					s.audit.Observe(in, 0, in == win)
+	// Ascending set-bit iteration visits exactly the non-empty columns
+	// in the same 0..n-1 output order as a full scan, so the grant
+	// sequence is identical to the pre-dirty-tracking implementation.
+	for w, word := range s.reqOuts {
+		for word != 0 {
+			out := w<<6 | bits.TrailingZeros64(word)
+			word &= word - 1
+			if s.faultActive && s.outFailed.Get(out) {
+				continue // failed output: its column never arbitrates
+			}
+			m := s.reqMask[out]
+			if m.None() {
+				continue // faults emptied the column
+			}
+			var win int
+			if ba := s.bitArbs[out]; ba != nil {
+				win = ba.GrantBits(m)
+			} else {
+				m.FillBools(s.reqBuf)
+				win = s.arbs[out].Grant(s.reqBuf)
+			}
+			if s.audit != nil {
+				for w2, word2 := range m {
+					for word2 != 0 {
+						in := w2<<6 | bits.TrailingZeros64(word2)
+						word2 &= word2 - 1
+						s.audit.Observe(in, 0, in == win)
+					}
 				}
 			}
+			if win < 0 {
+				continue
+			}
+			s.arbs[out].Update(win)
+			s.held[win] = out
+			s.outIn[out] = win
+			grants = append(grants, topo.Grant{In: win, Out: out})
 		}
-		if win < 0 {
-			continue
-		}
-		s.arbs[out].Update(win)
-		s.held[win] = out
-		s.outIn[out] = win
-		grants = append(grants, topo.Grant{In: win, Out: out})
 	}
 	s.grants = grants
 	return grants

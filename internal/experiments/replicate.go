@@ -29,29 +29,34 @@ func TableIVReplicated(o Opts) *Table {
 		designHiRise("3D 2-Channel", 2, topo.L2LLRG),
 		designHiRise("3D 1-Channel", 1, topo.L2LLRG),
 	}
-	// Each (design, replicate) pair writes its own slot; no shared state.
-	// The replicate's stream is derived from its (design, replicate)
-	// coordinates, so the same base seed reproduces identical means at
-	// any worker count.
+	// One sweep task per design; its replicates run through the lockstep
+	// batch engine, which shares the cycle loop and all scratch across
+	// the 5 seeds. Each replicate's stream is still derived from its
+	// (design, replicate) coordinates and its result is byte-identical
+	// to a standalone sim.Run, so the same base seed reproduces
+	// identical means at any worker count and any batch width (pinned by
+	// the engine's differential tests and this experiment's golden).
 	vals := make([][]float64, len(designs))
-	for i := range vals {
-		vals[i] = make([]float64, replicates)
-	}
-	o.sweep(len(designs)*replicates, func(k int) {
-		di, rep := k/replicates, k%replicates
+	o.sweep(len(designs), func(di int) {
 		d := designs[di]
-		flits, err := sim.SaturationThroughput(sim.Config{
+		seeds := make([]uint64, replicates)
+		for rep := range seeds {
+			seeds[rep] = o.seedFor("table4-ci", di, rep)
+		}
+		res, err := sim.BatchRun(sim.Config{
 			Ctx:     o.Ctx,
-			Switch:  d.NewSwitch(),
 			Traffic: traffic.Uniform{Radix: d.Cfg.Radix},
+			Load:    1.0,
 			Warmup:  o.Warmup, Measure: o.Measure,
 			ConvergeStop: o.ConvergeStop,
-			Seed:         o.seedFor("table4-ci", di, rep),
-		})
+		}, d.NewSwitch, nil, seeds)
 		if err != nil {
 			panic(err)
 		}
-		vals[di][rep] = phys.Tbps(flits, d.Cost(o.Tech), o.Tech)
+		vals[di] = make([]float64, replicates)
+		for rep, r := range res {
+			vals[di][rep] = phys.Tbps(r.AcceptedFlits, d.Cost(o.Tech), o.Tech)
+		}
 	})
 
 	rows := make([][]string, len(designs))

@@ -34,3 +34,29 @@ func TestRunSteadyStateAllocs(t *testing.T) {
 			long-short, short, long)
 	}
 }
+
+// TestRunSetupAllocBudget pins the constructor side: network setup
+// draws router state, VC rings, and source queues from a handful of
+// network-wide slabs, so even the 72-router perf-suite dragonfly must
+// stay within a fixed allocation budget per Run. The budget is ~5x
+// below the pre-slab cost (one allocation per VC buffer alone put it
+// past 5000); a regression back to per-object allocation trips this
+// immediately.
+func TestRunSetupAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size network construction")
+	}
+	d := Dragonfly{Groups: 9, GroupSize: 8, GlobalPorts: 1, Conc: 2, Lanes: 1}
+	allocs := testing.AllocsPerRun(2, func() {
+		if _, err := Run(Config{
+			Topo: d, Routing: Minimal,
+			Traffic: traffic.Uniform{Radix: d.Nodes() * d.Conc},
+			Load:    1.0, Warmup: 100, Measure: 200, Seed: 3,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1000 {
+		t.Errorf("72-router fabric run allocated %.0f times, budget 1000", allocs)
+	}
+}

@@ -235,7 +235,7 @@ type router struct {
 
 // source is one core's injection state.
 type source struct {
-	rng  *prng.Source
+	rng  prng.Source
 	q    fifo
 	next int64 // injection sequence, feeds the flow hash
 }
@@ -308,29 +308,44 @@ func newNetwork(cfg Config) *network {
 		n.bandLo[c] = c * cfg.VCs / classes
 		n.bandHi[c] = (c + 1) * cfg.VCs / classes
 	}
+	// All router-local state comes from a handful of network-wide slabs:
+	// a 72-router dragonfly otherwise pays thousands of small allocations
+	// (one per VC buffer alone) before the first cycle runs.
+	nNodes := len(n.nodes)
+	rv := n.radix * cfg.VCs
+	fifos := make([]fifo, nNodes*rv)
+	vcBufs := make([]packet, nNodes*rv*cfg.VCBufPkts)
+	for i := range fifos {
+		fifos[i].buf = vcBufs[i*cfg.VCBufPkts : (i+1)*cfg.VCBufPkts : (i+1)*cfg.VCBufPkts]
+	}
+	ints := make([]int, nNodes*6*n.radix)
+	bytes := make([]uint8, nNodes*(rv+n.radix))
+	bools := make([]bool, nNodes*n.radix)
+	carveInt := func() []int {
+		s := ints[:n.radix:n.radix]
+		ints = ints[n.radix:]
+		return s
+	}
 	for i := range n.nodes {
 		nd := &n.nodes[i]
 		nd.sw = cfg.NewSwitch()
-		nd.vcq = make([]fifo, n.radix*cfg.VCs)
-		for j := range nd.vcq {
-			nd.vcq[j] = fifo{buf: make([]packet, cfg.VCBufPkts)}
-		}
-		nd.resv = make([]uint8, n.radix*cfg.VCs)
-		nd.req = make([]int, n.radix)
-		nd.rr = make([]int, n.radix)
-		nd.active = make([]bool, n.radix)
-		nd.connVC = make([]int, n.radix)
-		nd.connOut = make([]int, n.radix)
-		nd.downVC = make([]int, n.radix)
-		nd.downClass = make([]uint8, n.radix)
-		nd.remaining = make([]int, n.radix)
+		nd.vcq = fifos[i*rv : (i+1)*rv : (i+1)*rv]
+		nd.resv = bytes[:rv:rv]
+		nd.downClass = bytes[rv : rv+n.radix : rv+n.radix]
+		bytes = bytes[rv+n.radix:]
+		nd.active = bools[i*n.radix : (i+1)*n.radix : (i+1)*n.radix]
+		nd.req = carveInt()
+		nd.rr = carveInt()
+		nd.connVC = carveInt()
+		nd.connOut = carveInt()
+		nd.downVC = carveInt()
+		nd.remaining = carveInt()
 	}
 	root := prng.New(cfg.Seed)
+	srcBufs := make([]packet, len(n.src)*cfg.SourceQueueCap)
 	for i := range n.src {
-		n.src[i] = source{
-			rng: root.Split(),
-			q:   fifo{buf: make([]packet, cfg.SourceQueueCap)},
-		}
+		root.SplitTo(&n.src[i].rng)
+		n.src[i].q.buf = srcBufs[i*cfg.SourceQueueCap : (i+1)*cfg.SourceQueueCap : (i+1)*cfg.SourceQueueCap]
 	}
 	n.rel = make([]int, 0, t.Nodes()*n.radix)
 	return n
@@ -614,7 +629,7 @@ func (n *network) run() (Result, error) {
 				continue // cores behind a failed router cannot inject
 			}
 			s := &n.src[core]
-			if dest, okInj := cfg.Traffic.Next(core, cycle, cfg.Load, s.rng); okInj {
+			if dest, okInj := cfg.Traffic.Next(core, cycle, cfg.Load, &s.rng); okInj {
 				if s.q.full() {
 					if measuring {
 						dropped++
@@ -632,7 +647,7 @@ func (n *network) run() (Result, error) {
 					}
 					if cfg.Routing == Valiant {
 						srcNode, _ := n.nodeOfCore(core)
-						if via := n.topo.ValiantVia(srcNode, dest/n.conc, s.rng); via >= 0 {
+						if via := n.topo.ValiantVia(srcNode, dest/n.conc, &s.rng); via >= 0 {
 							pkt.via = int32(via)
 							pkt.phase = 0
 						}

@@ -8,7 +8,10 @@
 // recommend. It is not cryptographically secure; it is a simulation PRNG.
 package prng
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // Source is a deterministic xoshiro256** generator. The zero value is not
 // usable; construct with New. Source is not safe for concurrent use; give
@@ -31,33 +34,53 @@ func splitmix64(state *uint64) uint64 {
 // New returns a Source seeded from seed. Distinct seeds give statistically
 // independent streams.
 func New(seed uint64) *Source {
-	var src Source
-	st := seed
-	for i := range src.s {
-		src.s[i] = splitmix64(&st)
-	}
-	return &src
+	src := new(Source)
+	src.Reseed(seed)
+	return src
 }
+
+// Reseed re-initializes s in place from seed. The resulting stream is
+// byte-identical to New(seed)'s; existing state is discarded. It lets
+// arena-style callers reuse Source slabs across runs without allocating.
+func (s *Source) Reseed(seed uint64) {
+	st := seed
+	for i := range s.s {
+		s.s[i] = splitmix64(&st)
+	}
+}
+
+// splitXor decorrelates a parent draw from the child seed it becomes, so
+// Split(New(k)) and New(k') collide only by chance.
+const splitXor = 0xd3833e804f4c574b
 
 // Split derives a new, statistically independent Source from s. The parent
 // stream advances by one draw. Use it to hand child components their own
 // generators without sharing state.
 func (s *Source) Split() *Source {
-	return New(s.Uint64() ^ 0xd3833e804f4c574b)
+	return New(s.Uint64() ^ splitXor)
 }
 
-func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+// SplitTo is Split into caller-owned storage: dst is reseeded with the
+// exact stream the corresponding Split call would have produced, and the
+// parent advances by the same one draw. No allocation.
+func (s *Source) SplitTo(dst *Source) {
+	dst.Reseed(s.Uint64() ^ splitXor)
+}
 
-// Uint64 returns the next 64 uniformly distributed bits.
+// Uint64 returns the next 64 uniformly distributed bits. The body is
+// kept within the compiler's inlining budget (bits.RotateLeft64 is an
+// intrinsic) so the generator fuses into hot simulation loops instead of
+// paying a call per draw.
 func (s *Source) Uint64() uint64 {
-	result := rotl(s.s[1]*5, 7) * 9
-	t := s.s[1] << 17
+	s1 := s.s[1]
+	result := bits.RotateLeft64(s1*5, 7) * 9
+	t := s1 << 17
 	s.s[2] ^= s.s[0]
-	s.s[3] ^= s.s[1]
+	s.s[3] ^= s1
 	s.s[1] ^= s.s[2]
 	s.s[0] ^= s.s[3]
 	s.s[2] ^= t
-	s.s[3] = rotl(s.s[3], 45)
+	s.s[3] = bits.RotateLeft64(s.s[3], 45)
 	return result
 }
 

@@ -1,0 +1,718 @@
+// Lockstep replica batching: run R replicas of one configuration
+// simultaneously, cycle by cycle, sharing every lookup table and all
+// per-cycle scratch. Experiment campaigns burn thousands of runs that
+// differ only in seed (table4-ci alone is 5 replicates per design); the
+// batch engine amortizes setup across them, keeps the per-replica state
+// in struct-of-arrays slabs with the replica loop innermost (so each
+// simulation phase is one pass over warm memory), and recycles the whole
+// arena between runs so a warmed Batch executes with zero allocations.
+//
+// Correctness contract: a Batch run is byte-identical to R sequential
+// Run calls with the same seeds. The engine preserves each replica's
+// PRNG stream order exactly (the root Source splits per port in port
+// order, and the traffic draw happens for every port every cycle, full
+// source queue or not), its per-cycle phase order, and its measurement
+// order (deliveries hit the histogram in ascending port order within a
+// cycle, as in Run). Differential tests in batch_test.go enforce the
+// equivalence at several widths, seeds, and loads for every switch
+// model.
+//
+// Two arbitration backends sit behind the shared cycle loop:
+//
+//   - generic: one switch instance per replica (reused across runs via
+//     Reset when the model supports it), driven through
+//     Switch.Arbitrate exactly like Run;
+//   - fused: when the factory produces a stock LRG crossbar
+//     (crossbar.Switch.PlainLRG), the engine skips switch instances
+//     entirely and arbitrates in-place over per-replica column bitsets.
+//     LRG priority is kept as a (last-grant stamp, initial index) key
+//     per input instead of an order list: the minimum key over a
+//     column's requestors is exactly the list-LRG winner (all stamps
+//     start equal, and an update gives the winner a stamp strictly
+//     greater than every other, i.e. moves it to the end of the order
+//     without disturbing the rest), and the O(n) list splice on every
+//     grant becomes an O(1) stamp write.
+//
+// The lean loop supports only configurations whose hooks are all
+// disabled (no Obs, no Faults, no Check, no ConvergeStop); anything
+// else falls back to sequential Run calls, so Batch is always safe to
+// use.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"github.com/reprolab/hirise/internal/bitvec"
+	"github.com/reprolab/hirise/internal/crossbar"
+	"github.com/reprolab/hirise/internal/prng"
+	"github.com/reprolab/hirise/internal/stats"
+	"github.com/reprolab/hirise/internal/traffic"
+)
+
+// Batch runs replicas of one switch configuration in lockstep. A Batch
+// retains its switches and arena between Run calls; reusing one Batch
+// across the points of a campaign is what makes the warmed steady state
+// allocation-free. A Batch is not safe for concurrent use — give each
+// worker its own (the experiment drivers do).
+type Batch struct {
+	newSwitch  func() Switch
+	newTraffic func() Traffic
+
+	probe Switch   // first factory product: radix + fast-path detection
+	sws   []Switch // generic-path replicas; sws[0] == probe
+	a     arena
+}
+
+// NewBatch returns a batch runner over switches from newSwitch.
+// newTraffic, when non-nil, supplies each replica its own traffic
+// pattern per run; it must be non-nil for stateful patterns (e.g.
+// traffic.Bursty), which can be shared neither between lockstepped
+// replicas nor across sequential runs — the same contract as LoadSweep.
+// When newTraffic is nil, every replica shares Config.Traffic.
+func NewBatch(newSwitch func() Switch, newTraffic func() Traffic) *Batch {
+	if newSwitch == nil {
+		panic("sim: NewBatch needs a switch factory")
+	}
+	return &Batch{newSwitch: newSwitch, newTraffic: newTraffic}
+}
+
+// BatchRun is the one-shot convenience form of NewBatch(...).Run(...):
+// it executes len(seeds) replicas of base and returns their results in
+// seed order. Callers running many points should hold a Batch instead,
+// which reuses the arena across points.
+func BatchRun(base Config, newSwitch func() Switch, newTraffic func() Traffic, seeds []uint64) ([]Result, error) {
+	return NewBatch(newSwitch, newTraffic).Run(base, seeds)
+}
+
+// Run executes len(seeds) replicas of base, replica k seeded with
+// seeds[k], and returns their results in seed order — each byte-
+// identical to Run(base) with Switch from the factory and Seed
+// seeds[k]. base.Switch and base.Seed are ignored (the factory and the
+// seed lattice replace them), as is base.Traffic when the Batch has a
+// traffic factory.
+//
+// Result slices (PerInputLatency, PerInputPackets) and the returned
+// slice itself are arena-backed: they stay valid until the next Run on
+// this Batch, which recycles them. Copy what must outlive the batch.
+//
+// Configurations with any hook attached (Obs, Faults, Check,
+// ConvergeStop) or more than 32 VCs take the sequential fallback:
+// correct and identical, just not batched.
+func (b *Batch) Run(base Config, seeds []uint64) ([]Result, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("sim: batch run needs at least one seed")
+	}
+	cfg := base
+	cfg.Defaults()
+	if b.probe == nil {
+		b.probe = b.newSwitch()
+		if b.probe == nil {
+			return nil, fmt.Errorf("sim: switch factory returned nil")
+		}
+	}
+	cfg.Switch = b.probe
+	if b.newTraffic != nil {
+		cfg.Traffic = b.newTraffic()
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Obs != nil || !cfg.Faults.Empty() || cfg.Check || cfg.ConvergeStop || cfg.VCs > 32 {
+		return b.runSequential(cfg, seeds)
+	}
+	return b.runLean(cfg, seeds)
+}
+
+// runSequential is the hook-compatible fallback: fresh switch and
+// traffic per replica, one plain Run each.
+func (b *Batch) runSequential(cfg Config, seeds []uint64) ([]Result, error) {
+	out := make([]Result, len(seeds))
+	for k, seed := range seeds {
+		c := cfg
+		if k > 0 || c.Switch == nil {
+			c.Switch = b.newSwitch()
+		}
+		if b.newTraffic != nil && k > 0 {
+			c.Traffic = b.newTraffic()
+		}
+		c.Seed = seed
+		var err error
+		if out[k], err = Run(c); err != nil {
+			return nil, fmt.Errorf("sim: batch replica %d: %w", k, err)
+		}
+	}
+	// The probe ran a replica; replace it so the next Run starts fresh.
+	b.probe, b.sws = nil, b.sws[:0]
+	return out, nil
+}
+
+// batchCount holds one replica's measurement-window counters.
+type batchCount struct {
+	injected, delivered, dropped, flits int64
+}
+
+// bport is the lean engine's per-(input, replica) state: the port
+// struct of Run squeezed into exactly one cache line (64 bytes), so the
+// per-cycle sweep pulls one line per port instead of two. The VC
+// occupancy flags are packed into one bitmask (candidate selection and
+// refill become a rotate and a trailing-zeros scan instead of a
+// bool-slice walk), the VC ring and source queue live at fixed offsets
+// in the arena slabs (no slice headers here), and Run's connected flag
+// is folded into remaining: a port is connected iff remaining > 0,
+// since a grant always sets remaining to the full packet length ≥ 1.
+type bport struct {
+	rng       prng.Source // 32 bytes
+	occ       uint32      // bit v set ⇔ VC v holds a packet (Run's vcOk)
+	rr        int32
+	connVC    int32
+	remaining int32 // flits left on the active connection; 0 ⇔ idle
+	qhead     int32 // source-queue ring cursor into qSlab
+	qn        int32 // source-queue occupancy
+	_         [8]byte
+}
+
+// bpacket is the lean engine's in-flight packet: Run's packet stripped
+// to the fields the hook-free path reads (latency needs birth, routing
+// needs dest). Run's seq and retries exist for the invariant checker
+// and lossy links, which force the sequential fallback — dropping them
+// halves the VC and source-queue slab footprint, which the sweep
+// streams through every cycle.
+type bpacket struct {
+	birth int64
+	dest  int32
+	_     int32
+}
+
+// arena is the Batch's recycled backing store: every slab spans all
+// replicas and is resized only when the configuration shape changes.
+type arena struct {
+	r, n, vcs, qcap int
+	fast            bool // fused-crossbar slabs allocated
+
+	ports  []bport   // [in*r + k]
+	vcSlab []bpacket // VC slots, vcs per port, indexed [(in*r+k)*vcs + v]
+	qSlab  []bpacket // source-queue rings, qcap per port
+
+	req []int // generic path: request vectors, [k*n + in]
+
+	// Fused-crossbar state, one stock LRG crossbar per replica without
+	// the crossbar.Switch objects. Column request bitsets are zeroed
+	// lazily via the per-replica dirty-column sets, as in
+	// crossbar.Arbitrate.
+	xheld  []int32  // [k*n + in]: output held by input, or -1
+	xoutIn []int32  // [k*n + out]: input holding output, or -1
+	xstamp []int64  // [(k*n + out)*n + in]: last-grant stamp
+	xclock []int64  // [k*n + out]: per-column stamp clock
+	xmask  []uint64 // [(k*n + out)*words]: column request bitsets
+	xdirty []uint64 // [k*words]: columns with requests this cycle
+
+	relIn []int32 // flat release list: input ports…
+	relR  []int32 // …and their replicas
+	relN  int
+
+	hist   []*stats.Histogram
+	perLat []*stats.PerPort
+	perPkt []int64 // [k*n + in]
+	cnt    []batchCount
+	trs    []Traffic
+
+	results []Result
+	latOut  []float64 // [k*n + in]: Result.PerInputLatency backing
+	pktOut  []float64 // [k*n + in]: Result.PerInputPackets backing
+
+	root prng.Source // reseeded per replica to derive the port streams
+}
+
+func (a *arena) ensure(r, n, vcs, qcap int, fast bool) {
+	if a.r == r && a.n == n && a.vcs == vcs && a.qcap == qcap && (!fast || a.fast) {
+		return
+	}
+	a.r, a.n, a.vcs, a.qcap = r, n, vcs, qcap
+	a.fast = a.fast || fast
+	rn := r * n
+	a.ports = make([]bport, rn)
+	a.vcSlab = make([]bpacket, rn*vcs)
+	a.qSlab = make([]bpacket, rn*qcap)
+	a.req = make([]int, rn)
+	a.relIn = make([]int32, rn)
+	a.relR = make([]int32, rn)
+	a.hist = make([]*stats.Histogram, r)
+	a.perLat = make([]*stats.PerPort, r)
+	for k := range a.hist {
+		a.hist[k] = stats.NewHistogram(4, 4096)
+		a.perLat[k] = stats.NewPerPort(n)
+	}
+	a.perPkt = make([]int64, rn)
+	a.cnt = make([]batchCount, r)
+	a.trs = make([]Traffic, r)
+	a.results = make([]Result, r)
+	a.latOut = make([]float64, rn)
+	a.pktOut = make([]float64, rn)
+	if a.fast {
+		words := bitvec.WordsFor(n)
+		a.xheld = make([]int32, rn)
+		a.xoutIn = make([]int32, rn)
+		a.xstamp = make([]int64, rn*n)
+		a.xclock = make([]int64, rn)
+		a.xmask = make([]uint64, rn*words)
+		a.xdirty = make([]uint64, r*words)
+	}
+}
+
+func (a *arena) reset() {
+	for i := range a.ports {
+		p := &a.ports[i]
+		*p = bport{rng: p.rng}
+	}
+	for k := range a.hist {
+		a.hist[k].Reset()
+		a.perLat[k].Reset()
+	}
+	for i := range a.perPkt {
+		a.perPkt[i] = 0
+	}
+	for k := range a.cnt {
+		a.cnt[k] = batchCount{}
+	}
+	for i := range a.xheld {
+		a.xheld[i] = -1
+		a.xoutIn[i] = -1
+		a.xclock[i] = 0
+	}
+	for i := range a.xstamp {
+		a.xstamp[i] = 0
+	}
+	for i := range a.xmask {
+		a.xmask[i] = 0
+	}
+	for i := range a.xdirty {
+		a.xdirty[i] = 0
+	}
+	a.relN = 0
+}
+
+// ensureSwitches prepares one switch per replica for the generic path,
+// reusing prior instances through their Reset method; a model without
+// Reset is rebuilt from the factory each run.
+func (b *Batch) ensureSwitches(r, n int) error {
+	if len(b.sws) == 0 {
+		b.sws = append(b.sws, b.probe)
+	}
+	for len(b.sws) < r {
+		b.sws = append(b.sws, b.newSwitch())
+	}
+	for k := 0; k < r; k++ {
+		if rs, ok := b.sws[k].(interface{ Reset() }); ok {
+			rs.Reset()
+		} else {
+			b.sws[k] = b.newSwitch()
+		}
+		if b.sws[k].Radix() != n {
+			return fmt.Errorf("sim: batch switch %d has radix %d, want %d", k, b.sws[k].Radix(), n)
+		}
+	}
+	return nil
+}
+
+// runLean is the lockstep engine. The cycle structure is Run's, with
+// the hook-free phases fused: pass A advances transmissions and builds
+// requests (phases 1+2), arbitration forms connections (phase 3),
+// releases free this cycle's finished connections (phase 4), and pass B
+// injects and refills VCs (phase 5). The fusions are sound because the
+// phases they merge touch disjoint state per port (see batch_test.go's
+// differential coverage).
+func (b *Batch) runLean(cfg Config, seeds []uint64) ([]Result, error) {
+	r, n := len(seeds), b.probe.Radix()
+
+	// Fast path: stock LRG crossbars are arbitrated in-place, without
+	// switch instances.
+	xb, ok := b.probe.(*crossbar.Switch)
+	fast := ok && xb.PlainLRG()
+	if !fast {
+		if err := b.ensureSwitches(r, n); err != nil {
+			return nil, err
+		}
+	}
+
+	a := &b.a
+	a.ensure(r, n, cfg.VCs, cfg.SourceQueueCap, fast)
+	a.reset()
+
+	for k := 0; k < r; k++ {
+		if b.newTraffic != nil {
+			a.trs[k] = b.newTraffic()
+		} else {
+			a.trs[k] = cfg.Traffic
+		}
+		seed := seeds[k]
+		if seed == 0 {
+			seed = 1 // Run's Defaults remaps seed 0; match it
+		}
+		a.root.Reseed(seed)
+		for in := 0; in < n; in++ {
+			a.root.SplitTo(&a.ports[in*r+k].rng)
+		}
+	}
+
+	// Devirtualize uniform traffic: when every replica draws the same
+	// stateless traffic.Uniform, inline its two PRNG draws instead of
+	// calling through the interface n times per cycle per replica. The
+	// Bernoulli acceptance becomes an integer compare on the raw 53-bit
+	// draw: Float64() < p  ⇔  (Uint64()>>11)·2⁻⁵³ < p  ⇔  Uint64()>>11 <
+	// ⌈p·2⁵³⌉ — every step exact (2⁻⁵³ scaling and p·2⁵³ are pure
+	// exponent shifts), so acceptance is bit-identical to Run's.
+	uni, uniOK := a.trs[0].(traffic.Uniform)
+	for k := 1; uniOK && k < r; k++ {
+		u2, ok := a.trs[k].(traffic.Uniform)
+		uniOK = ok && u2 == uni
+	}
+	var uniThresh uint64
+	uniAlways, uniNever := false, false
+	if uniOK {
+		switch {
+		case cfg.Load <= 0:
+			uniNever = true // Bernoulli shortcut: no draw at all
+		case cfg.Load >= 1:
+			uniAlways = true // ditto
+		default:
+			uniThresh = uint64(math.Ceil(cfg.Load * (1 << 53)))
+		}
+	}
+	// Power-of-two radix collapses the destination draw to a shift:
+	// Lemire's Intn(2^b) computes hi = x·2^b / 2^64 = x >> (64-b) and its
+	// rejection threshold 2^64 mod 2^b is zero, so the loop never runs —
+	// one draw, exactly Intn's stream and value.
+	uniPow2 := uniOK && uni.Radix > 0 && uni.Radix&(uni.Radix-1) == 0
+	uniShift := uint(64 - bits.Len(uint(uni.Radix)-1))
+
+	F := int32(cfg.PacketFlits)
+	vcs := int32(cfg.VCs)
+	vcsN := cfg.VCs
+	vcMask := uint32(1)<<uint(vcs) - 1
+	qcap := a.qcap
+	qc := int32(qcap)
+	load := cfg.Load
+	words := bitvec.WordsFor(n)
+	total := cfg.Warmup + cfg.Measure
+
+	// Hoist every slab into a local: inside the loop the compiler cannot
+	// prove stores through these slices leave *a itself unchanged, so
+	// field-based access would reload each slice header after every
+	// store.
+	ports := a.ports
+	qSlab, vcSlab := a.qSlab, a.vcSlab
+	req := a.req
+	xheld, xoutIn := a.xheld, a.xoutIn
+	xstamp, xclock := a.xstamp, a.xclock
+	xmask, xdirty := a.xmask, a.xdirty
+	relIn, relR := a.relIn, a.relR
+	hist, perLat := a.hist, a.perLat
+	perPkt := a.perPkt
+	cnt := a.cnt
+	trs := a.trs
+
+	for cycle := int64(0); cycle < total; cycle++ {
+		if cfg.Ctx != nil && cycle%ctxCheckInterval == 0 && cfg.Ctx.Err() != nil {
+			return nil, fmt.Errorf("sim: batch run cancelled at cycle %d: %w", cycle, cfg.Ctx.Err())
+		}
+		measuring := cycle >= cfg.Warmup
+
+		// Main sweep, one pass over every (input, replica): first the
+		// injection/refill step of the PREVIOUS cycle (Run's phase 5 —
+		// deferrable to here because between one cycle's phase 5 and the
+		// next cycle's phase 1 no other phase touches port state, and
+		// each port draws from its own private PRNG stream), then this
+		// cycle's transmission advance and request build (phases 1+2).
+		// Folding the phases means each port's one-line state is pulled
+		// through the cache once per cycle instead of twice.
+		inj := cycle > 0
+		injCycle := cycle - 1
+		injMeasuring := injCycle >= cfg.Warmup
+		relN := 0
+		for in := 0; in < n; in++ {
+			// Strength-reduce the slab offsets: pi walks in*r+k, piV/piQ its
+			// rows in the VC and queue slabs, kn walks k*n — all by
+			// increments, so the sweep's address math is add-only.
+			pi := in * r
+			piV := pi * vcsN
+			piQ := pi * qcap
+			kn := 0
+			for k := 0; k < r; k, pi, piV, piQ, kn = k+1, pi+1, piV+vcsN, piQ+qcap, kn+n {
+				p := &ports[pi]
+				if inj {
+					var dest int
+					var inject bool
+					if uniOK {
+						if uniAlways || (!uniNever && p.rng.Uint64()>>11 < uniThresh) {
+							inject = true
+							if uniPow2 {
+								dest = int(p.rng.Uint64() >> uniShift)
+							} else {
+								dest = p.rng.Intn(uni.Radix)
+							}
+						}
+					} else {
+						dest, inject = trs[k].Next(in, injCycle, load, &p.rng)
+					}
+					if inject {
+						if p.qn == qc {
+							if injMeasuring {
+								cnt[k].dropped++
+							}
+						} else {
+							i := p.qhead + p.qn
+							if i >= qc {
+								i -= qc
+							}
+							qSlab[piQ+int(i)] = bpacket{birth: injCycle, dest: int32(dest)}
+							p.qn++
+							if injMeasuring {
+								cnt[k].injected++
+							}
+						}
+					}
+					if p.qn > 0 {
+						// Ascending free VCs, Run's refill order.
+						for free := ^p.occ & vcMask; free != 0 && p.qn > 0; {
+							v := bits.TrailingZeros32(free)
+							free &= free - 1
+							vcSlab[piV+v] = qSlab[piQ+int(p.qhead)]
+							if p.qhead++; p.qhead == qc {
+								p.qhead = 0
+							}
+							p.qn--
+							p.occ |= 1 << uint(v)
+						}
+					}
+				}
+				rel := uint64(0)
+				if p.remaining > 0 {
+					p.remaining--
+					if p.remaining > 0 {
+						if !fast {
+							req[kn+in] = -1
+						}
+						continue
+					}
+					pkt := &vcSlab[piV+int(p.connVC)]
+					if measuring {
+						lat := float64(cycle - pkt.birth)
+						hist[k].Add(lat)
+						perLat[k].Add(in, lat)
+						perPkt[kn+in]++
+						c := &cnt[k]
+						c.delivered++
+						c.flits += int64(F)
+					}
+					p.occ &^= 1 << uint(p.connVC)
+					rel = 1
+					relIn[relN] = int32(in)
+					relR[relN] = int32(k)
+					relN++
+					// No continue: like Run's phase 2, a port that just
+					// delivered still builds a request (advancing its VC
+					// round-robin) even though it cannot win this cycle —
+					// its output releases only after arbitration.
+				}
+				if p.occ == 0 {
+					if !fast {
+						req[kn+in] = -1
+					}
+					continue
+				}
+				// First occupied VC at or after rr — Run's k-scan as a
+				// rotate + trailing zeros.
+				rot := (p.occ>>uint32(p.rr) | p.occ<<uint32(vcs-p.rr)) & vcMask
+				v := p.rr + int32(bits.TrailingZeros32(rot))
+				if v >= vcs {
+					v -= vcs
+				}
+				if p.rr = v + 1; p.rr == vcs {
+					p.rr = 0
+				}
+				p.connVC = v
+				dest := int(vcSlab[piV+int(v)].dest)
+				if fast {
+					// The crossbar's input-loop gate, applied at build
+					// time: inputs still holding (a delivery this cycle
+					// releases only after arbitration — exactly the
+					// rel-flag case, since any other unconnected port's
+					// held entry is already clear) and busy outputs do
+					// not participate. The gate is branchless — its
+					// direction is data-random, so as a branch it would
+					// mispredict constantly; instead the eligibility bit
+					// (output free, port not releasing) multiplies into
+					// the mask ORs, making the ineligible case an OR of
+					// zero.
+					bit := uint64(uint32(xoutIn[kn+dest])>>31) &^ rel
+					xmask[(kn+dest)*words+in>>6] |= bit << (uint(in) & 63)
+					xdirty[k*words+dest>>6] |= bit << (uint(dest) & 63)
+				} else {
+					req[kn+in] = dest
+				}
+			}
+		}
+
+		// Arbitrate and start new connections.
+		if fast && words == 1 {
+			// Single-word columns (radix <= 64): the same consume-on-scan
+			// min-key arbitration as the generic branch below, on bare
+			// words — no per-column subslice setup on the hottest radix.
+			for k := 0; k < r; k++ {
+				word := xdirty[k]
+				if word == 0 {
+					continue
+				}
+				xdirty[k] = 0
+				held := xheld[k*n : (k+1)*n]
+				outIn := xoutIn[k*n : (k+1)*n]
+				clocks := xclock[k*n : (k+1)*n]
+				sbase := k * n * n
+				mbase := k * n
+				for word != 0 {
+					out := bits.TrailingZeros64(word)
+					word &= word - 1
+					cword := xmask[mbase+out]
+					xmask[mbase+out] = 0
+					stBase := sbase + out*n
+					win, best := -1, int64(1)<<62
+					for cword != 0 {
+						in := bits.TrailingZeros64(cword)
+						cword &= cword - 1
+						if key := xstamp[stBase+in]<<32 | int64(in); key < best {
+							best, win = key, in
+						}
+					}
+					clocks[out]++
+					xstamp[stBase+win] = clocks[out]
+					held[win] = int32(out)
+					outIn[out] = int32(win)
+					ports[win*r+k].remaining = F
+				}
+			}
+		} else if fast {
+			for k := 0; k < r; k++ {
+				dirty := xdirty[k*words : (k+1)*words]
+				held := xheld[k*n : (k+1)*n]
+				outIn := xoutIn[k*n : (k+1)*n]
+				clocks := xclock[k*n : (k+1)*n]
+				sbase := k * n * n
+				mbase := k * n * words
+				for w, word := range dirty {
+					for word != 0 {
+						out := w<<6 | bits.TrailingZeros64(word)
+						word &= word - 1
+						// Min-key scan: the requestor with the smallest
+						// (stamp, index) is the list-LRG winner. The scan
+						// consumes the column — masks and dirty sets are
+						// zeroed here, on data already in cache, so the
+						// next cycle starts clean without a separate
+						// zeroing pass over the same columns.
+						st := xstamp[sbase+out*n : sbase+(out+1)*n]
+						col := xmask[mbase+out*words : mbase+(out+1)*words]
+						win, best := -1, int64(1)<<62
+						for cw, cword := range col {
+							for cword != 0 {
+								in := cw<<6 | bits.TrailingZeros64(cword)
+								cword &= cword - 1
+								if key := st[in]<<32 | int64(in); key < best {
+									best, win = key, in
+								}
+							}
+							col[cw] = 0
+						}
+						clocks[out]++
+						st[win] = clocks[out]
+						held[win] = int32(out)
+						outIn[out] = int32(win)
+						ports[win*r+k].remaining = F
+					}
+					dirty[w] = 0
+				}
+			}
+		} else {
+			for k := 0; k < r; k++ {
+				for _, g := range b.sws[k].Arbitrate(req[k*n : (k+1)*n]) {
+					ports[g.In*r+k].remaining = F
+				}
+			}
+		}
+
+		// Release the connections that finished this cycle.
+		for i := 0; i < relN; i++ {
+			in, k := int(relIn[i]), int(relR[i])
+			if fast {
+				out := xheld[k*n+in]
+				xheld[k*n+in] = -1
+				xoutIn[k*n+int(out)] = -1
+			} else {
+				b.sws[k].Release(in)
+			}
+		}
+
+	}
+
+	// The final cycle's injection step (deferred by the fused sweep):
+	// its packets can never be delivered, but injection and drop counts
+	// during the measurement window include it in Run, so it runs here
+	// for the counters and to finish the traffic/PRNG draw sequence.
+	for in := 0; in < n; in++ {
+		for k := 0; k < r; k++ {
+			p := &ports[in*r+k]
+			var dest int
+			var inject bool
+			if uniOK {
+				if uniAlways || (!uniNever && p.rng.Uint64()>>11 < uniThresh) {
+					inject = true
+					if uniPow2 {
+						dest = int(p.rng.Uint64() >> uniShift)
+					} else {
+						dest = p.rng.Intn(uni.Radix)
+					}
+				}
+			} else {
+				dest, inject = trs[k].Next(in, total-1, load, &p.rng)
+			}
+			if inject {
+				if p.qn == qc {
+					cnt[k].dropped++
+				} else {
+					i := p.qhead + p.qn
+					if i >= qc {
+						i -= qc
+					}
+					qSlab[(in*r+k)*qcap+int(i)] = bpacket{birth: total - 1, dest: int32(dest)}
+					p.qn++
+					cnt[k].injected++
+				}
+			}
+		}
+	}
+
+	measured := float64(cfg.Measure)
+	for k := 0; k < r; k++ {
+		lat := a.latOut[k*n : (k+1)*n : (k+1)*n]
+		pkt := a.pktOut[k*n : (k+1)*n : (k+1)*n]
+		perLat[k].MeansInto(lat)
+		for i := 0; i < n; i++ {
+			pkt[i] = float64(perPkt[k*n+i]) / measured
+		}
+		c := cnt[k]
+		a.results[k] = Result{
+			OfferedLoad:       cfg.Load,
+			AcceptedFlits:     float64(c.flits) / measured,
+			AcceptedPackets:   float64(c.delivered) / measured,
+			AvgLatency:        hist[k].Mean(),
+			P50Latency:        hist[k].Quantile(0.5),
+			P99Latency:        hist[k].Quantile(0.99),
+			PerInputLatency:   lat,
+			PerInputPackets:   pkt,
+			Injected:          c.injected,
+			Delivered:         c.delivered,
+			DroppedInjections: c.dropped,
+		}
+	}
+	return a.results[:r], nil
+}

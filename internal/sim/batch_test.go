@@ -1,0 +1,281 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/reprolab/hirise/internal/arb"
+	"github.com/reprolab/hirise/internal/core"
+	"github.com/reprolab/hirise/internal/crossbar"
+	"github.com/reprolab/hirise/internal/pool"
+	"github.com/reprolab/hirise/internal/topo"
+	"github.com/reprolab/hirise/internal/traffic"
+)
+
+// seqResults runs the reference path: one plain Run per seed, fresh
+// switch and traffic each, exactly what BatchRun must reproduce.
+func seqResults(t *testing.T, base Config, newSwitch func() Switch, newTraffic func() Traffic, seeds []uint64) []Result {
+	t.Helper()
+	out := make([]Result, len(seeds))
+	for k, seed := range seeds {
+		c := base
+		c.Switch = newSwitch()
+		if newTraffic != nil {
+			c.Traffic = newTraffic()
+		}
+		c.Seed = seed
+		r, err := Run(c)
+		if err != nil {
+			t.Fatalf("sequential replica %d: %v", k, err)
+		}
+		out[k] = r
+	}
+	return out
+}
+
+func copyResults(rs []Result) []Result {
+	out := make([]Result, len(rs))
+	for i, r := range rs {
+		out[i] = r
+		out[i].PerInputLatency = append([]float64(nil), r.PerInputLatency...)
+		out[i].PerInputPackets = append([]float64(nil), r.PerInputPackets...)
+	}
+	return out
+}
+
+func seedLattice(base uint64, r int) []uint64 {
+	seeds := make([]uint64, r)
+	for i := range seeds {
+		seeds[i] = pool.SeedFor(base, uint64(i))
+	}
+	return seeds
+}
+
+// TestBatchRunMatchesSequential is the tentpole's equivalence pin: at
+// every batch width, BatchRun must be byte-identical to R sequential
+// Run calls over the same seed lattice — for the fused fast path (stock
+// LRG crossbar, flat and folded), the generic lockstep path (HiRise,
+// non-LRG crossbar), and at loads from near-idle to saturation.
+func TestBatchRunMatchesSequential(t *testing.T) {
+	cases := []struct {
+		name       string
+		newSwitch  func() Switch
+		newTraffic func() Traffic
+		loads      []float64
+		radix      int // 0 = 64
+	}{
+		{
+			name:      "crossbar-fast",
+			newSwitch: func() Switch { return crossbar.New(64) },
+			loads:     []float64{0.05, 0.3, 1.0},
+		},
+		{
+			// Radix past one 64-bit mask word and not a power of two:
+			// exercises the fast path's multi-word column arbitration and
+			// the general (Lemire) destination draw, which radix-64 cases
+			// skip via the single-word and shift specializations.
+			name:      "crossbar-fast-multiword",
+			newSwitch: func() Switch { return crossbar.New(96) },
+			loads:     []float64{0.3, 1.0},
+			radix:     96,
+		},
+		{
+			name:      "folded-fast",
+			newSwitch: func() Switch { return crossbar.NewFolded(64, 4) },
+			loads:     []float64{0.3},
+		},
+		{
+			name: "crossbar-roundrobin-generic",
+			newSwitch: func() Switch {
+				arbs := make([]arb.Arbiter, 64)
+				for i := range arbs {
+					arbs[i] = arb.NewRoundRobin(64)
+				}
+				s, err := crossbar.NewWithArbiters(64, arbs)
+				if err != nil {
+					panic(err)
+				}
+				return s
+			},
+			loads: []float64{0.3, 1.0},
+		},
+		{
+			name: "hirise-clrg-generic",
+			newSwitch: func() Switch {
+				s, err := core.New(topo.Config{
+					Radix: 64, Layers: 4, Channels: 4,
+					Alloc: topo.InputBinned, Scheme: topo.CLRG, Classes: 3,
+				})
+				if err != nil {
+					panic(err)
+				}
+				return s
+			},
+			loads: []float64{0.3, 0.9},
+		},
+		{
+			name:       "crossbar-bursty-stateful",
+			newSwitch:  func() Switch { return crossbar.New(64) },
+			newTraffic: func() Traffic { return traffic.NewBursty(64, 6) },
+			loads:      []float64{0.4},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			radix := tc.radix
+			if radix == 0 {
+				radix = 64
+			}
+			for _, load := range tc.loads {
+				base := Config{
+					Traffic: traffic.Uniform{Radix: radix},
+					Load:    load,
+					Warmup:  300, Measure: 1200,
+				}
+				for _, width := range []int{1, 2, 4, 8} {
+					seeds := seedLattice(uint64(17*width)+uint64(load*1000), width)
+					want := seqResults(t, base, tc.newSwitch, tc.newTraffic, seeds)
+					got, err := BatchRun(base, tc.newSwitch, tc.newTraffic, seeds)
+					if err != nil {
+						t.Fatalf("load %.2f width %d: %v", load, width, err)
+					}
+					for k := range want {
+						if !reflect.DeepEqual(got[k], want[k]) {
+							t.Fatalf("load %.2f width %d replica %d diverged:\nbatch: %+v\nseq:   %+v",
+								load, width, k, got[k], want[k])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBatchReuseAcrossRuns pins the arena recycling contract: the same
+// Batch, run repeatedly (including across different loads and widths),
+// keeps producing results identical to fresh sequential runs — i.e.
+// every piece of recycled state is restored to its as-constructed value
+// between runs.
+func TestBatchReuseAcrossRuns(t *testing.T) {
+	mk := func() Switch { return crossbar.New(32) }
+	b := NewBatch(mk, nil)
+	points := []struct {
+		load  float64
+		width int
+	}{
+		{0.2, 4}, {0.8, 4}, {0.2, 4}, {0.5, 2}, {0.2, 8},
+	}
+	for i, pt := range points {
+		base := Config{
+			Traffic: traffic.Uniform{Radix: 32},
+			Load:    pt.load,
+			Warmup:  200, Measure: 800,
+		}
+		seeds := seedLattice(99, pt.width)
+		got, err := b.Run(base, seeds)
+		if err != nil {
+			t.Fatalf("point %d: %v", i, err)
+		}
+		got = copyResults(got) // arena-backed; next Run recycles them
+		want := seqResults(t, base, mk, nil, seeds)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("point %d (load %.2f width %d): reused batch diverged from sequential",
+				i, pt.load, pt.width)
+		}
+	}
+}
+
+// TestBatchSequentialFallback: configurations with hooks attached must
+// still produce correct per-replica results through the fallback path.
+func TestBatchSequentialFallback(t *testing.T) {
+	mk := func() Switch { return crossbar.New(32) }
+	base := Config{
+		Traffic: traffic.Uniform{Radix: 32},
+		Load:    0.3,
+		Warmup:  200, Measure: 800,
+		Check: true, // forces the sequential fallback
+	}
+	seeds := seedLattice(7, 3)
+	got, err := BatchRun(base, mk, nil, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := seqResults(t, base, mk, nil, seeds)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("fallback path diverged from sequential runs")
+	}
+	// A fallback run must not poison a later lean run on the same Batch.
+	b := NewBatch(mk, nil)
+	if _, err := b.Run(base, seeds); err != nil {
+		t.Fatal(err)
+	}
+	lean := base
+	lean.Check = false
+	got2, err := b.Run(lean, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2 := seqResults(t, lean, mk, nil, seeds)
+	if !reflect.DeepEqual(copyResults(got2), want2) {
+		t.Fatal("lean run after fallback diverged from sequential runs")
+	}
+}
+
+func TestBatchRunErrors(t *testing.T) {
+	mk := func() Switch { return crossbar.New(8) }
+	if _, err := BatchRun(Config{Traffic: traffic.Uniform{Radix: 8}, Load: 0.1}, mk, nil, nil); err == nil {
+		t.Error("empty seed slice: want error")
+	}
+	bad := Config{Traffic: traffic.Uniform{Radix: 8}, Load: -1}
+	if _, err := BatchRun(bad, mk, nil, []uint64{1}); err == nil {
+		t.Error("invalid config: want error")
+	}
+}
+
+// TestBatchSteadyStateAllocs is the batched-mode allocation pin: a
+// warmed Batch must execute entire runs — all replicas, every cycle —
+// without a single heap allocation, on both the fused crossbar path and
+// the generic (HiRise) path.
+func TestBatchSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc measurement needs full runs")
+	}
+	cases := []struct {
+		name string
+		mk   func() Switch
+	}{
+		{"crossbar-fast", func() Switch { return crossbar.New(64) }},
+		{"hirise-clrg-generic", func() Switch {
+			s, err := core.New(topo.Config{
+				Radix: 64, Layers: 4, Channels: 4,
+				Alloc: topo.InputBinned, Scheme: topo.CLRG, Classes: 3,
+			})
+			if err != nil {
+				panic(err)
+			}
+			return s
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := NewBatch(tc.mk, nil)
+			base := Config{
+				Traffic: traffic.Uniform{Radix: 64},
+				Load:    0.3,
+				Warmup:  200, Measure: 800,
+			}
+			seeds := seedLattice(5, 4)
+			if _, err := b.Run(base, seeds); err != nil { // warm the arena
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(2, func() {
+				if _, err := b.Run(base, seeds); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs > 0 {
+				t.Errorf("warmed batch run allocated %.1f objects/run, want 0", allocs)
+			}
+		})
+	}
+}

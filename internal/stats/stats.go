@@ -36,6 +36,9 @@ func (s *Summary) Add(x float64) {
 	s.m2 += d * (x - s.mean)
 }
 
+// Reset discards every observation, returning s to its zero value.
+func (s *Summary) Reset() { *s = Summary{} }
+
 // N returns the number of observations.
 func (s *Summary) N() int64 { return s.n }
 
@@ -141,6 +144,17 @@ func (h *Histogram) Add(x float64) {
 	h.bins[i]++
 }
 
+// Reset discards every observation, keeping the bin shape. A reset
+// histogram behaves exactly like a fresh NewHistogram of the same shape,
+// without reallocating the bins.
+func (h *Histogram) Reset() {
+	for i := range h.bins {
+		h.bins[i] = 0
+	}
+	h.overflow = 0
+	h.sum.Reset()
+}
+
 // N returns the number of observations.
 func (h *Histogram) N() int64 { return h.sum.N() }
 
@@ -218,9 +232,22 @@ func (pp *PerPort) Add(p int, x float64) {
 	pp.All.Add(x)
 }
 
+// Reset discards every observation, keeping the port count.
+func (pp *PerPort) Reset() {
+	for i := range pp.Ports {
+		pp.Ports[i].Reset()
+	}
+	pp.All.Reset()
+}
+
 // Means returns the per-port means.
 func (pp *PerPort) Means() []float64 {
-	out := make([]float64, len(pp.Ports))
+	return pp.MeansInto(make([]float64, len(pp.Ports)))
+}
+
+// MeansInto writes the per-port means into out (which must span the port
+// count) and returns it; the allocation-free form of Means.
+func (pp *PerPort) MeansInto(out []float64) []float64 {
 	for i := range pp.Ports {
 		out[i] = pp.Ports[i].Mean()
 	}
