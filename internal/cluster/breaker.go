@@ -1,0 +1,148 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed passes requests through (the healthy state).
+	BreakerClosed BreakerState = iota
+	// BreakerHalfOpen lets a single trial request through at a time; a
+	// success closes the breaker, a failure reopens it.
+	BreakerHalfOpen
+	// BreakerOpen short-circuits every request until the cooldown
+	// elapses or a health probe succeeds.
+	BreakerOpen
+)
+
+// String returns the wire name of the state.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is one peer's circuit breaker. The state machine:
+//
+//	Closed --(threshold consecutive failures)--> Open
+//	Open --(cooldown elapsed on next allow, or probe success)--> HalfOpen
+//	HalfOpen --(trial success)--> Closed
+//	HalfOpen --(trial failure)--> Open
+//
+// HalfOpen admits one in-flight trial at a time, so a burst of requests
+// against a freshly half-opened peer cannot stampede it. Probe
+// successes only ever promote Open to HalfOpen — a real request must
+// succeed before the breaker fully closes, because /healthz proves the
+// process is up, not that the data path works.
+//
+// Every method takes an explicit now so tests drive the clock.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int // consecutive
+	openedAt time.Time
+	trial    bool // a half-open trial request is in flight
+	opens    int64
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether a request may be sent now. In HalfOpen (and in
+// Open past its cooldown, which half-opens the breaker) the permission
+// is a trial: the caller must report the outcome via onSuccess,
+// onFailure, or onAbandon.
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if now.Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.trial = true
+		return true
+	default: // HalfOpen
+		if b.trial {
+			return false
+		}
+		b.trial = true
+		return true
+	}
+}
+
+// onSuccess records a successful request: the breaker closes and the
+// consecutive-failure count resets.
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	b.state = BreakerClosed
+	b.failures = 0
+	b.trial = false
+	b.mu.Unlock()
+}
+
+// onFailure records a failed request. A half-open trial failure reopens
+// immediately; in Closed the breaker opens once the consecutive-failure
+// count reaches the threshold.
+func (b *breaker) onFailure(now time.Time) {
+	b.mu.Lock()
+	b.failures++
+	wasTrial := b.trial
+	b.trial = false
+	if wasTrial || (b.state == BreakerClosed && b.failures >= b.threshold) || b.state == BreakerHalfOpen {
+		if b.state != BreakerOpen {
+			b.opens++
+		}
+		b.state = BreakerOpen
+		b.openedAt = now
+	}
+	b.mu.Unlock()
+}
+
+// onAbandon releases a trial slot without judging the peer — used when
+// a request was cancelled by the caller (hedge lost, client gone)
+// before the peer had a chance to answer.
+func (b *breaker) onAbandon() {
+	b.mu.Lock()
+	b.trial = false
+	b.mu.Unlock()
+}
+
+// onProbeSuccess records a successful health probe: an Open breaker
+// half-opens (the data path gets to prove itself), a Closed breaker's
+// failure streak resets.
+func (b *breaker) onProbeSuccess() {
+	b.mu.Lock()
+	switch b.state {
+	case BreakerOpen:
+		b.state = BreakerHalfOpen
+		b.trial = false
+	case BreakerClosed:
+		b.failures = 0
+	}
+	b.mu.Unlock()
+}
+
+// snapshot returns the current state, the consecutive-failure count,
+// and how many times the breaker has opened.
+func (b *breaker) snapshot() (BreakerState, int, int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.failures, b.opens
+}

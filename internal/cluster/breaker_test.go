@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// The breaker takes explicit times, so these tests drive a fake clock.
+func TestBreakerStateMachine(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := newBreaker(3, time.Minute)
+
+	expect := func(want BreakerState, fails int, opens int64) {
+		t.Helper()
+		st, f, o := b.snapshot()
+		if st != want || f != fails || o != opens {
+			t.Fatalf("breaker = (%s, %d fails, %d opens), want (%s, %d, %d)",
+				st, f, o, want, fails, opens)
+		}
+	}
+
+	// Closed passes requests; failures below the threshold keep it
+	// closed, a success resets the streak.
+	expect(BreakerClosed, 0, 0)
+	b.onFailure(now)
+	b.onFailure(now)
+	expect(BreakerClosed, 2, 0)
+	b.onSuccess()
+	expect(BreakerClosed, 0, 0)
+
+	// Three consecutive failures open it.
+	for i := 0; i < 3; i++ {
+		if !b.allow(now) {
+			t.Fatal("closed breaker refused a request")
+		}
+		b.onFailure(now)
+	}
+	expect(BreakerOpen, 3, 1)
+
+	// Open short-circuits until the cooldown elapses...
+	if b.allow(now.Add(59 * time.Second)) {
+		t.Fatal("open breaker allowed a request before cooldown")
+	}
+	// ...then half-opens and admits exactly one trial at a time.
+	now = now.Add(2 * time.Minute)
+	if !b.allow(now) {
+		t.Fatal("cooled-down breaker refused the trial")
+	}
+	expect(BreakerHalfOpen, 3, 1)
+	if b.allow(now) {
+		t.Fatal("half-open breaker admitted a second concurrent trial")
+	}
+
+	// A trial failure reopens immediately.
+	b.onFailure(now)
+	expect(BreakerOpen, 4, 2)
+
+	// A probe success only half-opens: /healthz proves the process is
+	// up, the data path still has to win a trial to close the breaker.
+	b.onProbeSuccess()
+	expect(BreakerHalfOpen, 4, 2)
+	if !b.allow(now) {
+		t.Fatal("half-open breaker refused the trial")
+	}
+
+	// An abandoned trial (hedge lost, caller cancelled) releases the
+	// slot without judging the peer.
+	b.onAbandon()
+	expect(BreakerHalfOpen, 4, 2)
+	if !b.allow(now) {
+		t.Fatal("abandoned trial slot was not released")
+	}
+
+	// A trial success closes the breaker and clears the streak.
+	b.onSuccess()
+	expect(BreakerClosed, 0, 2)
+
+	// In Closed, a probe success clears an accumulating streak, so slow
+	// intermittent failures spread over healthy probes never open it.
+	b.onFailure(now)
+	b.onFailure(now)
+	b.onProbeSuccess()
+	expect(BreakerClosed, 0, 2)
+}

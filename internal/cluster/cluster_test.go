@@ -1,0 +1,328 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/reprolab/hirise/internal/leakcheck"
+	"github.com/reprolab/hirise/internal/store"
+)
+
+// fakePeer is an httptest-backed peer daemon exposing the two endpoints
+// the cluster client uses: GET /store/{key} and GET /healthz.
+type fakePeer struct {
+	srv *httptest.Server
+	// data maps hex keys to payloads; healthy toggles /healthz.
+	data    map[string][]byte
+	healthy atomic.Bool
+	// delay holds each /store response this long (bounded by the
+	// request context), for hedge tests.
+	delay time.Duration
+	gets  atomic.Int64
+}
+
+func newFakePeer(t *testing.T, data map[string][]byte) *fakePeer {
+	p := &fakePeer{data: data}
+	p.healthy.Store(true)
+	p.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			if !p.healthy.Load() {
+				w.WriteHeader(http.StatusServiceUnavailable)
+			}
+			return
+		}
+		p.gets.Add(1)
+		if p.delay > 0 {
+			select {
+			case <-time.After(p.delay):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		if d, ok := p.data[strings.TrimPrefix(r.URL.Path, "/store/")]; ok {
+			w.Write(d)
+			return
+		}
+		http.NotFound(w, r)
+	}))
+	t.Cleanup(p.srv.Close)
+	return p
+}
+
+// newTestCluster builds a cluster of "self" plus the given remote peer
+// URLs, with fast timeouts and the probe loop off (tests drive
+// ProbeOnce by hand).
+func newTestCluster(t *testing.T, cfg Config, urls ...string) *Cluster {
+	t.Helper()
+	cfg.Self = "self"
+	cfg.Peers = []Peer{{ID: "self"}}
+	for i, u := range urls {
+		cfg.Peers = append(cfg.Peers, Peer{ID: "peer" + string(rune('A'+i)), URL: u})
+	}
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = -1
+	}
+	if cfg.AttemptTimeout == 0 {
+		cfg.AttemptTimeout = time.Second
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// keyFirstOn finds a key whose first remote candidate is the given
+// peer, so tests control which peer a Fetch contacts first.
+func keyFirstOn(t *testing.T, c *Cluster, peerID string) store.Key {
+	t.Helper()
+	for i := 0; i < 100000; i++ {
+		k := testKey(i)
+		if cands := c.candidates(k); len(cands) > 0 && cands[0].ID == peerID {
+			return k
+		}
+	}
+	t.Fatalf("no key found with %s as first candidate", peerID)
+	panic("unreachable")
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Self: "a", Peers: []Peer{{ID: "b", URL: "http://x"}}}); err == nil {
+		t.Error("New accepted a Self outside the membership")
+	}
+	if _, err := New(Config{Self: "a", Peers: []Peer{{ID: "a"}, {ID: "b"}}}); err == nil {
+		t.Error("New accepted a remote peer without a URL")
+	}
+}
+
+func TestFetchPeerHit(t *testing.T) {
+	leakcheck.Check(t)
+	k := testKey(1)
+	p := newFakePeer(t, map[string][]byte{k.String(): []byte("payload")})
+	c := newTestCluster(t, Config{}, p.srv.URL)
+
+	data, from, ok := c.Fetch(context.Background(), k)
+	if !ok || string(data) != "payload" || from != "peerA" {
+		t.Fatalf("Fetch = (%q, %q, %v), want payload from peerA", data, from, ok)
+	}
+	st := c.Stats()
+	if st.Fetches != 1 || st.PeerHits != 1 || st.PeerMisses != 0 || st.Attempts != 1 {
+		t.Errorf("stats = %+v, want 1 fetch, 1 hit, 1 attempt", st)
+	}
+}
+
+func TestFetchMissDegrades(t *testing.T) {
+	leakcheck.Check(t)
+	p := newFakePeer(t, nil) // holds nothing: authoritative 404s
+	c := newTestCluster(t, Config{}, p.srv.URL)
+
+	if _, _, ok := c.Fetch(context.Background(), testKey(1)); ok {
+		t.Fatal("Fetch reported a hit from an empty peer")
+	}
+	st := c.Stats()
+	// A 404 is definitive: no retry, no failure, no breaker movement.
+	if st.PeerMisses != 1 || st.NotFound != 1 || st.Retries != 0 || st.Failures != 0 {
+		t.Errorf("stats = %+v, want one clean not-found", st)
+	}
+	if snap := c.Snapshot(); snap.Peers[0].State != "closed" {
+		t.Errorf("breaker %s after a 404, want closed", snap.Peers[0].State)
+	}
+}
+
+func TestFetchDeadPeerDegradesAndRetries(t *testing.T) {
+	leakcheck.Check(t)
+	dead := httptest.NewServer(http.NotFoundHandler())
+	url := dead.URL
+	dead.Close() // connection refused from here on
+	c := newTestCluster(t, Config{RetryBackoff: time.Millisecond, BreakerThreshold: 10}, url)
+
+	if _, _, ok := c.Fetch(context.Background(), testKey(1)); ok {
+		t.Fatal("Fetch reported a hit from a dead peer")
+	}
+	st := c.Stats()
+	if st.PeerMisses != 1 || st.Attempts != 2 || st.Retries != 1 || st.Failures != 2 {
+		t.Errorf("stats = %+v, want 2 failed attempts (1 retry)", st)
+	}
+}
+
+func TestBreakerShortCircuitsDeadPeer(t *testing.T) {
+	leakcheck.Check(t)
+	dead := httptest.NewServer(http.NotFoundHandler())
+	url := dead.URL
+	dead.Close()
+	c := newTestCluster(t, Config{RetryBackoff: time.Millisecond, BreakerThreshold: 2, BreakerCooldown: time.Hour}, url)
+
+	// First fetch: two attempts fail, reaching the threshold.
+	c.Fetch(context.Background(), testKey(1))
+	if st := c.Stats(); st.BreakerOpens != 1 || st.Attempts != 2 {
+		t.Fatalf("stats after first fetch = %+v, want the breaker open after 2 attempts", st)
+	}
+	// Second fetch: short-circuited — no new connection attempts.
+	c.Fetch(context.Background(), testKey(1))
+	st := c.Stats()
+	if st.Attempts != 2 || st.BreakerSkips == 0 {
+		t.Errorf("stats = %+v, want no new attempts and a breaker skip", st)
+	}
+	if snap := c.Snapshot(); snap.Peers[0].State != "open" {
+		t.Errorf("breaker %s, want open", snap.Peers[0].State)
+	}
+}
+
+// TestHedgeWinsSlowPeer: the primary peer sits on the request past
+// HedgeDelay, so a hedge fires against the sibling and its answer wins;
+// the slow request is cancelled rather than awaited.
+func TestHedgeWinsSlowPeer(t *testing.T) {
+	leakcheck.Check(t)
+	slow := newFakePeer(t, nil)
+	slow.delay = 5 * time.Second
+	fast := newFakePeer(t, nil)
+	c := newTestCluster(t, Config{HedgeDelay: 20 * time.Millisecond, AttemptTimeout: 10 * time.Second},
+		slow.srv.URL, fast.srv.URL)
+
+	// peerA = slow, peerB = fast; pick a key that routes to slow first.
+	k := keyFirstOn(t, c, "peerA")
+	payload := []byte("hedged payload")
+	slow.data = map[string][]byte{k.String(): payload}
+	fast.data = map[string][]byte{k.String(): payload}
+
+	start := time.Now()
+	data, from, ok := c.Fetch(context.Background(), k)
+	if !ok || string(data) != string(payload) || from != "peerB" {
+		t.Fatalf("Fetch = (%q, %q, %v), want payload from the fast sibling", data, from, ok)
+	}
+	if elapsed := time.Since(start); elapsed >= 5*time.Second {
+		t.Errorf("Fetch took %v: it waited for the slow peer instead of hedging", elapsed)
+	}
+	st := c.Stats()
+	if st.Hedges != 1 || st.HedgeWins != 1 || st.PeerHits != 1 {
+		t.Errorf("stats = %+v, want one winning hedge", st)
+	}
+}
+
+// TestNoHedgeBeforeDelay: a primary that answers within HedgeDelay
+// never triggers the hedge — hedging costs duplicate work and must only
+// fire on actual slowness.
+func TestNoHedgeBeforeDelay(t *testing.T) {
+	leakcheck.Check(t)
+	k := testKey(1)
+	a := newFakePeer(t, map[string][]byte{k.String(): []byte("x")})
+	b := newFakePeer(t, map[string][]byte{k.String(): []byte("x")})
+	c := newTestCluster(t, Config{HedgeDelay: 10 * time.Second}, a.srv.URL, b.srv.URL)
+
+	if _, _, ok := c.Fetch(context.Background(), k); !ok {
+		t.Fatal("Fetch missed")
+	}
+	st := c.Stats()
+	if st.Hedges != 0 || st.HedgeWins != 0 {
+		t.Errorf("stats = %+v, want no hedges for a fast primary", st)
+	}
+	if a.gets.Load()+b.gets.Load() != 1 {
+		t.Errorf("%d store requests sent, want exactly 1", a.gets.Load()+b.gets.Load())
+	}
+}
+
+// TestBackoffDeterministic: identical (Seed, fetch seq, attempt) yields
+// identical backoff, bounded to [base/2, base] — the property that lets
+// chaos runs replay exactly.
+func TestBackoffDeterministic(t *testing.T) {
+	mk := func(seed uint64) *Cluster {
+		return newTestCluster(t, Config{Seed: seed, RetryBackoff: 40 * time.Millisecond}, "http://unused")
+	}
+	c1, c2, c3 := mk(7), mk(7), mk(8)
+	for attempt := 1; attempt <= 4; attempt++ {
+		for seq := uint64(1); seq <= 8; seq++ {
+			d1, d2 := c1.backoff(attempt, seq), c2.backoff(attempt, seq)
+			if d1 != d2 {
+				t.Fatalf("backoff(%d,%d) = %v vs %v with equal seeds", attempt, seq, d1, d2)
+			}
+			base := 40 * time.Millisecond << (attempt - 1)
+			if base > 2*time.Second {
+				base = 2 * time.Second
+			}
+			if d1 < base/2 || d1 > base {
+				t.Fatalf("backoff(%d,%d) = %v outside [%v, %v]", attempt, seq, d1, base/2, base)
+			}
+		}
+	}
+	var diff bool
+	for seq := uint64(1); seq <= 8 && !diff; seq++ {
+		diff = c1.backoff(1, seq) != c3.backoff(1, seq)
+	}
+	if !diff {
+		t.Error("seeds 7 and 8 produced identical backoff schedules")
+	}
+}
+
+// TestProbeRecovery: probes feed the breakers — failures open them, a
+// recovery half-opens, and the first real fetch closes.
+func TestProbeRecovery(t *testing.T) {
+	leakcheck.Check(t)
+	p := newFakePeer(t, nil)
+	c := newTestCluster(t, Config{BreakerThreshold: 2, BreakerCooldown: time.Hour}, p.srv.URL)
+	ctx := context.Background()
+
+	c.ProbeOnce(ctx)
+	if st := c.Stats(); st.Probes != 1 || st.ProbeFailures != 0 {
+		t.Fatalf("stats = %+v, want one clean probe", st)
+	}
+
+	p.healthy.Store(false)
+	c.ProbeOnce(ctx)
+	c.ProbeOnce(ctx)
+	if snap := c.Snapshot(); snap.Peers[0].State != "open" {
+		t.Fatalf("breaker %s after 2 failed probes, want open", snap.Peers[0].State)
+	}
+
+	// Recovery: a healthy probe half-opens; the data path must still
+	// prove itself, and the next successful fetch closes the breaker.
+	p.healthy.Store(true)
+	c.ProbeOnce(ctx)
+	if snap := c.Snapshot(); snap.Peers[0].State != "half-open" {
+		t.Fatalf("breaker %s after recovery probe, want half-open", snap.Peers[0].State)
+	}
+	k := testKey(1)
+	p.data = map[string][]byte{k.String(): []byte("back")}
+	if _, _, ok := c.Fetch(ctx, k); !ok {
+		t.Fatal("half-open trial fetch missed")
+	}
+	if snap := c.Snapshot(); snap.Peers[0].State != "closed" {
+		t.Errorf("breaker %s after trial success, want closed", snap.Peers[0].State)
+	}
+}
+
+// TestFetchNoPeers: a cluster of one degrades instantly — the shape a
+// cluster-enabled binary has when its peers flag lists only itself.
+func TestFetchNoPeers(t *testing.T) {
+	leakcheck.Check(t)
+	c := newTestCluster(t, Config{})
+	if _, _, ok := c.Fetch(context.Background(), testKey(1)); ok {
+		t.Fatal("Fetch hit with no remote peers")
+	}
+	if st := c.Stats(); st.PeerMisses != 1 || st.Attempts != 0 {
+		t.Errorf("stats = %+v, want an attempt-free miss", st)
+	}
+}
+
+// TestFetchCancelledContext: a cancelled caller gets a miss, never an
+// error or a hang.
+func TestFetchCancelledContext(t *testing.T) {
+	leakcheck.Check(t)
+	slow := newFakePeer(t, nil)
+	slow.delay = 5 * time.Second
+	c := newTestCluster(t, Config{HedgeDelay: -1, AttemptTimeout: 10 * time.Second}, slow.srv.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, _, ok := c.Fetch(ctx, testKey(1)); ok {
+		t.Fatal("Fetch hit under a cancelled context")
+	}
+	if time.Since(start) > time.Second {
+		t.Error("Fetch did not return promptly on context cancellation")
+	}
+}

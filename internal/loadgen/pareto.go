@@ -1,0 +1,53 @@
+package loadgen
+
+import (
+	"math"
+	"time"
+
+	"github.com/reprolab/hirise/internal/prng"
+)
+
+// boundedPareto inverts the CDF of a Pareto(alpha) distribution
+// truncated to [1, cap]: heavy-tailed enough to produce realistic
+// request bursts, bounded so one astronomical gap cannot stall a finite
+// run. u is uniform in [0, 1).
+func boundedPareto(u, alpha, cap float64) float64 {
+	return 1 / math.Pow(1-u*(1-math.Pow(cap, -alpha)), 1/alpha)
+}
+
+// boundedParetoMean is the analytic mean of boundedPareto's
+// distribution, used to normalize gaps so a schedule's mean rate is
+// exactly the configured one (alpha must be > 1).
+func boundedParetoMean(alpha, cap float64) float64 {
+	return alpha * (math.Pow(cap, 1-alpha) - 1) / ((1 - alpha) * (1 - math.Pow(cap, -alpha)))
+}
+
+// arrival is one scheduled request: when to fire (offset from run
+// start), which job spec to submit, and which target to try first.
+type arrival struct {
+	at     time.Duration
+	spec   int
+	target int
+}
+
+// buildSchedule precomputes the entire open-loop schedule before any
+// request fires, so a (seed, rate, alpha) triple replays the identical
+// workload regardless of how fast the cluster answers — the open-loop
+// property that makes overload measurements honest (a closed loop would
+// slow its own offered load down and hide the queueing).
+func buildSchedule(cfg Config) []arrival {
+	r := prng.New(cfg.Seed)
+	mean := boundedParetoMean(cfg.Alpha, cfg.BurstCap)
+	scale := 1 / (cfg.Rate * mean)
+	sched := make([]arrival, cfg.Requests)
+	var t float64 // seconds
+	for i := range sched {
+		t += boundedPareto(r.Float64(), cfg.Alpha, cfg.BurstCap) * scale
+		sched[i] = arrival{
+			at:     time.Duration(t * float64(time.Second)),
+			spec:   r.Intn(cfg.Keyspace),
+			target: i % len(cfg.Targets),
+		}
+	}
+	return sched
+}

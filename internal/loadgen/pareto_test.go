@@ -1,0 +1,72 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/reprolab/hirise/internal/prng"
+)
+
+// TestBoundedParetoMean checks the analytic mean used to normalize the
+// schedule against an empirical sample of the inverse-CDF generator.
+func TestBoundedParetoMean(t *testing.T) {
+	for _, tc := range []struct{ alpha, cap float64 }{
+		{1.5, 50}, {1.2, 100}, {2.5, 10},
+	} {
+		r := prng.New(99)
+		const n = 200_000
+		var sum float64
+		for i := 0; i < n; i++ {
+			x := boundedPareto(r.Float64(), tc.alpha, tc.cap)
+			if x < 1 || x > tc.cap {
+				t.Fatalf("alpha=%v cap=%v: sample %v out of [1, cap]", tc.alpha, tc.cap, x)
+			}
+			sum += x
+		}
+		want := boundedParetoMean(tc.alpha, tc.cap)
+		if got := sum / n; math.Abs(got-want)/want > 0.02 {
+			t.Errorf("alpha=%v cap=%v: empirical mean %v, analytic %v", tc.alpha, tc.cap, got, want)
+		}
+	}
+}
+
+// TestScheduleDeterministicRate: equal seeds replay the identical
+// schedule, distinct seeds differ, and the mean offered rate matches
+// the configuration.
+func TestScheduleDeterministicRate(t *testing.T) {
+	cfg := Config{
+		Targets: []string{"a", "b", "c"}, Requests: 20_000,
+		Rate: 100, Alpha: 1.5, BurstCap: 50, Keyspace: 16, Seed: 7,
+	}
+	s1, s2 := buildSchedule(cfg), buildSchedule(cfg)
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("arrival %d differs across equal-seed schedules", i)
+		}
+	}
+	cfg.Seed = 8
+	s3 := buildSchedule(cfg)
+	if s1[0] == s3[0] && s1[1] == s3[1] && s1[2] == s3[2] {
+		t.Error("distinct seeds produced an identical schedule prefix")
+	}
+
+	last := time.Duration(-1)
+	for i, a := range s1 {
+		if a.at <= last {
+			t.Fatalf("arrival %d not strictly after its predecessor", i)
+		}
+		last = a.at
+		if a.spec < 0 || a.spec >= cfg.Keyspace {
+			t.Fatalf("arrival %d: spec %d outside keyspace", i, a.spec)
+		}
+		if a.target != i%len(cfg.Targets) {
+			t.Fatalf("arrival %d: first target %d, want round-robin %d", i, a.target, i%len(cfg.Targets))
+		}
+	}
+	// 20k arrivals at 100/s should span very nearly 200s.
+	span := s1[len(s1)-1].at.Seconds()
+	if want := float64(cfg.Requests) / cfg.Rate; math.Abs(span-want)/want > 0.05 {
+		t.Errorf("schedule spans %.1fs, want ~%.1fs for rate %v", span, want, cfg.Rate)
+	}
+}

@@ -113,6 +113,41 @@ func (h *Histogram) Mean() float64 {
 	return h.sum / float64(h.count)
 }
 
+// Quantile returns an upper-bound estimate of the q-quantile (q in
+// [0, 1]) from the bin counts: the upper edge of the bin containing the
+// rank-⌈q·count⌉ observation, clamped to the observed max. Ranks that
+// land in the overflow bucket return the observed max. Empty (or nil)
+// histograms return 0. The estimate's resolution is one bin width,
+// which is exactly the shape a latency histogram needs for p50/p99
+// reporting.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range h.bins {
+		cum += c
+		if cum >= rank {
+			edge := h.binWidth * float64(i+1)
+			if edge > h.max {
+				return h.max
+			}
+			return edge
+		}
+	}
+	return h.max
+}
+
 // histJSON is the stable serialized shape of a Histogram.
 type histJSON struct {
 	BinWidth float64 `json:"bin_width"`

@@ -1,0 +1,45 @@
+package obs
+
+import "testing"
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", 1.0, 100)
+	// 100 observations 0.5, 1.5, ..., 99.5: one per bin.
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i) + 0.5)
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0, 1},      // rank clamps to 1 → first bin's upper edge
+		{0.5, 50},   // rank 50 → bin 49 → edge 50
+		{0.9, 90},   // rank 90 → bin 89 → edge 90
+		{0.99, 99},  // rank 99 → bin 98 → edge 99
+		{1, 99.5},   // last bin's edge 100 clamps to the observed max
+		{1.5, 99.5}, // q clamps to 1
+	} {
+		if got := h.Quantile(tc.q); got != tc.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+
+	// Overflow ranks report the observed max.
+	h2 := NewRegistry().Histogram("lat", 1.0, 4)
+	for _, x := range []float64{0.5, 1.5, 100, 250} {
+		h2.Observe(x)
+	}
+	if got := h2.Quantile(0.99); got != 250 {
+		t.Errorf("overflow Quantile(0.99) = %v, want 250", got)
+	}
+	if got := h2.Quantile(0.25); got != 1 {
+		t.Errorf("Quantile(0.25) = %v, want 1", got)
+	}
+
+	// Nil and empty are 0.
+	var nilH *Histogram
+	if nilH.Quantile(0.5) != 0 {
+		t.Error("nil histogram Quantile != 0")
+	}
+	if NewRegistry().Histogram("e", 1, 4).Quantile(0.5) != 0 {
+		t.Error("empty histogram Quantile != 0")
+	}
+}

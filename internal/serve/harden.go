@@ -1,0 +1,59 @@
+package serve
+
+import (
+	"net/http"
+	"time"
+)
+
+// HTTPTimeouts are the edge-protection knobs NewHTTPServer applies.
+// Zero fields select the defaults; tests shrink ReadHeaderTimeout to
+// exercise the slow-loris path quickly.
+type HTTPTimeouts struct {
+	// ReadHeaderTimeout bounds how long a connection may dribble its
+	// request headers (default 5s). This is the slow-loris defence: a
+	// client holding a connection open with one header byte per minute
+	// is cut off here, before it ever occupies a handler.
+	ReadHeaderTimeout time.Duration
+	// ReadTimeout bounds reading the entire request, body included
+	// (default 30s — submissions are small JSON documents).
+	ReadTimeout time.Duration
+	// IdleTimeout bounds how long a keep-alive connection may sit
+	// between requests (default 120s).
+	IdleTimeout time.Duration
+	// MaxHeaderBytes bounds the request header size (default 64 KiB).
+	MaxHeaderBytes int
+}
+
+func (t HTTPTimeouts) withDefaults() HTTPTimeouts {
+	if t.ReadHeaderTimeout == 0 {
+		t.ReadHeaderTimeout = 5 * time.Second
+	}
+	if t.ReadTimeout == 0 {
+		t.ReadTimeout = 30 * time.Second
+	}
+	if t.IdleTimeout == 0 {
+		t.IdleTimeout = 120 * time.Second
+	}
+	if t.MaxHeaderBytes == 0 {
+		t.MaxHeaderBytes = 64 << 10
+	}
+	return t
+}
+
+// NewHTTPServer wraps the service handler in an http.Server with the
+// edge protections every internet-adjacent daemon needs: header, read,
+// and idle timeouts plus a header-size cap. WriteTimeout is deliberately
+// left unset — GET /jobs/{id}/events is a legitimately long-lived
+// response stream, and heartbeats (Config.HeartbeatInterval) already
+// detect dead clients there.
+func NewHTTPServer(addr string, handler http.Handler, t HTTPTimeouts) *http.Server {
+	t = t.withDefaults()
+	return &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: t.ReadHeaderTimeout,
+		ReadTimeout:       t.ReadTimeout,
+		IdleTimeout:       t.IdleTimeout,
+		MaxHeaderBytes:    t.MaxHeaderBytes,
+	}
+}

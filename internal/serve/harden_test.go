@@ -1,0 +1,76 @@
+package serve_test
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"github.com/reprolab/hirise/internal/serve"
+)
+
+// TestSlowLorisConnectionCutOff: a client that dribbles request headers
+// without finishing them is disconnected once ReadHeaderTimeout
+// elapses, instead of holding a connection slot forever. This is the
+// regression test for the hardened http.Server configuration.
+func TestSlowLorisConnectionCutOff(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	srv := serve.NewHTTPServer("", mux, serve.HTTPTimeouts{ReadHeaderTimeout: 200 * time.Millisecond})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	addr := ln.Addr().String()
+
+	// Sanity: a well-formed request is served normally.
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: HTTP %d", resp.StatusCode)
+	}
+
+	// The attack: open a connection, send a partial header block, never
+	// finish it. The server must hang up on its own.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET /healthz HTTP/1.1\r\nHost: x\r\nX-Dribble: s")); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1024)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			break // server closed the connection (or sent 408 then closed)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("slow-loris connection survived %v, want cutoff near the 200ms header timeout", elapsed)
+	}
+}
+
+// TestHTTPTimeoutDefaults: the production defaults are wired in, and
+// WriteTimeout stays unset so the NDJSON events stream can live
+// indefinitely.
+func TestHTTPTimeoutDefaults(t *testing.T) {
+	srv := serve.NewHTTPServer(":0", http.NotFoundHandler(), serve.HTTPTimeouts{})
+	if srv.ReadHeaderTimeout != 5*time.Second || srv.ReadTimeout != 30*time.Second ||
+		srv.IdleTimeout != 120*time.Second || srv.MaxHeaderBytes != 64<<10 {
+		t.Errorf("defaults = %v/%v/%v/%d", srv.ReadHeaderTimeout, srv.ReadTimeout, srv.IdleTimeout, srv.MaxHeaderBytes)
+	}
+	if srv.WriteTimeout != 0 {
+		t.Errorf("WriteTimeout = %v, want 0 (events streams are long-lived)", srv.WriteTimeout)
+	}
+}

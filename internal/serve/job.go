@@ -78,7 +78,11 @@ type job struct {
 	changed  chan struct{} // closed and replaced on every update
 	result   []byte
 	cacheHit bool
-	err      error
+	// source records where a cluster-enabled node got the result:
+	// "peer:<id>" or "computed". Empty when clustering is off (keeping
+	// single-daemon Status JSON unchanged) and on cache hits.
+	source string
+	err    error
 	// tele is the job's live progress sampler, attached when the job
 	// starts running (nil while queued or when telemetry is disabled).
 	tele *jobTelemetry
@@ -159,6 +163,14 @@ func (j *job) finish(result []byte, cacheHit bool, err error, cancelled, timedOu
 	}
 }
 
+// setSource records the result's provenance; called from inside the
+// store's compute closure, before finish.
+func (j *job) setSource(src string) {
+	j.mu.Lock()
+	j.source = src
+	j.mu.Unlock()
+}
+
 // telemetry returns the job's sampler, nil until the job starts (or
 // forever, when telemetry is disabled).
 func (j *job) telemetry() *jobTelemetry {
@@ -191,6 +203,10 @@ type Status struct {
 	// CacheHit reports whether a finished job was served from the
 	// store without re-simulation.
 	CacheHit bool `json:"cache_hit"`
+	// Source reports, on cluster-enabled nodes, where a computed (i.e.
+	// non-cache-hit) result came from: "peer:<id>" or "computed".
+	// Absent on single-daemon deployments and on cache hits.
+	Source string `json:"source,omitempty"`
 	// Progress counts completed simulation tasks; Total is 0 when the
 	// task count is not known up front.
 	Progress int64  `json:"progress"`
@@ -211,6 +227,7 @@ func (j *job) status() Status {
 		Experiment: j.req.Experiment,
 		Key:        j.key.String(),
 		CacheHit:   j.cacheHit,
+		Source:     j.source,
 		Progress:   j.progress.Load(),
 		Total:      j.total,
 		Created:    j.created.UTC().Format(time.RFC3339Nano),

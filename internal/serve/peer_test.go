@@ -1,0 +1,223 @@
+package serve_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/reprolab/hirise/internal/cluster"
+	"github.com/reprolab/hirise/internal/leakcheck"
+	"github.com/reprolab/hirise/internal/serve"
+)
+
+// clusteredPair stands up node A (plain) and node B clustered with A,
+// each over its own store.
+func clusteredPair(t *testing.T, cfgB serve.Config) (tsA, tsB *httptest.Server) {
+	t.Helper()
+	leakcheck.Check(t)
+	_, tsA = startTestServer(t, serve.Config{SimWorkers: 1})
+	cl, err := cluster.New(cluster.Config{
+		Self:          "b",
+		Peers:         []cluster.Peer{{ID: "a", URL: tsA.URL}, {ID: "b"}},
+		ProbeInterval: -1,
+		HedgeDelay:    -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	cfgB.SimWorkers = 1
+	cfgB.Cluster = cl
+	_, tsB = startTestServer(t, cfgB)
+	return tsA, tsB
+}
+
+func scrape(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// TestClusterPeerFetchOnMiss is the tentpole path: a job computed on
+// node A is served to node B through the peer layer — byte-identical,
+// no recomputation, provenance recorded.
+func TestClusterPeerFetchOnMiss(t *testing.T) {
+	tsA, tsB := clusteredPair(t, serve.Config{})
+	req := quickSweep()
+
+	stA := submit(t, tsA, req)
+	stA = waitState(t, tsA, stA.ID, "done", func(s serve.Status) bool { return s.State == serve.Done })
+	if stA.Source != "" {
+		t.Errorf("single-daemon node reported source %q, want empty", stA.Source)
+	}
+	bodyA, _ := getResult(t, tsA, stA.ID)
+
+	// B's store is cold: the result must arrive via the peer fetch, not
+	// a local simulation and not a local cache hit.
+	stB := submit(t, tsB, req)
+	stB = waitState(t, tsB, stB.ID, "done", func(s serve.Status) bool { return s.State == serve.Done })
+	if stB.CacheHit {
+		t.Error("cold clustered node reported a local cache hit")
+	}
+	if stB.Source != "peer:a" {
+		t.Errorf("source = %q, want peer:a", stB.Source)
+	}
+	if stB.Key != stA.Key {
+		t.Errorf("store keys differ across nodes: %s vs %s", stB.Key, stA.Key)
+	}
+	bodyB, _ := getResult(t, tsB, stB.ID)
+	if string(bodyA) != string(bodyB) {
+		t.Error("peer-fetched result is not byte-identical to the computed one")
+	}
+
+	m := scrape(t, tsB)
+	for _, want := range []string{"serve_jobs_peer 1", "serve_jobs_computed 0", "cluster_peer_hits 1", "cluster_breaker_state_a 0"} {
+		if !strings.Contains(m, want) {
+			t.Errorf("node B /metrics missing %q", want)
+		}
+	}
+
+	// A job B already holds (via the fetch) is a plain cache hit on
+	// resubmission — the cluster is not consulted again.
+	stB2 := submit(t, tsB, req)
+	stB2 = waitState(t, tsB, stB2.ID, "done", func(s serve.Status) bool { return s.State == serve.Done })
+	if !stB2.CacheHit || stB2.Source != "" {
+		t.Errorf("resubmission = (hit=%v, source=%q), want a sourceless cache hit", stB2.CacheHit, stB2.Source)
+	}
+}
+
+// TestStoreEndpoint: GET /store/{key} serves raw cached payloads (the
+// peer-fetch wire format) and never computes.
+func TestStoreEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{SimWorkers: 1})
+	st := submit(t, ts, quickSweep())
+	waitState(t, ts, st.ID, "done", func(s serve.Status) bool { return s.State == serve.Done })
+	body, _ := getResult(t, ts, st.ID)
+
+	resp, err := http.Get(ts.URL + "/store/" + st.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(raw) != string(body) {
+		t.Fatalf("GET /store/{key}: HTTP %d, %d bytes; want 200 with the result payload", resp.StatusCode, len(raw))
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Errorf("store content type = %q", ct)
+	}
+
+	for path, want := range map[string]int{
+		"/store/not-hex":                    http.StatusBadRequest,
+		"/store/" + strings.Repeat("0", 64): http.StatusNotFound,
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("GET %s: HTTP %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+}
+
+// TestClusterEndpoint: GET /cluster exposes the peer snapshot on
+// clustered nodes and 404s on plain ones.
+func TestClusterEndpoint(t *testing.T) {
+	tsA, tsB := clusteredPair(t, serve.Config{})
+
+	resp, err := http.Get(tsA.URL + "/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /cluster on a plain node: HTTP %d, want 404", resp.StatusCode)
+	}
+
+	resp, err = http.Get(tsB.URL + "/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap serve.ClusterStatus
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Self != "b" || len(snap.Peers) != 1 || snap.Peers[0].ID != "a" || snap.Peers[0].State != "closed" {
+		t.Errorf("GET /cluster = %+v, want self b with peer a closed", snap.Snapshot)
+	}
+}
+
+// TestHeartbeatEvents: an events stream with nothing to say still emits
+// periodic heartbeats, so proxies keep it open and dead clients surface
+// as write errors. The job under watch sits queued behind a
+// long-running one, the quietest stream there is.
+func TestHeartbeatEvents(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{
+		Workers: 1, SimWorkers: 1, HeartbeatInterval: 40 * time.Millisecond,
+	})
+
+	blocker := submit(t, ts, longSweep())
+	queued := submit(t, ts, serve.Request{
+		Kind: "loadsweep", Design: "2d", Radix: 8,
+		Loads: []float64{0.15}, Warmup: 100, Measure: 2_000_000_000,
+	})
+
+	resp, err := http.Get(ts.URL + "/jobs/" + queued.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	var kinds []string
+	for sc.Scan() && len(kinds) < 3 {
+		var e serve.Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		kinds = append(kinds, e.Event)
+	}
+	if len(kinds) != 3 || kinds[0] != "queued" || kinds[1] != "heartbeat" || kinds[2] != "heartbeat" {
+		t.Fatalf("events = %v, want queued then heartbeats", kinds)
+	}
+
+	// Cancel both jobs; the stream must terminate with the lifecycle
+	// event, heartbeats notwithstanding.
+	for _, id := range []string{queued.ID, blocker.ID} {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+id, nil)
+		dresp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, dresp.Body)
+		dresp.Body.Close()
+	}
+	last := ""
+	for sc.Scan() {
+		var e serve.Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		last = e.Event
+	}
+	if last != "cancelled" {
+		t.Fatalf("stream ended with %q, want cancelled", last)
+	}
+}

@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"testing"
+
+	"github.com/reprolab/hirise/internal/prng"
+)
+
+// TestRetryAfterSeconds pins the 429 Retry-After estimate: expected
+// queue drain time (average job duration × depth ÷ workers, 1s/job
+// before any job has completed), clamped to [1, 60], plus deterministic
+// seeded jitter of up to half the base. The golden values fix the
+// formula AND the jitter stream — any change to either is a visible
+// client-facing behaviour change and must update this table.
+func TestRetryAfterSeconds(t *testing.T) {
+	jitter := prng.New(42)
+	for i, tc := range []struct {
+		depth, workers int
+		avg            float64
+		want           int
+	}{
+		{0, 1, 0, 1},     // empty queue: come back in about a second
+		{64, 1, 0, 90},   // full default queue, no history: 60s base + jitter
+		{64, 1, 0, 63},   // same inputs, next jitter draw differs
+		{64, 4, 0, 21},   // more workers drain faster
+		{64, 1, 4.0, 76}, // slow jobs: clamped to the 60s cap + jitter
+		{64, 1, 4.0, 60}, // jitter can also be zero
+		{10, 2, 0.5, 3},  // moderate load: ~2.5s drain estimate
+		{3, 1, 0.01, 2},  // sub-50ms jobs clamp to the 0.05s floor
+	} {
+		if got := retryAfterSeconds(tc.depth, tc.workers, tc.avg, jitter); got != tc.want {
+			t.Errorf("case %d: retryAfterSeconds(%d, %d, %v) = %d, want %d",
+				i, tc.depth, tc.workers, tc.avg, got, tc.want)
+		}
+	}
+
+	// Determinism: an identically-seeded server replays the identical
+	// hint sequence — chaos runs are reproducible.
+	a, b := prng.New(7), prng.New(7)
+	for i := 0; i < 50; i++ {
+		if x, y := retryAfterSeconds(64, 1, 0, a), retryAfterSeconds(64, 1, 0, b); x != y {
+			t.Fatalf("draw %d: %d != %d with equal seeds", i, x, y)
+		}
+	}
+
+	// Bounds: the hint never falls below 1s and never exceeds base +
+	// window regardless of inputs.
+	j := prng.New(9)
+	for i := 0; i < 200; i++ {
+		got := retryAfterSeconds(i%100, 1+i%8, float64(i%30), j)
+		if got < 1 || got > 90 {
+			t.Fatalf("retryAfterSeconds out of range: %d", got)
+		}
+	}
+}

@@ -26,14 +26,18 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"github.com/reprolab/hirise/internal/cluster"
 	"github.com/reprolab/hirise/internal/obs"
+	"github.com/reprolab/hirise/internal/prng"
 	"github.com/reprolab/hirise/internal/store"
+	"github.com/reprolab/hirise/internal/tele"
 )
 
 // Config parameterizes a Server.
@@ -61,6 +65,23 @@ type Config struct {
 	// stream and GET /jobs/{id}/telemetry). 0 selects the 250ms
 	// default; a negative value disables job telemetry entirely.
 	TelemetryWindow time.Duration
+	// Cluster is the optional peer layer: on a store miss the job's
+	// result is fetched from the key's home node and ring siblings
+	// before being computed locally. Nil keeps single-daemon behaviour
+	// byte-identical — the cluster can only avoid work, never add
+	// failure modes (every peer problem degrades to local compute).
+	// The Server uses but does not own the Cluster; the caller closes
+	// it after Drain.
+	Cluster *cluster.Cluster
+	// HeartbeatInterval is how often an otherwise-idle NDJSON events
+	// stream emits a "heartbeat" event, keeping proxies from timing
+	// the stream out and surfacing dead clients to the handler
+	// (default 10s; negative disables heartbeats).
+	HeartbeatInterval time.Duration
+	// RetryJitterSeed seeds the deterministic jitter added to 429
+	// Retry-After hints so synchronized clients spread out instead of
+	// retrying in lockstep (default 1).
+	RetryJitterSeed uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -72,6 +93,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TelemetryWindow == 0 {
 		c.TelemetryWindow = 250 * time.Millisecond
+	}
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = 10 * time.Second
+	}
+	if c.RetryJitterSeed == 0 {
+		c.RetryJitterSeed = 1
 	}
 	return c
 }
@@ -96,6 +123,21 @@ type Server struct {
 	workers sync.WaitGroup
 
 	submitted, rejected, completed, failed, cancelled, timedout atomic.Int64
+	// computedLocal counts jobs whose result came from running the
+	// simulator here; peerFetched the ones served by a cluster peer.
+	// Their sum plus cache hits accounts for every done job, which is
+	// what the chaos tests audit to prove nothing is computed twice.
+	computedLocal, peerFetched atomic.Int64
+
+	// retryJitter drives the deterministic Retry-After jitter; guarded
+	// by mu (the 429 path already holds it).
+	retryJitter *prng.Source
+
+	// clusterTele samples the cluster's windowed fetch/breaker tracks
+	// on the TelemetryWindow cadence for GET /cluster; nil when
+	// clustering or telemetry is off.
+	clusterTele     *jobTelemetry
+	stopClusterTele func()
 
 	// jobStats is the persistent cross-job registry (the job-duration
 	// histogram). obs registries are single-writer by contract, so both
@@ -112,13 +154,17 @@ func New(cfg Config) (*Server, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:        cfg,
-		store:      cfg.Store,
-		baseCtx:    ctx,
-		cancelBase: cancel,
-		jobs:       map[string]*job{},
-		queue:      make(chan *job, cfg.QueueDepth),
-		jobStats:   obs.NewRegistry(),
+		cfg:         cfg,
+		store:       cfg.Store,
+		baseCtx:     ctx,
+		cancelBase:  cancel,
+		jobs:        map[string]*job{},
+		queue:       make(chan *job, cfg.QueueDepth),
+		jobStats:    obs.NewRegistry(),
+		retryJitter: prng.New(cfg.RetryJitterSeed),
+	}
+	if cfg.Cluster != nil && cfg.TelemetryWindow > 0 {
+		s.startClusterTelemetry()
 	}
 	s.workers.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -157,7 +203,19 @@ func (s *Server) run(j *job) {
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
 		defer cancel()
 	}
+	// The peer fetch lives inside the compute closure so the store's
+	// singleflight covers it too: concurrent submissions of one key make
+	// one cluster round-trip, not one per caller.
 	data, hit, err := s.store.GetOrCompute(ctx, j.key, func(cctx context.Context) ([]byte, error) {
+		if cl := s.cfg.Cluster; cl != nil {
+			if data, from, ok := cl.Fetch(cctx, j.key); ok {
+				s.peerFetched.Add(1)
+				j.setSource("peer:" + from)
+				return data, nil
+			}
+			j.setSource("computed")
+		}
+		s.computedLocal.Add(1)
 		return s.compute(cctx, j)
 	})
 	stopTele()
@@ -208,6 +266,9 @@ func (s *Server) Drain(ctx context.Context) error {
 		<-done
 	}
 	s.cancelBase()
+	if s.stopClusterTele != nil {
+		s.stopClusterTele()
+	}
 	return err
 }
 
@@ -223,6 +284,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /store/{key}", s.handleStore)
+	mux.HandleFunc("GET /cluster", s.handleCluster)
 	return mux
 }
 
@@ -274,15 +337,94 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.order = append(s.order, j.id)
 	default:
 		s.seq-- // job was never admitted
+		retryAfter := s.retryAfterLocked()
 		s.mu.Unlock()
 		s.rejected.Add(1)
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
 		writeError(w, http.StatusTooManyRequests, "job queue full (%d)", s.cfg.QueueDepth)
 		return
 	}
 	s.mu.Unlock()
 	s.submitted.Add(1)
 	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+// retryAfterLocked computes the Retry-After hint for a 429 from the
+// live queue depth and the observed job-duration mean. Caller holds
+// s.mu (the jitter source is guarded by it).
+func (s *Server) retryAfterLocked() int {
+	s.statsMu.Lock()
+	avg := s.jobStats.Histogram("serve.job.duration.seconds", 0.5, 40).Mean()
+	s.statsMu.Unlock()
+	return retryAfterSeconds(len(s.queue), s.cfg.Workers, avg, s.retryJitter)
+}
+
+// retryAfterSeconds estimates how long a rejected client should wait
+// before resubmitting: the queue's expected drain time (average job
+// duration × depth ÷ workers, defaulting to 1s/job before any job has
+// finished), clamped to [1s, 60s], plus deterministic jitter of up to
+// half the base so synchronized clients spread out instead of returning
+// in lockstep. Pure given the jitter source's state, which is what the
+// pinning test relies on.
+func retryAfterSeconds(depth, workers int, avgSeconds float64, jitter *prng.Source) int {
+	if avgSeconds <= 0 {
+		avgSeconds = 1.0
+	} else if avgSeconds < 0.05 {
+		avgSeconds = 0.05
+	}
+	base := int(math.Ceil(avgSeconds * float64(depth) / float64(workers)))
+	if base < 1 {
+		base = 1
+	}
+	if base > 60 {
+		base = 60
+	}
+	window := base/2 + 1
+	if window < 2 {
+		window = 2
+	}
+	return base + int(jitter.Uint64()%uint64(window))
+}
+
+// handleStore serves GET /store/{key}: the raw cached payload for a
+// content address, 404 when this node does not hold it. This is the
+// endpoint cluster peers fetch from — it never computes, so a fetch
+// storm cannot amplify into a compute storm.
+func (s *Server) handleStore(w http.ResponseWriter, r *http.Request) {
+	key, err := store.ParseKey(r.PathValue("key"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	data, ok := s.store.Get(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, "key %s not in store", key)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.Write(data)
+}
+
+// ClusterStatus is the JSON shape of GET /cluster: the peer layer's
+// snapshot plus, when telemetry is enabled, its windowed time series.
+type ClusterStatus struct {
+	cluster.Snapshot
+	Telemetry *TelemetrySnapshot `json:"telemetry,omitempty"`
+}
+
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	cl := s.cfg.Cluster
+	if cl == nil {
+		writeError(w, http.StatusNotFound, "clustering is not enabled")
+		return
+	}
+	out := ClusterStatus{Snapshot: cl.Snapshot()}
+	if s.clusterTele != nil {
+		snap := s.clusterTele.snapshot(cl.Self(), "")
+		out.Telemetry = &snap
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) jobFor(w http.ResponseWriter, r *http.Request) *job {
@@ -342,6 +484,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 
+	lastEmit := time.Now()
 	emit := func(e Event) bool {
 		if err := enc.Encode(e); err != nil {
 			return false
@@ -349,6 +492,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		if flusher != nil {
 			flusher.Flush()
 		}
+		lastEmit = time.Now()
 		return true
 	}
 
@@ -373,6 +517,16 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			// they carry no sequence number of their own.
 			e := Event{Seq: next, Event: "progress", Time: time.Now().UTC().Format(time.RFC3339Nano), Completed: p, Total: j.total}
 			e.Windows, e.Telemetry = j.telemetry().latest()
+			if !emit(e) {
+				return
+			}
+		}
+		// Heartbeats keep an otherwise-silent stream (a long-queued job,
+		// a sweep between progress updates) alive through idle-timeout
+		// proxies, and make a dead client visible to this handler as a
+		// write error instead of a goroutine parked forever.
+		if s.cfg.HeartbeatInterval > 0 && time.Since(lastEmit) >= s.cfg.HeartbeatInterval {
+			e := Event{Seq: next, Event: "heartbeat", Time: time.Now().UTC().Format(time.RFC3339Nano)}
 			if !emit(e) {
 				return
 			}
@@ -443,6 +597,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	reg.Counter("serve.jobs.failed").Add(s.failed.Load())
 	reg.Counter("serve.jobs.cancelled").Add(s.cancelled.Load())
 	reg.Counter("serve.jobs.timeout").Add(s.timedout.Load())
+	reg.Counter("serve.jobs.computed").Add(s.computedLocal.Load())
+	reg.Counter("serve.jobs.peer").Add(s.peerFetched.Load())
 	st := s.store.Stats()
 	reg.Counter("store.hits.memory").Add(st.MemHits)
 	reg.Counter("store.hits.disk").Add(st.DiskHits)
@@ -457,7 +613,41 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.statsMu.Lock()
 	reg.Merge(s.jobStats)
 	s.statsMu.Unlock()
+	if s.cfg.Cluster != nil {
+		s.cfg.Cluster.Describe(reg)
+	}
 
 	w.Header().Set("Content-Type", obs.PrometheusContentType)
 	reg.WritePrometheus(w)
+}
+
+// startClusterTelemetry attaches a windowed sampler to the cluster's
+// counters and starts its ticker goroutine on the TelemetryWindow
+// cadence. Stopped by Drain.
+func (s *Server) startClusterTelemetry() {
+	jt := &jobTelemetry{interval: s.cfg.TelemetryWindow, samp: tele.NewSampler(1, tele.DefaultMaxWindows)}
+	s.cfg.Cluster.Sample(jt.samp)
+	done := make(chan struct{})
+	stopped := make(chan struct{})
+	go func() {
+		defer close(stopped)
+		ticker := time.NewTicker(jt.interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				jt.tick()
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	s.clusterTele = jt
+	s.stopClusterTele = func() {
+		once.Do(func() {
+			close(done)
+			<-stopped
+		})
+	}
 }

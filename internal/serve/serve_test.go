@@ -23,6 +23,16 @@ import (
 func newTestServer(t *testing.T, cfg serve.Config) (*serve.Server, *httptest.Server) {
 	t.Helper()
 	leakcheck.Check(t)
+	return startTestServer(t, cfg)
+}
+
+// startTestServer is newTestServer without the leak check, for tests
+// that stand up several servers: leakcheck must snapshot once BEFORE
+// the first server exists, or a goroutine created between two checks
+// can be misclassified (its stack signature changes once it is
+// scheduled).
+func startTestServer(t *testing.T, cfg serve.Config) (*serve.Server, *httptest.Server) {
+	t.Helper()
 	if cfg.Store == nil {
 		st, err := store.Open(t.TempDir(), store.Options{})
 		if err != nil {

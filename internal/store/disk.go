@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 )
@@ -24,8 +25,40 @@ var diskMagic = [8]byte{'H', 'R', 'S', 'T', 'O', 'R', 'E', '1'}
 
 const diskOverhead = 8 + 8 + sha256.Size
 
+// FS is the filesystem seam the disk layer runs on. The production
+// implementation is the OS; tests substitute failing variants to prove
+// every disk fault degrades to a cache miss or a lost write, never to
+// a failed computation.
+type FS interface {
+	ReadFile(name string) ([]byte, error)
+	MkdirAll(path string) error
+	// CreateTemp creates an exclusively-named temp file in dir, like
+	// os.CreateTemp(dir, pattern).
+	CreateTemp(dir, pattern string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+}
+
+// File is the writable handle CreateTemp returns.
+type File interface {
+	io.Writer
+	io.Closer
+	Name() string
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+func (osFS) MkdirAll(path string) error           { return os.MkdirAll(path, 0o755) }
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	return os.CreateTemp(dir, pattern)
+}
+
 func (s *Store) initDir() error {
-	return os.MkdirAll(s.dir, 0o755)
+	return s.opts.FS.MkdirAll(s.dir)
 }
 
 // path shards entries over 256 subdirectories by the first key byte so
@@ -36,21 +69,22 @@ func (s *Store) path(key Key) string {
 }
 
 // diskGet loads and validates the entry. Every failure mode — missing,
-// truncated, wrong magic, wrong length, wrong digest — is a miss;
-// invalid files are deleted (best-effort) so they are rebuilt cleanly.
+// unreadable, truncated, wrong magic, wrong length, wrong digest — is a
+// miss; invalid files are deleted (best-effort) so they are rebuilt
+// cleanly.
 func (s *Store) diskGet(key Key) ([]byte, bool) {
 	if s.dir == "" {
 		return nil, false
 	}
 	p := s.path(key)
-	raw, err := os.ReadFile(p)
+	raw, err := s.opts.FS.ReadFile(p)
 	if err != nil {
 		return nil, false
 	}
 	data, err := decodeEntry(raw)
 	if err != nil {
 		s.corrupt.Add(1)
-		os.Remove(p)
+		s.opts.FS.Remove(p)
 		return nil, false
 	}
 	return data, true
@@ -99,14 +133,14 @@ func (s *Store) diskPut(key Key, data []byte) error {
 		return nil
 	}
 	p := s.path(key)
-	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+	if err := s.opts.FS.MkdirAll(filepath.Dir(p)); err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(p), "tmp-*")
+	tmp, err := s.opts.FS.CreateTemp(filepath.Dir(p), "tmp-*")
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmp.Name()) // no-op after successful rename
+	defer s.opts.FS.Remove(tmp.Name()) // no-op after successful rename
 
 	if _, err := tmp.Write(encodeEntry(data)); err != nil {
 		tmp.Close()
@@ -115,5 +149,5 @@ func (s *Store) diskPut(key Key, data []byte) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), p)
+	return s.opts.FS.Rename(tmp.Name(), p)
 }

@@ -1,0 +1,205 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// faultFS wraps the real filesystem with switchable failure modes, the
+// injectable seam Options.FS exists for. Toggles are plain bools set
+// before the operation under test; the store is exercised from a
+// single goroutine in these tests.
+type faultFS struct {
+	osFS
+	failRead   bool // ReadFile errors (I/O error on load)
+	failWrite  bool // File.Write errors (ENOSPC mid-write)
+	failCreate bool // CreateTemp errors (ENOSPC / read-only dir)
+	failRename bool // Rename errors (torn publish)
+}
+
+var errInjected = errors.New("injected fault: no space left on device")
+
+func (f *faultFS) ReadFile(name string) ([]byte, error) {
+	if f.failRead {
+		return nil, errInjected
+	}
+	return f.osFS.ReadFile(name)
+}
+
+func (f *faultFS) CreateTemp(dir, pattern string) (File, error) {
+	if f.failCreate {
+		return nil, errInjected
+	}
+	file, err := f.osFS.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f}, nil
+}
+
+func (f *faultFS) Rename(oldpath, newpath string) error {
+	if f.failRename {
+		return errInjected
+	}
+	return f.osFS.Rename(oldpath, newpath)
+}
+
+type faultFile struct {
+	File
+	fs *faultFS
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	if f.fs.failWrite {
+		// Short write, the ENOSPC shape: some bytes land, then the
+		// device is full.
+		if len(p) > 1 {
+			f.File.Write(p[:1])
+		}
+		return 1, errInjected
+	}
+	return f.File.Write(p)
+}
+
+// mustCompute runs GetOrCompute with a trivial computation and fails
+// the test on error.
+func mustCompute(t *testing.T, s *Store, key Key, payload []byte) (data []byte, hit bool) {
+	t.Helper()
+	data, hit, err := s.GetOrCompute(context.Background(), key, func(context.Context) ([]byte, error) {
+		return payload, nil
+	})
+	if err != nil {
+		t.Fatalf("GetOrCompute: %v", err)
+	}
+	if !bytes.Equal(data, payload) {
+		t.Fatalf("GetOrCompute returned %q, want %q", data, payload)
+	}
+	return data, hit
+}
+
+// resFiles returns the persisted entry files under dir (ignoring temp
+// files, which are allowed to linger after an injected crash).
+func resFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	var out []string
+	filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && strings.HasSuffix(path, ".res") {
+			out = append(out, path)
+		}
+		return nil
+	})
+	return out
+}
+
+// TestDiskWriteFaultDegradesToComputeWithoutCache: when the disk is
+// full (write, create, or rename fails), the computation still returns
+// its result, only persistence is lost: the write error is counted, no
+// partial entry is published, and a fresh store over the same directory
+// simply recomputes.
+func TestDiskWriteFaultDegradesToComputeWithoutCache(t *testing.T) {
+	for _, mode := range []string{"write", "create", "rename"} {
+		t.Run(mode, func(t *testing.T) {
+			dir := t.TempDir()
+			fs := &faultFS{}
+			s, err := Open(dir, Options{FS: fs, MemEntries: -1}) // no memory front: disk is the only cache
+			if err != nil {
+				t.Fatal(err)
+			}
+			key, err := s.KeyOf("test", map[string]string{"mode": mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch mode {
+			case "write":
+				fs.failWrite = true
+			case "create":
+				fs.failCreate = true
+			case "rename":
+				fs.failRename = true
+			}
+
+			if _, hit := mustCompute(t, s, key, []byte("payload-"+mode)); hit {
+				t.Fatal("first computation reported a cache hit")
+			}
+			if got := s.Stats().WriteErrors; got != 1 {
+				t.Fatalf("WriteErrors = %d, want 1", got)
+			}
+			if files := resFiles(t, dir); len(files) != 0 {
+				t.Fatalf("failed write published entry files: %v", files)
+			}
+
+			// The store keeps working: with the fault healed, the same
+			// key recomputes (the failed write cached nothing) and then
+			// persists.
+			fs.failWrite, fs.failCreate, fs.failRename = false, false, false
+			if _, hit := mustCompute(t, s, key, []byte("payload-"+mode)); hit {
+				t.Fatal("entry was cached despite the injected write fault")
+			}
+			if _, hit := mustCompute(t, s, key, []byte("payload-"+mode)); !hit {
+				t.Fatal("healed write did not persist the entry")
+			}
+		})
+	}
+}
+
+// TestDiskReadFaultIsAMiss: an I/O error loading a valid entry is a
+// cache miss — the job recomputes and succeeds — and the entry is
+// readable again once the fault clears.
+func TestDiskReadFaultIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	fs := &faultFS{}
+	s, err := Open(dir, Options{FS: fs, MemEntries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := s.KeyOf("test", "read-fault")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCompute(t, s, key, []byte("persisted"))
+	if _, hit := mustCompute(t, s, key, []byte("persisted")); !hit {
+		t.Fatal("healthy disk read was not a hit")
+	}
+
+	fs.failRead = true
+	if _, hit := mustCompute(t, s, key, []byte("persisted")); hit {
+		t.Fatal("unreadable entry reported as a hit")
+	}
+	// The unreadable file must NOT have been deleted as corrupt: the
+	// bytes on disk are fine, only the read failed.
+	if got := s.Stats().Corrupt; got != 0 {
+		t.Fatalf("read fault counted as corruption: Corrupt = %d", got)
+	}
+
+	fs.failRead = false
+	if _, hit := mustCompute(t, s, key, []byte("persisted")); !hit {
+		t.Fatal("entry lost after transient read fault")
+	}
+}
+
+// TestDiskFaultsNeverFailGetOrCompute is the degradation contract in
+// one sweep: with every fault injected at once, GetOrCompute still
+// returns the computed payload with a nil error.
+func TestDiskFaultsNeverFailGetOrCompute(t *testing.T) {
+	fs := &faultFS{failRead: true, failWrite: true, failCreate: true, failRename: true}
+	s, err := Open(t.TempDir(), Options{FS: fs, MemEntries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, payload := range []string{"a", "b", "c"} {
+		key, err := s.KeyOf("test", i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustCompute(t, s, key, []byte(payload))
+	}
+	st := s.Stats()
+	if st.Misses != 3 || st.WriteErrors != 3 {
+		t.Fatalf("stats = %+v, want 3 misses and 3 write errors", st)
+	}
+}

@@ -42,6 +42,21 @@ type Key [sha256.Size]byte
 // String returns the key as lowercase hex.
 func (k Key) String() string { return hex.EncodeToString(k[:]) }
 
+// ParseKey parses the hex form produced by Key.String. It is how the
+// serving layer turns a /store/{key} path element back into a key.
+func ParseKey(s string) (Key, error) {
+	var k Key
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return k, fmt.Errorf("store: bad key %q: %w", s, err)
+	}
+	if len(b) != sha256.Size {
+		return k, fmt.Errorf("store: bad key %q: %d bytes, want %d", s, len(b), sha256.Size)
+	}
+	copy(k[:], b)
+	return k, nil
+}
+
 // Options tunes a Store.
 type Options struct {
 	// MemEntries bounds the in-memory LRU front by entry count
@@ -54,6 +69,11 @@ type Options struct {
 	// Empty selects version.Model, the package default. Tests use this
 	// to prove that a fingerprint bump invalidates old entries.
 	ModelVersion string
+	// FS overrides the disk layer's filesystem (nil selects the real
+	// one). It exists as a fault-injection seam: tests wrap the OS
+	// filesystem with failing writes (ENOSPC) and reads to prove the
+	// store degrades to compute-without-cache instead of failing jobs.
+	FS FS
 }
 
 func (o Options) withDefaults() Options {
@@ -65,6 +85,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ModelVersion == "" {
 		o.ModelVersion = version.Model
+	}
+	if o.FS == nil {
+		o.FS = osFS{}
 	}
 	return o
 }
